@@ -1,0 +1,103 @@
+#include "Harness.h"
+
+#include <cstdlib>
+
+using namespace wario;
+using namespace wario::bench;
+
+RunResult wario::bench::runOne(const Workload &W, Environment Env,
+                               const EmulatorOptions &EOpts,
+                               unsigned UnrollFactor) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = buildWorkloadIR(W, Diags);
+  if (!M) {
+    std::fprintf(stderr, "frontend failure on %s:\n%s\n", W.Name.c_str(),
+                 Diags.formatAll().c_str());
+    std::exit(1);
+  }
+  RunResult R;
+  PipelineOptions PO;
+  PO.Env = Env;
+  PO.UnrollFactor = UnrollFactor;
+  MModule MM = compile(*M, PO, &R.Pipeline);
+  R.TextBytes = MM.textSizeBytes();
+
+  EmulatorOptions EO = EOpts;
+  if (Env == Environment::PlainC)
+    EO.WarIsFatal = false;
+  R.Emu = emulate(MM, EO);
+  if (!R.Emu.Ok) {
+    std::fprintf(stderr, "emulation failure on %s @ %s: %s\n",
+                 W.Name.c_str(), environmentName(Env),
+                 R.Emu.Error.c_str());
+    std::exit(1);
+  }
+  if (Env != Environment::PlainC && R.Emu.WarViolations != 0) {
+    std::fprintf(stderr, "WAR violations on %s @ %s\n", W.Name.c_str(),
+                 environmentName(Env));
+    std::exit(1);
+  }
+  return R;
+}
+
+const RunResult &wario::bench::cachedRun(const std::string &Name,
+                                         Environment Env) {
+  static std::map<std::pair<std::string, Environment>, RunResult> Cache;
+  auto Key = std::make_pair(Name, Env);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  RunResult R = runOne(getWorkload(Name), Env);
+  return Cache.emplace(Key, std::move(R)).first->second;
+}
+
+MModule wario::bench::compileOnly(const Workload &W, Environment Env,
+                                  PipelineStats *Stats,
+                                  unsigned UnrollFactor) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = buildWorkloadIR(W, Diags);
+  if (!M) {
+    std::fprintf(stderr, "frontend failure on %s:\n%s\n", W.Name.c_str(),
+                 Diags.formatAll().c_str());
+    std::exit(1);
+  }
+  PipelineOptions PO;
+  PO.Env = Env;
+  PO.UnrollFactor = UnrollFactor;
+  return compile(*M, PO, Stats);
+}
+
+void wario::bench::printRow(const std::string &Head,
+                            const std::vector<std::string> &Vals,
+                            int Width0, int Width) {
+  std::printf("%-*s", Width0, Head.c_str());
+  for (const std::string &V : Vals)
+    std::printf("%*s", Width, V.c_str());
+  std::printf("\n");
+}
+
+std::string wario::bench::fmt2(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", V);
+  return Buf;
+}
+
+std::string wario::bench::fmtPct(double V, bool ForceSign) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), ForceSign ? "%+.1f%%" : "%.1f%%", V);
+  return Buf;
+}
+
+const char *wario::bench::shortEnvName(Environment E) {
+  switch (E) {
+  case Environment::PlainC: return "plain-c";
+  case Environment::Ratchet: return "ratchet";
+  case Environment::RPDG: return "r-pdg";
+  case Environment::EpilogOnly: return "epilog-opt";
+  case Environment::WriteClustererOnly: return "write-cl";
+  case Environment::LoopWriteClustererOnly: return "loop-cl";
+  case Environment::WarioComplete: return "wario";
+  case Environment::WarioExpander: return "wario+exp";
+  }
+  return "?";
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared harness for the experiment regenerators: compiles each
+/// (workload, environment) pair, runs the emulator, caches results, and
+/// provides the table formatting used across all paper figures/tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_BENCH_HARNESS_H
+#define WARIO_BENCH_HARNESS_H
+
+#include "driver/Pipeline.h"
+#include "emu/Emulator.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wario::bench {
+
+/// Everything one (workload, environment) run produces.
+struct RunResult {
+  PipelineStats Pipeline;
+  EmulatorResult Emu;
+  unsigned TextBytes = 0;
+};
+
+/// Compiles \p W for \p Env (optionally overriding the unroll factor) and
+/// runs it to completion under \p EOpts. Aborts the process with a
+/// message on any failure — experiment regenerators have no use for
+/// partial data.
+RunResult runOne(const Workload &W, Environment Env,
+                 const EmulatorOptions &EOpts = {},
+                 unsigned UnrollFactor = 8);
+
+/// Process-lifetime cache of continuous-power runs.
+const RunResult &cachedRun(const std::string &Workload, Environment Env);
+
+/// Compiles only (no emulation); for code-size measurements.
+MModule compileOnly(const Workload &W, Environment Env,
+                    PipelineStats *Stats = nullptr,
+                    unsigned UnrollFactor = 8);
+
+/// Prints an aligned row: first column \p Width0 wide, then each value
+/// right-aligned to \p Width.
+void printRow(const std::string &Head, const std::vector<std::string> &Vals,
+              int Width0 = 22, int Width = 12);
+
+/// Formats "x.xx" / "+x.x%" style numbers.
+std::string fmt2(double V);
+std::string fmtPct(double V, bool ForceSign = false);
+
+/// Column-friendly short environment names.
+const char *shortEnvName(Environment E);
+
+} // namespace wario::bench
+
+#endif // WARIO_BENCH_HARNESS_H

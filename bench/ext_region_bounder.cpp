@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension experiment (not a paper figure): the Region Bounder
+/// implements Section 6's "Location-specific Checkpoints" future work.
+/// For each benchmark it reports the largest idempotent region, the
+/// minimum power-on time that region implies, and the execution-time
+/// price of capping regions at 20k cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <algorithm>
+
+using namespace wario;
+using namespace wario::bench;
+
+namespace {
+
+uint64_t maxRegion(const EmulatorResult &R) {
+  uint64_t Max = 0;
+  for (uint64_t S : R.RegionSizes)
+    Max = std::max(Max, S);
+  return Max;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Extension: Region Bounder (paper Section 6 future work)\n"
+              "WARio vs WARio + 20k-cycle region cap\n\n");
+  printRow("benchmark",
+           {"max-region", "capped", "on-time@8MHz", "time cost"}, 14, 18);
+
+  for (const Workload &W : allWorkloads()) {
+    const RunResult &Base = cachedRun(W.Name, Environment::WarioComplete);
+
+    DiagnosticEngine Diags;
+    auto M = buildWorkloadIR(W, Diags);
+    PipelineOptions PO;
+    PO.Env = Environment::WarioComplete;
+    PO.BoundRegions = true;
+    PO.MaxRegionCycles = 20'000;
+    MModule MM = compile(*M, PO);
+    EmulatorResult Capped = emulate(MM);
+    if (!Capped.Ok || Capped.ReturnValue != Base.Emu.ReturnValue) {
+      std::fprintf(stderr, "bounded %s diverged!\n", W.Name.c_str());
+      return 1;
+    }
+
+    uint64_t M0 = maxRegion(Base.Emu), M1 = maxRegion(Capped);
+    double Cost = 100.0 *
+                  (double(Capped.TotalCycles) -
+                   double(Base.Emu.TotalCycles)) /
+                  double(Base.Emu.TotalCycles);
+    char OnTime[32];
+    std::snprintf(OnTime, sizeof(OnTime), "%.2fms->%.2fms",
+                  double(M0) / 8e3, double(M1) / 8e3);
+    printRow(W.Name,
+             {std::to_string(M0), std::to_string(M1), OnTime,
+              fmtPct(Cost, true)},
+             14, 18);
+  }
+  std::printf("\nthe register-counter checkpoints cap every WAR-free "
+              "*innermost* loop's region,\nshrinking the minimum viable "
+              "storage capacitor for a small steady-state cost —\nthe "
+              "trade the paper's Section 6 anticipates. Known limit: the "
+              "counter resets at\nloop entry, so nested cut-free nests "
+              "(picojpeg's inlined bit-reader) can still\nexceed the "
+              "budget; threading one virtual clock through whole "
+              "functions is future\nwork here exactly as it is in the "
+              "paper.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates paper Figure 4: execution time of every benchmark under
+/// every software environment, normalized to the uninstrumented C build,
+/// plus the headline averages ("checkpoint overhead compared to Ratchet /
+/// R-PDG").
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace wario;
+using namespace wario::bench;
+
+int main() {
+  std::printf("Figure 4: normalized execution time (lower is better; "
+              "1.00 = uninstrumented C)\n\n");
+
+  std::vector<Environment> Envs = allEnvironments();
+  std::vector<std::string> Heads;
+  for (Environment E : Envs)
+    Heads.push_back(shortEnvName(E));
+  printRow("benchmark", Heads, 12, 14);
+
+  // Per-environment mean of normalized times and of checkpoint overheads
+  // (normalized time - 1).
+  std::map<Environment, double> SumNorm, SumOverhead;
+
+  for (const Workload &W : allWorkloads()) {
+    double Plain =
+        double(cachedRun(W.Name, Environment::PlainC).Emu.TotalCycles);
+    std::vector<std::string> Vals;
+    for (Environment E : Envs) {
+      double T = double(cachedRun(W.Name, E).Emu.TotalCycles);
+      double Norm = T / Plain;
+      SumNorm[E] += Norm;
+      SumOverhead[E] += Norm - 1.0;
+      Vals.push_back(fmt2(Norm));
+    }
+    printRow(W.Name, Vals, 12, 14);
+  }
+
+  unsigned N = unsigned(allWorkloads().size());
+  std::vector<std::string> Avg;
+  for (Environment E : Envs)
+    Avg.push_back(fmt2(SumNorm[E] / N));
+  std::printf("%s\n", std::string(12 + 14 * Envs.size(), '-').c_str());
+  printRow("average", Avg, 12, 14);
+
+  double RatchetOvh = SumOverhead[Environment::Ratchet] / N;
+  double RpdgOvh = SumOverhead[Environment::RPDG] / N;
+  double WarioOvh = SumOverhead[Environment::WarioComplete] / N;
+  double WarioExpOvh = SumOverhead[Environment::WarioExpander] / N;
+
+  std::printf("\ncheckpoint overhead vs Ratchet:  WARio %s, "
+              "WARio+Expander %s   (paper: -58.3%% avg, up to -88%%)\n",
+              fmtPct(100.0 * (WarioOvh - RatchetOvh) / RatchetOvh, true)
+                  .c_str(),
+              fmtPct(100.0 * (WarioExpOvh - RatchetOvh) / RatchetOvh, true)
+                  .c_str());
+  std::printf("checkpoint overhead vs R-PDG:    WARio %s, "
+              "WARio+Expander %s   (paper: -44.7%% avg)\n",
+              fmtPct(100.0 * (WarioOvh - RpdgOvh) / RpdgOvh, true).c_str(),
+              fmtPct(100.0 * (WarioExpOvh - RpdgOvh) / RpdgOvh, true)
+                  .c_str());
+  return 0;
+}

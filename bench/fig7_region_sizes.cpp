@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates paper Figure 7: the distribution of idempotent region
+/// sizes (clock cycles between consecutive executed checkpoints) for
+/// Ratchet, R-PDG, and WARio (complete), per benchmark — median, mean,
+/// 75th percentile, and maximum, as in the paper's box plots.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <algorithm>
+
+using namespace wario;
+using namespace wario::bench;
+
+namespace {
+
+struct Summary {
+  uint64_t Median, P75, Max;
+  double Mean;
+};
+
+Summary summarize(std::vector<uint64_t> V) {
+  Summary S{0, 0, 0, 0.0};
+  if (V.empty())
+    return S;
+  std::sort(V.begin(), V.end());
+  S.Median = V[V.size() / 2];
+  S.P75 = V[V.size() * 3 / 4];
+  S.Max = V.back();
+  double Sum = 0;
+  for (uint64_t X : V)
+    Sum += double(X);
+  S.Mean = Sum / double(V.size());
+  return S;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 7: idempotent region sizes in clock cycles "
+              "(between executed checkpoints)\n\n");
+  const std::vector<Environment> Envs = {
+      Environment::Ratchet, Environment::RPDG, Environment::WarioComplete};
+
+  for (const Workload &W : allWorkloads()) {
+    std::printf("%s\n", W.Name.c_str());
+    printRow("  environment", {"median", "mean", "p75", "max"}, 24, 12);
+    for (Environment E : Envs) {
+      Summary S = summarize(cachedRun(W.Name, E).Emu.RegionSizes);
+      printRow("  " + std::string(environmentName(E)),
+               {std::to_string(S.Median), fmt2(S.Mean),
+                std::to_string(S.P75), std::to_string(S.Max)},
+               24, 12);
+    }
+    // Required on-time for the largest region, as the paper reports
+    // (45000 cycles -> 5.6 ms @ 8 MHz, 0.9 ms @ 50 MHz).
+    Summary SW =
+        summarize(cachedRun(W.Name, Environment::WarioComplete)
+                      .Emu.RegionSizes);
+    std::printf("  WARio max region => min on-time %.2f ms @ 8 MHz, "
+                "%.3f ms @ 50 MHz\n\n",
+                double(SW.Max) / 8e3, double(SW.Max) / 50e3);
+  }
+  std::printf("expected shape: medians stay small while means/p75 grow "
+              "some — WARio removes\ncheckpoints where regions are small "
+              "(loop bodies, epilogs) and leaves the large\nregions "
+              "alone, so required power-on time barely moves.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the toolchain itself: front-end,
+/// middle-end (WARio passes), back-end, and emulator throughput. These
+/// guard against pathological slowdowns in the pipeline as the library
+/// evolves; they are not paper experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace wario;
+using namespace wario::bench;
+
+namespace {
+
+void BM_Frontend(benchmark::State &State) {
+  const Workload &W = getWorkload("sha");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto M = buildWorkloadIR(W, Diags);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_Frontend);
+
+void BM_FullPipelineWario(benchmark::State &State) {
+  const Workload &W = getWorkload("sha");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto M = buildWorkloadIR(W, Diags);
+    PipelineOptions PO;
+    PO.Env = Environment::WarioComplete;
+    MModule MM = compile(*M, PO);
+    benchmark::DoNotOptimize(MM.textSizeBytes());
+  }
+}
+BENCHMARK(BM_FullPipelineWario);
+
+void BM_FullPipelineRatchet(benchmark::State &State) {
+  const Workload &W = getWorkload("sha");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto M = buildWorkloadIR(W, Diags);
+    PipelineOptions PO;
+    PO.Env = Environment::Ratchet;
+    MModule MM = compile(*M, PO);
+    benchmark::DoNotOptimize(MM.textSizeBytes());
+  }
+}
+BENCHMARK(BM_FullPipelineRatchet);
+
+void BM_EmulatorThroughput(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto M = buildWorkloadIR(getWorkload("crc"), Diags);
+  PipelineOptions PO;
+  PO.Env = Environment::WarioComplete;
+  MModule MM = compile(*M, PO);
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    EmulatorOptions EO;
+    EO.CollectRegionSizes = false;
+    EmulatorResult R = emulate(MM, EO);
+    Instructions += R.InstructionsExecuted;
+    benchmark::DoNotOptimize(R.ReturnValue);
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      double(Instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulatorThroughput);
+
+void BM_EmulatorIntermittent(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto M = buildWorkloadIR(getWorkload("crc"), Diags);
+  PipelineOptions PO;
+  PO.Env = Environment::WarioComplete;
+  MModule MM = compile(*M, PO);
+  for (auto _ : State) {
+    EmulatorOptions EO;
+    EO.CollectRegionSizes = false;
+    EO.Power = PowerSchedule::fixed(100'000);
+    EmulatorResult R = emulate(MM, EO);
+    benchmark::DoNotOptimize(R.PowerFailures);
+  }
+}
+BENCHMARK(BM_EmulatorIntermittent);
+
+} // namespace
+
+BENCHMARK_MAIN();

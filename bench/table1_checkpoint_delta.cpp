@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates paper Table 1: difference in the total number of executed
+/// checkpoints, WARio and WARio+Expander vs Ratchet.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace wario;
+using namespace wario::bench;
+
+int main() {
+  std::printf("Table 1: executed checkpoints vs Ratchet\n\n");
+  printRow("benchmark", {"WARio", "WARio+Expander", "(paper WARio)"}, 14,
+           16);
+
+  // Paper's reported WARio column, for shape comparison.
+  const std::map<std::string, const char *> Paper = {
+      {"coremark", "-36.6%"}, {"sha", "-88.6%"},      {"crc", "-33.5%"},
+      {"aes", "-74.5%"},      {"dijkstra", "-18.7%"}, {"picojpeg", "-33.6%"},
+  };
+
+  double SumW = 0, SumWE = 0;
+  for (const Workload &W : allWorkloads()) {
+    double R = double(
+        cachedRun(W.Name, Environment::Ratchet).Emu.CheckpointsExecuted);
+    double Wa = double(cachedRun(W.Name, Environment::WarioComplete)
+                           .Emu.CheckpointsExecuted);
+    double We = double(cachedRun(W.Name, Environment::WarioExpander)
+                           .Emu.CheckpointsExecuted);
+    double DW = 100.0 * (Wa - R) / R;
+    double DWE = 100.0 * (We - R) / R;
+    SumW += DW;
+    SumWE += DWE;
+    printRow(W.Name,
+             {fmtPct(DW, true), fmtPct(DWE, true), Paper.at(W.Name)}, 14,
+             16);
+  }
+  unsigned N = unsigned(allWorkloads().size());
+  std::printf("%s\n", std::string(14 + 16 * 3, '-').c_str());
+  printRow("average",
+           {fmtPct(SumW / N, true), fmtPct(SumWE / N, true), "-47.6%"},
+           14, 16);
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates paper Table 2: modeled .text size increase of Ratchet,
+/// WARio, and WARio+Expander over the uninstrumented C build.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace wario;
+using namespace wario::bench;
+
+int main() {
+  std::printf("Table 2: code-size increase vs uninstrumented C "
+              "(modeled Thumb-2 encoding)\n\n");
+  printRow("benchmark",
+           {"plain(B)", "Ratchet", "WARio(N=1)", "WARio", "WARio+Exp"},
+           14, 12);
+
+  double SR = 0, SW1 = 0, SW = 0, SWE = 0;
+  for (const Workload &W : allWorkloads()) {
+    double P = double(cachedRun(W.Name, Environment::PlainC).TextBytes);
+    double R = double(cachedRun(W.Name, Environment::Ratchet).TextBytes);
+    double W1 = double(
+        runOne(W, Environment::WarioComplete, {}, /*UnrollFactor=*/1)
+            .TextBytes);
+    double Wa =
+        double(cachedRun(W.Name, Environment::WarioComplete).TextBytes);
+    double We =
+        double(cachedRun(W.Name, Environment::WarioExpander).TextBytes);
+    double DR = 100.0 * (R - P) / P;
+    double DW1 = 100.0 * (W1 - P) / P;
+    double DW = 100.0 * (Wa - P) / P;
+    double DWE = 100.0 * (We - P) / P;
+    SR += DR;
+    SW1 += DW1;
+    SW += DW;
+    SWE += DWE;
+    printRow(W.Name,
+             {std::to_string(unsigned(P)), fmtPct(DR, true),
+              fmtPct(DW1, true), fmtPct(DW, true), fmtPct(DWE, true)},
+             14, 12);
+  }
+  unsigned N = unsigned(allWorkloads().size());
+  std::printf("%s\n", std::string(14 + 12 * 5, '-').c_str());
+  printRow("average",
+           {"", fmtPct(SR / N, true), fmtPct(SW1 / N, true),
+            fmtPct(SW / N, true), fmtPct(SWE / N, true)},
+           14, 12);
+  std::printf(
+      "\n(paper averages: Ratchet +18.4%%, WARio +18.7%%, WARio+Expander "
+      "+32.9%%.)\n"
+      "The paper claim to check is WARio(N=1) vs Ratchet: removing "
+      "checkpoints costs no\ncode — each checkpoint site is a single "
+      "instruction. The full-WARio column is\ndominated by the N=8 "
+      "unrolling itself, which looms large here because these\n"
+      "benchmarks are tiny and loop-dominated (the paper's full MiBench "
+      "builds amortize\nunrolled loops over much more straight-line "
+      "code). See EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Battery-free sensor logger — the paper's motivating deployment class
+/// (battery-free environmental monitoring, Section 1).
+///
+/// A harvested-energy device samples a (synthetic) sensor, smooths the
+/// readings with an exponential moving average, and appends events above
+/// a threshold to a ring buffer in non-volatile memory. The device is
+/// driven by the bursty RF-harvester trace; the example shows that the
+/// log survives hundreds of power failures intact, and how much more of
+/// the harvested energy WARio leaves for useful work compared to the
+/// Ratchet baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "emu/Emulator.h"
+#include "frontend/Frontend.h"
+#include "ir/Interp.h"
+
+#include <cstdio>
+
+using namespace wario;
+
+namespace {
+
+const char *SensorProgram = R"(
+/* Battery-free sensor logger: sample -> filter -> threshold -> log.   */
+
+unsigned int rng = 0x5EA50117;
+unsigned int ewma = 0;          /* smoothed reading, Q8 fixed point */
+unsigned int log_ring[64];      /* event ring buffer in NVM         */
+unsigned int log_count = 0;
+unsigned int samples_taken = 0;
+
+/* Synthetic transducer: a noisy slow sine-ish source. */
+unsigned int read_sensor(void) {
+  rng ^= rng << 13;
+  rng ^= rng >> 17;
+  rng ^= rng << 5;
+  unsigned int phase = samples_taken & 255;
+  unsigned int wave = phase < 128 ? phase : 256 - phase;
+  return wave * 16 + (rng & 63);
+}
+
+int main(void) {
+  for (int i = 0; i < 4000; i++) {
+    unsigned int raw = read_sensor();
+    samples_taken++;
+    /* EWMA with alpha = 1/8 (Q8): classic WAR on 'ewma'. */
+    ewma = ewma - (ewma >> 3) + (raw << 5 >> 3);
+    /* Log threshold crossings. */
+    if ((ewma >> 8) > 96) {
+      log_ring[log_count & 63] = (samples_taken << 16) | (ewma >> 8);
+      log_count++;
+    }
+  }
+  return (int)((log_count << 16) | (ewma >> 8));
+}
+)";
+
+struct Outcome {
+  EmulatorResult Emu;
+  unsigned TextBytes;
+};
+
+Outcome runUnder(Environment Env, const PowerSchedule &Power) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = compileC(SensorProgram, "sensor", Diags);
+  if (!M) {
+    std::fprintf(stderr, "%s", Diags.formatAll().c_str());
+    std::exit(1);
+  }
+  PipelineOptions Opts;
+  Opts.Env = Env;
+  MModule Binary = compile(*M, Opts);
+  EmulatorOptions EOpts;
+  EOpts.Power = Power;
+  Outcome O{emulate(Binary, EOpts), Binary.textSizeBytes()};
+  if (!O.Emu.Ok) {
+    std::fprintf(stderr, "emulation failed (%s): %s\n",
+                 environmentName(Env), O.Emu.Error.c_str());
+    std::exit(1);
+  }
+  return O;
+}
+
+} // namespace
+
+int main() {
+  // Ground truth from the IR interpreter (continuous power).
+  int32_t Expected;
+  {
+    DiagnosticEngine Diags;
+    auto M = compileC(SensorProgram, "sensor", Diags);
+    InterpResult R = interpretModule(*M);
+    Expected = R.ReturnValue;
+  }
+  std::printf("sensor logger, 4000 samples; expected result %d "
+              "(events<<16 | last-ewma)\n\n",
+              Expected);
+
+  PowerSchedule Trace = harvesterTraceAlpha();
+  std::printf("%-10s %12s %12s %12s %10s %8s\n", "environment", "cycles",
+              "checkpoints", "pwr-fails", "result", "ok");
+  for (Environment Env :
+       {Environment::Ratchet, Environment::RPDG,
+        Environment::WarioComplete, Environment::WarioExpander}) {
+    Outcome O = runUnder(Env, Trace);
+    std::printf("%-10s %12llu %12llu %12u %10d %8s\n",
+                environmentName(Env),
+                static_cast<unsigned long long>(O.Emu.TotalCycles),
+                static_cast<unsigned long long>(O.Emu.CheckpointsExecuted),
+                O.Emu.PowerFailures, O.Emu.ReturnValue,
+                O.Emu.ReturnValue == Expected ? "yes" : "NO");
+  }
+
+  Outcome Ratchet = runUnder(Environment::Ratchet, Trace);
+  Outcome Wario = runUnder(Environment::WarioComplete, Trace);
+  double Saved = 100.0 *
+                 (double(Ratchet.Emu.TotalCycles) -
+                  double(Wario.Emu.TotalCycles)) /
+                 double(Ratchet.Emu.TotalCycles);
+  std::printf("\nWARio finishes the same deployment in %.1f%% fewer "
+              "harvested cycles than Ratchet:\nenergy that a real "
+              "battery-free node would spend on more samples instead "
+              "of checkpoints.\n",
+              Saved);
+  return 0;
+}

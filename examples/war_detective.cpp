@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// WAR detective: the emulator's violation monitor as a debugging tool.
+///
+/// Reproduces the paper's Figure 1 end to end. The unprotected build
+/// restarts from main() after every power failure, so its re-executed
+/// Write-After-Read increments keep mutating the non-volatile globals —
+/// the run never completes, and the NVM image shows values no correct
+/// execution could produce. The monitor pinpoints each corrupting write.
+/// The WARio build of the same program completes correctly under the
+/// same power schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "emu/Emulator.h"
+#include "frontend/Frontend.h"
+#include "ir/MemoryLayout.h"
+
+#include <cstdio>
+
+using namespace wario;
+
+namespace {
+
+// Figure 1's snippet, iterated: a and b start at 4 and 2 and are
+// incremented 500 times each.
+const char *Figure1 = R"(
+  unsigned int a = 4;
+  unsigned int b = 2;
+
+  int main(void) {
+    for (int i = 0; i < 500; i++) {
+      a = a + 1;   /* read a, write a: a WAR violation */
+      b = b + 1;   /* read b, write b: another         */
+    }
+    return (int)(a * 1000 + b);  /* expected 504*1000+502 */
+  }
+)";
+
+EmulatorResult runWith(Environment Env, uint64_t Period) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = compileC(Figure1, "fig1", Diags);
+  PipelineOptions Opts;
+  Opts.Env = Env;
+  MModule Binary = compile(*M, Opts);
+  EmulatorOptions EOpts;
+  EOpts.Power = PowerSchedule::fixed(Period);
+  EOpts.WarIsFatal = false;
+  EOpts.MaxStalledBoots = 8; // Give the unprotected build up a quickly.
+  return emulate(Binary, EOpts);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 1, live: the same program, unprotected vs WARio, "
+              "with power failing\nevery 4000 cycles.\n\n");
+
+  // The globals land at the bottom of the data segment: a first, b next.
+  const uint32_t AddrA = memmap::GlobalBase;
+  const uint32_t AddrB = memmap::GlobalBase + 4;
+
+  EmulatorResult Plain = runWith(Environment::PlainC, 4000);
+  std::printf("unprotected build:\n");
+  std::printf("  outcome: %s\n",
+              Plain.Ok ? "completed (unexpected!)"
+                       : "never completes - no checkpoint to resume from");
+  std::printf("  NVM now holds a=%u, b=%u (a legal execution never "
+              "exceeds 504 and 502)\n",
+              Plain.readWord(AddrA), Plain.readWord(AddrB));
+  std::printf("  monitor flagged %llu WAR violations; first:\n    %s\n\n",
+              static_cast<unsigned long long>(Plain.WarViolations),
+              Plain.WarReports.empty() ? "(none)"
+                                       : Plain.WarReports[0].c_str());
+
+  EmulatorResult Protected = runWith(Environment::WarioComplete, 4000);
+  std::printf("WARio build:\n");
+  std::printf("  result %d (expected %d) after %u power failures, "
+              "%llu WAR violations\n",
+              Protected.ReturnValue, 504 * 1000 + 502,
+              Protected.PowerFailures,
+              static_cast<unsigned long long>(Protected.WarViolations));
+  std::printf("  NVM holds a=%u, b=%u — exactly the values a continuous "
+              "run produces\n\n",
+              Protected.readWord(AddrA), Protected.readWord(AddrB));
+
+  bool Demo = !Plain.Ok && Plain.WarViolations > 0 && Protected.Ok &&
+              Protected.ReturnValue == 504 * 1000 + 502 &&
+              Protected.WarViolations == 0;
+  std::printf("%s\n", Demo ? "the monitor catches exactly the corruption "
+                             "the paper's Figure 1 describes."
+                           : "unexpected outcome; see numbers above.");
+  return Demo ? 0 : 1;
+}

@@ -1,0 +1,189 @@
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace wario;
+
+namespace {
+
+/// Neighbor accessor that hides the direction of the walk.
+std::vector<BasicBlock *> nexts(const BasicBlock *BB, bool Post) {
+  if (!Post)
+    return BB->successors();
+  return BB->predecessors();
+}
+std::vector<BasicBlock *> prevs(const BasicBlock *BB, bool Post) {
+  if (!Post)
+    return BB->predecessors();
+  return BB->successors();
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const Function &F, bool Post) : Post(Post) {
+  if (F.isDeclaration())
+    return;
+  F.ensureCFG();
+
+  // Collect roots: the entry block, or every exit block in post mode.
+  std::vector<BasicBlock *> Roots;
+  if (!Post) {
+    Roots.push_back(F.getEntryBlock());
+  } else {
+    for (BasicBlock *BB : const_cast<Function &>(F))
+      if (BB->successors().empty())
+        Roots.push_back(BB);
+  }
+
+  // Post-order DFS over the walk direction, then reverse.
+  std::unordered_map<const BasicBlock *, unsigned> State; // 0 new 1 open 2 done
+  std::vector<BasicBlock *> PostOrder;
+  std::function<void(BasicBlock *)> DFS = [&](BasicBlock *BB) {
+    State[BB] = 1;
+    for (BasicBlock *S : nexts(BB, Post))
+      if (State[S] == 0)
+        DFS(S);
+    State[BB] = 2;
+    PostOrder.push_back(BB);
+  };
+  for (BasicBlock *R : Roots)
+    if (State[R] == 0)
+      DFS(R);
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    Info[RPO[I]].RPONum = I;
+
+  // Cooper-Harvey-Kennedy iteration. Roots hang off a virtual super-root
+  // represented as nullptr, so climbing above a root yields nullptr and
+  // intersect() of nodes under different roots converges to the super-root.
+  std::unordered_map<const BasicBlock *, bool> Processed;
+  for (BasicBlock *R : Roots)
+    Processed[R] = true;
+
+  // Intersect two (possibly virtual) dominator-tree ancestors by climbing
+  // RPO numbers. nullptr is the virtual super-root and absorbs everything.
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) -> BasicBlock * {
+    while (A != B) {
+      if (!A || !B)
+        return nullptr;
+      while (A != B && Info[A].RPONum > Info[B].RPONum) {
+        A = Info[A].IDom;
+        if (!A)
+          return nullptr;
+      }
+      while (A != B && Info[B].RPONum > Info[A].RPONum) {
+        B = Info[B].IDom;
+        if (!B)
+          return nullptr;
+      }
+      if (A != B && Info[A].RPONum == Info[B].RPONum)
+        return nullptr; // Two distinct roots: meet at the super-root.
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (std::find(Roots.begin(), Roots.end(), BB) != Roots.end())
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      bool HaveFirst = false;
+      bool VirtualRooted = false;
+      for (BasicBlock *P : prevs(BB, Post)) {
+        if (!Info.count(P) || !Processed[P])
+          continue;
+        if (!HaveFirst) {
+          NewIDom = P;
+          HaveFirst = true;
+          continue;
+        }
+        NewIDom = Intersect(NewIDom, P);
+        if (!NewIDom) {
+          VirtualRooted = true;
+          break;
+        }
+      }
+      if (!HaveFirst)
+        continue; // No processed predecessor yet; try next iteration.
+      BasicBlock *Final = VirtualRooted ? nullptr : NewIDom;
+      if (!Processed[BB] || Info[BB].IDom != Final) {
+        Info[BB].IDom = Final;
+        Processed[BB] = true;
+        Changed = true;
+      }
+    }
+  }
+
+  // Drop nodes that were never processed (unreachable in walk direction).
+  for (auto It = Info.begin(); It != Info.end();) {
+    if (!Processed[It->first] &&
+        std::find(Roots.begin(), Roots.end(), It->first) == Roots.end())
+      It = Info.erase(It);
+    else
+      ++It;
+  }
+
+  // Assign DFS in/out numbers over the dominator tree for O(1) queries.
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Children;
+  std::vector<BasicBlock *> TreeRoots;
+  for (auto &[BB, N] : Info) {
+    if (N.IDom)
+      Children[N.IDom].push_back(const_cast<BasicBlock *>(BB));
+    else
+      TreeRoots.push_back(const_cast<BasicBlock *>(BB));
+  }
+  // Deterministic order.
+  auto ByRPO = [&](BasicBlock *A, BasicBlock *B) {
+    return Info[A].RPONum < Info[B].RPONum;
+  };
+  std::sort(TreeRoots.begin(), TreeRoots.end(), ByRPO);
+  for (auto &[BB, Kids] : Children)
+    std::sort(Kids.begin(), Kids.end(), ByRPO);
+
+  unsigned Clock = 1;
+  std::function<void(BasicBlock *)> Number = [&](BasicBlock *BB) {
+    Info[BB].In = Clock++;
+    for (BasicBlock *C : Children[BB])
+      Number(C);
+    Info[BB].Out = Clock++;
+  };
+  for (BasicBlock *R : TreeRoots)
+    Number(R);
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  auto AIt = Info.find(A), BIt = Info.find(B);
+  if (AIt == Info.end() || BIt == Info.end())
+    return false;
+  return AIt->second.In <= BIt->second.In &&
+         BIt->second.Out <= AIt->second.Out;
+}
+
+bool DominatorTree::dominates(const Instruction *A,
+                              const Instruction *B) const {
+  const BasicBlock *ABB = A->getParent(), *BBB = B->getParent();
+  assert(ABB && BBB && "dominance query on detached instructions");
+  if (ABB != BBB)
+    return dominates(ABB, BBB);
+  if (A == B)
+    return true;
+  // Same block: list order decides (reversed meaning for post-dominance).
+  for (const Instruction *I : *ABB) {
+    if (I == A)
+      return !Post;
+    if (I == B)
+      return Post;
+  }
+  assert(false && "instructions not found in their parent block");
+  return false;
+}
+
+BasicBlock *DominatorTree::getIDom(const BasicBlock *BB) const {
+  auto It = Info.find(BB);
+  return It == Info.end() ? nullptr : It->second.IDom;
+}

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection and the Loop abstraction consumed by the Loop
+/// Write Clusterer (WARio Algorithm 1) and the loop unroller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_ANALYSIS_LOOPINFO_H
+#define WARIO_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <memory>
+#include <unordered_set>
+
+namespace wario {
+
+/// One natural loop: header plus the blocks that can reach a latch without
+/// leaving through the header.
+class Loop {
+public:
+  BasicBlock *getHeader() const { return Header; }
+  Loop *getParent() const { return Parent; }
+  const std::vector<Loop *> &getSubLoops() const { return SubLoops; }
+  unsigned getDepth() const { return Depth; }
+
+  bool contains(const BasicBlock *BB) const { return Blocks.count(BB) != 0; }
+  bool contains(const Instruction *I) const {
+    return I->getParent() && contains(I->getParent());
+  }
+  const std::vector<BasicBlock *> &blocks() const { return BlockList; }
+
+  /// The unique in-loop predecessor of the header, or nullptr if the loop
+  /// has multiple latches.
+  BasicBlock *getLatch() const;
+
+  /// All latches (in-loop predecessors of the header).
+  std::vector<BasicBlock *> getLatches() const;
+
+  /// The unique out-of-loop predecessor of the header, or nullptr.
+  BasicBlock *getPreheader() const;
+
+  /// Edges leaving the loop, as (exiting block, outside successor) pairs.
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> getExitEdges() const;
+
+private:
+  friend class LoopInfo;
+
+  BasicBlock *Header = nullptr;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+  unsigned Depth = 1;
+  std::unordered_set<const BasicBlock *> Blocks;
+  std::vector<BasicBlock *> BlockList; // Deterministic order.
+};
+
+/// Finds all natural loops of a function.
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const DominatorTree &DT);
+
+  /// All loops, outermost first, in a deterministic order.
+  const std::vector<Loop *> &loops() const { return AllLoops; }
+
+  /// Innermost loop containing \p BB, or nullptr.
+  Loop *getLoopFor(const BasicBlock *BB) const {
+    auto It = BlockMap.find(BB);
+    return It == BlockMap.end() ? nullptr : It->second;
+  }
+
+  /// Loop nesting depth of \p BB (0 = not in any loop).
+  unsigned getLoopDepth(const BasicBlock *BB) const {
+    Loop *L = getLoopFor(BB);
+    return L ? L->getDepth() : 0;
+  }
+
+  /// True if the CFG edge From->To is a back edge of some natural loop.
+  bool isBackEdge(const BasicBlock *From, const BasicBlock *To) const {
+    return BackEdges.count({From, To}) != 0;
+  }
+
+private:
+  struct PairHash {
+    size_t operator()(
+        const std::pair<const BasicBlock *, const BasicBlock *> &P) const {
+      return std::hash<const void *>()(P.first) * 31 ^
+             std::hash<const void *>()(P.second);
+    }
+  };
+
+  std::vector<std::unique_ptr<Loop>> Storage;
+  std::vector<Loop *> AllLoops;
+  std::unordered_map<const BasicBlock *, Loop *> BlockMap;
+  std::unordered_set<std::pair<const BasicBlock *, const BasicBlock *>,
+                     PairHash>
+      BackEdges;
+};
+
+} // namespace wario
+
+#endif // WARIO_ANALYSIS_LOOPINFO_H

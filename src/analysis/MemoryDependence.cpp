@@ -1,0 +1,137 @@
+#include "analysis/MemoryDependence.h"
+
+using namespace wario;
+
+CFGReachability::CFGReachability(const Function &F, const LoopInfo &LI) {
+  unsigned N = 0;
+  for (const BasicBlock *BB : F)
+    Index[BB] = N++;
+  Full.assign(N, std::vector<bool>(N, false));
+  Forward.assign(N, std::vector<bool>(N, false));
+
+  // BFS from every block; N is small for embedded code.
+  for (const BasicBlock *Start : F) {
+    unsigned S = Index.at(Start);
+    for (int UseBackEdges = 0; UseBackEdges != 2; ++UseBackEdges) {
+      auto &Row = UseBackEdges ? Full[S] : Forward[S];
+      std::vector<const BasicBlock *> Work{Start};
+      while (!Work.empty()) {
+        const BasicBlock *BB = Work.back();
+        Work.pop_back();
+        for (const BasicBlock *Succ : BB->successors()) {
+          if (!UseBackEdges && LI.isBackEdge(BB, Succ))
+            continue;
+          unsigned T = Index.at(Succ);
+          if (Row[T])
+            continue;
+          Row[T] = true;
+          Work.push_back(Succ);
+        }
+      }
+    }
+  }
+}
+
+bool CFGReachability::reaches(const BasicBlock *From,
+                              const BasicBlock *To) const {
+  return Full[Index.at(From)][Index.at(To)];
+}
+
+bool CFGReachability::forwardReaches(const BasicBlock *From,
+                                     const BasicBlock *To) const {
+  return Forward[Index.at(From)][Index.at(To)];
+}
+
+MemoryDependence::MemoryDependence(const Function &F, const AliasAnalysis &AA,
+                                   const LoopInfo &LI)
+    : Reach(F, LI) {
+  // Collect memory accesses with their block positions, in program order.
+  struct Access {
+    Instruction *I;
+    const BasicBlock *BB;
+    unsigned Pos;
+  };
+  std::vector<Access> Accesses;
+  for (const BasicBlock *BB : F) {
+    unsigned Pos = 0;
+    for (Instruction *I : *BB) {
+      if (I->isMemoryAccess())
+        Accesses.push_back({I, BB, Pos});
+      ++Pos;
+    }
+  }
+
+  // X can execute and Y follow within the same iteration instance
+  // (no back edge on the path).
+  auto DirectFollow = [&](const Access &X, const Access &Y) {
+    if (X.BB == Y.BB)
+      return X.Pos < Y.Pos;
+    return Reach.forwardReaches(X.BB, Y.BB);
+  };
+  // X can execute and Y follow around at least one back edge. Both
+  // sitting in any common loop suffices for that to be realizable.
+  auto CarriedFollow = [&](const Access &X, const Access &Y) {
+    if (X.BB == Y.BB)
+      return Reach.onCycle(X.BB);
+    if (!Reach.reaches(X.BB, Y.BB))
+      return false;
+    Loop *LX = LI.getLoopFor(X.BB);
+    for (Loop *L = LX; L; L = L->getParent())
+      if (L->contains(Y.BB))
+        return true;
+    return !Reach.forwardReaches(X.BB, Y.BB); // Reachable only via cycle.
+  };
+
+  // A pair can produce *two* dependences: a direct one (same iteration
+  // instance: index expressions denote the same values) and a carried one
+  // (different iterations: cross-iteration aliasing). Both matter — e.g.
+  // `w[t] = f(w[t+3])` has no direct WAR (disjoint within an iteration)
+  // but a real carried WAR three iterations later.
+  for (const Access &A : Accesses) {
+    for (const Access &B : Accesses) {
+      if (A.I == B.I)
+        continue;
+      bool AIsLoad = A.I->getOpcode() == Opcode::Load;
+      bool BIsLoad = B.I->getOpcode() == Opcode::Load;
+      if (AIsLoad && BIsLoad)
+        continue;
+      DepKind Kind = AIsLoad   ? DepKind::WAR
+                     : BIsLoad ? DepKind::RAW
+                               : DepKind::WAW;
+      if (DirectFollow(A, B)) {
+        AliasResult AR = AA.alias(A.I, B.I, /*CrossIteration=*/false);
+        if (AR != AliasResult::NoAlias)
+          Deps.push_back({A.I, B.I, Kind, /*LoopCarried=*/false, AR});
+      }
+      if (CarriedFollow(A, B)) {
+        AliasResult AR = AA.alias(A.I, B.I, /*CrossIteration=*/true);
+        if (AR != AliasResult::NoAlias)
+          Deps.push_back({A.I, B.I, Kind, /*LoopCarried=*/true, AR});
+      }
+    }
+  }
+}
+
+std::vector<const MemDep *> MemoryDependence::wars() const {
+  std::vector<const MemDep *> Result;
+  for (const MemDep &D : Deps)
+    if (D.Kind == DepKind::WAR)
+      Result.push_back(&D);
+  return Result;
+}
+
+std::vector<const MemDep *> MemoryDependence::warsIn(const Loop &L) const {
+  std::vector<const MemDep *> Result;
+  for (const MemDep &D : Deps)
+    if (D.Kind == DepKind::WAR && L.contains(D.Src) && L.contains(D.Dst))
+      Result.push_back(&D);
+  return Result;
+}
+
+std::vector<const MemDep *> MemoryDependence::rawsIn(const Loop &L) const {
+  std::vector<const MemDep *> Result;
+  for (const MemDep &D : Deps)
+    if (D.Kind == DepKind::RAW && L.contains(D.Src) && L.contains(D.Dst))
+      Result.push_back(&D);
+  return Result;
+}

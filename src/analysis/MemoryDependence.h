@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory dependence analysis: the slice of a Program Dependence Graph the
+/// WARio passes consume. For every ordered pair of load/store instructions
+/// that can execute one after the other and may touch the same address, it
+/// records a WAR, RAW or WAW dependence, flagged as loop-carried when the
+/// later access is only reachable around a back edge.
+///
+/// Cross-function effects need no modeling here: every function entry and
+/// exit carries a forced checkpoint (as in Ratchet), so no idempotent
+/// region ever spans a call boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_ANALYSIS_MEMORYDEPENDENCE_H
+#define WARIO_ANALYSIS_MEMORYDEPENDENCE_H
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/LoopInfo.h"
+
+namespace wario {
+
+enum class DepKind { WAR, RAW, WAW };
+
+/// One memory dependence: Src can execute before Dst and the accesses may
+/// overlap.
+struct MemDep {
+  Instruction *Src;
+  Instruction *Dst;
+  DepKind Kind;
+  /// True when Dst is reachable from Src only via a loop back edge.
+  bool LoopCarried;
+  AliasResult Alias;
+};
+
+/// Block-level reachability over a function CFG, with and without back
+/// edges. Built once per function; O(blocks^2) bits.
+class CFGReachability {
+public:
+  CFGReachability(const Function &F, const LoopInfo &LI);
+
+  /// True if a path with at least one edge leads from \p From to \p To.
+  bool reaches(const BasicBlock *From, const BasicBlock *To) const;
+  /// Same, but using no loop back edges.
+  bool forwardReaches(const BasicBlock *From, const BasicBlock *To) const;
+  /// True if \p BB lies on a cycle.
+  bool onCycle(const BasicBlock *BB) const { return reaches(BB, BB); }
+
+private:
+  std::unordered_map<const BasicBlock *, unsigned> Index;
+  std::vector<std::vector<bool>> Full;    // [from][to]
+  std::vector<std::vector<bool>> Forward; // [from][to]
+};
+
+/// Computes all memory dependences of a function.
+class MemoryDependence {
+public:
+  MemoryDependence(const Function &F, const AliasAnalysis &AA,
+                   const LoopInfo &LI);
+
+  const std::vector<MemDep> &deps() const { return Deps; }
+
+  /// All WAR dependences (Src = the read, Dst = the write).
+  std::vector<const MemDep *> wars() const;
+
+  /// WAR dependences entirely inside loop \p L.
+  std::vector<const MemDep *> warsIn(const Loop &L) const;
+
+  /// RAW dependences entirely inside loop \p L (Src = write, Dst = read).
+  std::vector<const MemDep *> rawsIn(const Loop &L) const;
+
+  const CFGReachability &reachability() const { return Reach; }
+
+private:
+  CFGReachability Reach;
+  std::vector<MemDep> Deps;
+};
+
+} // namespace wario
+
+#endif // WARIO_ANALYSIS_MEMORYDEPENDENCE_H

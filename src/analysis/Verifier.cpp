@@ -1,0 +1,201 @@
+#include "analysis/Verifier.h"
+
+#include "analysis/Dominators.h"
+#include "ir/IRPrinter.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace wario;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Function &F) : F(F) {}
+
+  bool run() {
+    if (F.isDeclaration())
+      return true;
+    checkStructure();
+    if (Bad) // Dominance checks need a structurally sound CFG.
+      return false;
+    checkSSA();
+    return !Bad;
+  }
+
+  std::string errors() const { return OS.str(); }
+
+private:
+  void fail(const std::string &Msg) {
+    OS << "in @" << F.getName() << ": " << Msg << '\n';
+    Bad = true;
+  }
+  void failAt(const Instruction *I, const std::string &Msg) {
+    OS << "in @" << F.getName() << ", at '" << printInstruction(*I)
+       << "': " << Msg << '\n';
+    Bad = true;
+  }
+
+  void checkStructure() {
+    if (!F.getEntryBlock()->predecessors().empty())
+      fail("entry block has predecessors");
+
+    for (const BasicBlock *BB : F) {
+      if (!BB->getTerminator()) {
+        fail("block '" + BB->getName() + "' has no terminator");
+        continue;
+      }
+      bool SeenNonPhi = false;
+      for (const Instruction *I : *BB) {
+        if (I->isTerminator() && I != BB->back())
+          failAt(I, "terminator in the middle of a block");
+        if (I->getOpcode() == Opcode::Phi) {
+          if (SeenNonPhi)
+            failAt(I, "phi after a non-phi instruction");
+        } else {
+          SeenNonPhi = true;
+        }
+        checkInstruction(I);
+      }
+    }
+  }
+
+  void checkInstruction(const Instruction *I) {
+    auto RequireOps = [&](unsigned N) {
+      if (I->getNumOperands() != N)
+        failAt(I, "expected " + std::to_string(N) + " operands, has " +
+                      std::to_string(I->getNumOperands()));
+    };
+    switch (I->getOpcode()) {
+    case Opcode::Alloca:
+      RequireOps(0);
+      // Static frame layout (and single-execution semantics) require all
+      // allocas to sit in the entry block.
+      if (I->getParent() != F.getEntryBlock())
+        failAt(I, "alloca outside the entry block");
+      break;
+    case Opcode::Load:
+    case Opcode::Jmp:
+      if (I->getOpcode() == Opcode::Load)
+        RequireOps(1);
+      if (I->getOpcode() == Opcode::Jmp && I->getNumBlockOperands() != 1)
+        failAt(I, "jmp needs exactly one target");
+      break;
+    case Opcode::Store:
+      RequireOps(2);
+      break;
+    case Opcode::Gep:
+      if (I->getNumOperands() < 1 || I->getNumOperands() > 2)
+        failAt(I, "gep needs a base and at most one index");
+      break;
+    case Opcode::ICmp:
+      RequireOps(2);
+      break;
+    case Opcode::Select:
+      RequireOps(3);
+      break;
+    case Opcode::Call:
+      if (!I->getCallee())
+        failAt(I, "call without callee");
+      else if (I->getNumOperands() != I->getCallee()->getNumParams())
+        failAt(I, "call arity mismatch");
+      break;
+    case Opcode::Br:
+      RequireOps(1);
+      if (I->getNumBlockOperands() != 2)
+        failAt(I, "br needs exactly two targets");
+      break;
+    case Opcode::Ret:
+      if (F.returnsValue() && I->getNumOperands() != 1)
+        failAt(I, "ret must carry a value in a value-returning function");
+      if (!F.returnsValue() && I->getNumOperands() != 0)
+        failAt(I, "ret carries a value in a void function");
+      break;
+    case Opcode::Phi: {
+      if (I->getNumOperands() != I->getNumBlockOperands()) {
+        failAt(I, "phi value/block operand count mismatch");
+        break;
+      }
+      // Incoming blocks must be exactly the predecessors, each once.
+      std::vector<const BasicBlock *> Preds(
+          I->getParent()->predecessors().begin(),
+          I->getParent()->predecessors().end());
+      std::vector<const BasicBlock *> Incoming;
+      for (unsigned J = 0, E = I->getNumBlockOperands(); J != E; ++J)
+        Incoming.push_back(I->getBlockOperand(J));
+      std::sort(Preds.begin(), Preds.end());
+      std::sort(Incoming.begin(), Incoming.end());
+      if (Preds != Incoming)
+        failAt(I, "phi incoming blocks do not match predecessors");
+      break;
+    }
+    default:
+      if (I->isBinaryOp())
+        RequireOps(2);
+      break;
+    }
+
+    for (unsigned J = 0, E = I->getNumOperands(); J != E; ++J) {
+      const Value *Op = I->getOperand(J);
+      if (const auto *OpI = dyn_cast<Instruction>(Op)) {
+        if (!OpI->producesValue())
+          failAt(I, "operand does not produce a value");
+        if (!OpI->getParent())
+          failAt(I, "operand instruction is detached");
+      }
+      if (const auto *A = dyn_cast<Argument>(Op))
+        if (A->getParent() != &F)
+          failAt(I, "argument of a different function used as operand");
+    }
+  }
+
+  void checkSSA() {
+    DominatorTree DT(F);
+    for (const BasicBlock *BB : F) {
+      if (!DT.contains(BB))
+        continue; // Skip unreachable code.
+      for (const Instruction *I : *BB) {
+        for (unsigned J = 0, E = I->getNumOperands(); J != E; ++J) {
+          const auto *Def = dyn_cast<Instruction>(I->getOperand(J));
+          if (!Def || !DT.contains(Def->getParent()))
+            continue;
+          if (I->getOpcode() == Opcode::Phi) {
+            // The def must dominate the end of the incoming block.
+            const BasicBlock *In = I->getBlockOperand(J);
+            if (!DT.contains(In))
+              continue;
+            const Instruction *Term = In->getTerminator();
+            if (!DT.dominates(Def, Term))
+              failAt(I, "phi incoming value does not dominate incoming "
+                        "block terminator");
+          } else if (!DT.dominates(Def, I) || Def == I) {
+            failAt(I, "operand '" + printInstruction(*Def) +
+                          "' does not dominate use");
+          }
+        }
+      }
+    }
+  }
+
+  const Function &F;
+  std::ostringstream OS;
+  bool Bad = false;
+};
+
+} // namespace
+
+bool wario::verifyFunction(const Function &F, std::string *Errors) {
+  VerifierImpl V(F);
+  bool Ok = V.run();
+  if (!Ok && Errors)
+    *Errors += V.errors();
+  return Ok;
+}
+
+bool wario::verifyModule(const Module &M, std::string *Errors) {
+  bool Ok = true;
+  for (const auto &F : M.functions())
+    Ok &= verifyFunction(*F, Errors);
+  return Ok;
+}

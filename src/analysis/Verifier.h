@@ -1,0 +1,27 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR verifier: structural and SSA-dominance well-formedness checks, run
+/// between passes in tests and debug pipelines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_ANALYSIS_VERIFIER_H
+#define WARIO_ANALYSIS_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace wario {
+
+/// Verifies one function. Returns true if well-formed; otherwise false,
+/// appending human-readable problems to \p Errors (if non-null).
+bool verifyFunction(const Function &F, std::string *Errors = nullptr);
+
+/// Verifies every function of a module.
+bool verifyModule(const Module &M, std::string *Errors = nullptr);
+
+} // namespace wario
+
+#endif // WARIO_ANALYSIS_VERIFIER_H

@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Back-end driver: IR module -> allocated, frame-lowered, WAR-protected
+/// machine module ready for the emulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_BACKEND_BACKEND_H
+#define WARIO_BACKEND_BACKEND_H
+
+#include "backend/RegAlloc.h"
+#include "backend/SpillCheckpoint.h"
+
+namespace wario {
+
+struct BackendOptions {
+  /// False builds the uninstrumented reference binary (plain C).
+  bool InsertCheckpoints = true;
+  /// Paper contribution #3 (single masked exit checkpoint).
+  bool EpilogOptimizer = false;
+  /// Paper contribution #2 (hitting-set spill checkpoints); false uses
+  /// Ratchet's checkpoint-per-spill-write.
+  bool HittingSetSpill = true;
+  /// Legacy slot reuse (Ratchet); WARio forces -no-stack-slot-sharing.
+  bool StackSlotSharing = false;
+};
+
+struct BackendStats {
+  unsigned VRegs = 0;
+  unsigned Spilled = 0;
+  unsigned SpillSlots = 0;
+  unsigned SpillWars = 0;
+  unsigned SpillCheckpoints = 0;
+};
+
+/// Lowers \p M through instruction selection, register allocation, frame
+/// lowering, and back-end WAR protection.
+MModule runBackend(const Module &M, const BackendOptions &Opts,
+                   BackendStats *Stats = nullptr);
+
+} // namespace wario
+
+#endif // WARIO_BACKEND_BACKEND_H

@@ -1,0 +1,152 @@
+#include "backend/Frame.h"
+
+#include <bit>
+
+using namespace wario;
+
+namespace {
+
+MInst makeCheckpoint(CheckpointCause Cause) {
+  MInst I;
+  I.Op = MOp::Checkpoint;
+  I.Cause = Cause;
+  return I;
+}
+
+MInst makeSpAdjust(int64_t Imm) {
+  MInst I;
+  I.Op = MOp::SpAdjust;
+  I.Imm = Imm;
+  return I;
+}
+
+} // namespace
+
+void wario::lowerFrame(MFunction &F, const FrameOptions &Opts) {
+  assert(F.PostRA && !F.FrameLowered && "frame lowering order violated");
+
+  // --- Slot layout: spills first, then allocas, from the post-prologue SP.
+  uint32_t SpillArea = 0, AllocaArea = 0;
+  for (const FrameSlot &S : F.Slots)
+    (S.SlotKind == FrameSlot::Kind::Spill ? SpillArea : AllocaArea) +=
+        S.SizeBytes;
+  uint32_t SpillCursor = 0, AllocaCursor = SpillArea;
+  for (FrameSlot &S : F.Slots) {
+    if (S.SlotKind == FrameSlot::Kind::Spill) {
+      S.Offset = int32_t(SpillCursor);
+      SpillCursor += S.SizeBytes;
+    } else {
+      S.Offset = int32_t(AllocaCursor);
+      AllocaCursor += S.SizeBytes;
+    }
+  }
+  F.FrameSize = SpillArea + AllocaArea;
+
+  // --- Saved registers: callee-saved in use, plus lr when we call out.
+  bool HasCalls = F.countOpcode(MOp::Bl) != 0;
+  uint16_t PushMask = F.SavedRegMask;
+  if (HasCalls)
+    PushMask |= uint16_t(1u << LR);
+
+  // --- Prologue (entry block front).
+  {
+    std::vector<MInst> Pro;
+    if (Opts.InsertCheckpoints)
+      Pro.push_back(makeCheckpoint(CheckpointCause::FunctionEntry));
+    if (PushMask) {
+      MInst Push;
+      Push.Op = MOp::Push;
+      Push.RegList = PushMask;
+      Pro.push_back(Push);
+    }
+    if (F.FrameSize)
+      Pro.push_back(makeSpAdjust(-int64_t(F.FrameSize)));
+    auto &Entry = F.Blocks[0].Insts;
+    Entry.insert(Entry.begin(), Pro.begin(), Pro.end());
+  }
+
+  // --- Epilogs: rewrite every Ret.
+  for (MBasicBlock &BB : F.Blocks) {
+    std::vector<MInst> Out;
+    for (MInst I : BB.Insts) {
+      if (I.Op != MOp::Ret) {
+        Out.push_back(std::move(I));
+        continue;
+      }
+      if (!Opts.InsertCheckpoints) {
+        // Uninstrumented build: release the stack and return.
+        if (F.FrameSize)
+          Out.push_back(makeSpAdjust(F.FrameSize));
+        if (PushMask) {
+          MInst Loads;
+          Loads.Op = MOp::PopLoads;
+          Loads.RegList = PushMask;
+          Out.push_back(Loads);
+          Out.push_back(
+              makeSpAdjust(4 * std::popcount(unsigned(PushMask))));
+        }
+        Out.push_back(I);
+        continue;
+      }
+      if (F.FrameSize == 0 && PushMask == 0) {
+        // Stack-free leaf: no pops to convert, but the exit checkpoint is
+        // still mandatory — it closes the region containing this
+        // function's reads, so a caller's write after the return cannot
+        // complete a WAR with them. (Dropping it is unsound: the
+        // middle-end analysis is intraprocedural and counts every call
+        // as a full region cut.)
+        Out.push_back(makeCheckpoint(CheckpointCause::FunctionExit));
+        Out.push_back(I);
+        continue;
+      }
+      if (!Opts.EpilogOptimizer) {
+        // Basic epilog: checkpoint before every SP-raising step.
+        if (SpillArea) {
+          Out.push_back(makeCheckpoint(CheckpointCause::FunctionExit));
+          Out.push_back(makeSpAdjust(SpillArea));
+        }
+        if (AllocaArea) {
+          Out.push_back(makeCheckpoint(CheckpointCause::FunctionExit));
+          Out.push_back(makeSpAdjust(AllocaArea));
+        }
+        if (PushMask) {
+          MInst Loads;
+          Loads.Op = MOp::PopLoads;
+          Loads.RegList = PushMask;
+          Out.push_back(Loads);
+          // Idempotent pop conversion: loads, checkpoint, then adjust.
+          Out.push_back(makeCheckpoint(CheckpointCause::FunctionExit));
+          Out.push_back(
+              makeSpAdjust(4 * std::popcount(unsigned(PushMask))));
+        }
+        Out.push_back(I);
+        continue;
+      }
+      // Optimized epilog: interrupts held, all reads done, one
+      // checkpoint, then the (now write-free) stack release.
+      MInst Mask;
+      Mask.Op = MOp::IntMask;
+      Out.push_back(Mask);
+      if (F.FrameSize)
+        Out.push_back(makeSpAdjust(F.FrameSize));
+      int64_t PopBytes = 0;
+      if (PushMask) {
+        MInst Loads;
+        Loads.Op = MOp::PopLoads;
+        Loads.RegList = PushMask;
+        Out.push_back(Loads);
+        PopBytes = 4 * std::popcount(unsigned(PushMask));
+      }
+      Out.push_back(makeCheckpoint(CheckpointCause::FunctionExit));
+      if (PopBytes)
+        Out.push_back(makeSpAdjust(PopBytes));
+      MInst Unmask;
+      Unmask.Op = MOp::IntUnmask;
+      Out.push_back(Unmask);
+      Out.push_back(I);
+    }
+    BB.Insts = std::move(Out);
+  }
+
+  F.FrameLowered = true;
+}

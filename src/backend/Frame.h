@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frame lowering: prologue/epilog generation, idempotent stack pop
+/// conversion, and the epilog optimizer (paper Section 3.1.3).
+///
+/// Conventions of the modeled intermittent-safe ABI:
+///  - Every function starts with a FunctionEntry checkpoint. It guards the
+///    prologue's pushes (writes to stack addresses whose last reads — a
+///    previous frame's pops — happened in an earlier region) and makes
+///    every call a region cut, which the middle-end WAR analysis assumes.
+///  - A pop is converted into loads + checkpoint + SP adjustment (Ratchet
+///    Section 4.1): after the adjustment, the freed bytes have only been
+///    read *before* a checkpoint, so a later (interrupt or prologue) push
+///    cannot complete a WAR.
+///  - Basic epilogs checkpoint before every SP-raising step: spill-area
+///    release, alloca-area release, and the final pop — up to three
+///    FunctionExit checkpoints, matching the paper's Thumb-2 observation.
+///  - The optimized epilog masks interrupts, performs all loads, places
+///    one checkpoint, releases the stack, and unmasks — a single
+///    FunctionExit checkpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_BACKEND_FRAME_H
+#define WARIO_BACKEND_FRAME_H
+
+#include "backend/MIR.h"
+
+namespace wario {
+
+struct FrameOptions {
+  /// Apply the Epilog Optimizer (one exit checkpoint instead of up to 3).
+  bool EpilogOptimizer = false;
+  /// Emit checkpoints at all (false for the uninstrumented-C build).
+  bool InsertCheckpoints = true;
+};
+
+/// Lowers the frame of \p F in place (must be PostRA). Sets FrameLowered
+/// and fills in slot offsets and FrameSize.
+void lowerFrame(MFunction &F, const FrameOptions &Opts);
+
+} // namespace wario
+
+#endif // WARIO_BACKEND_FRAME_H

@@ -1,0 +1,374 @@
+#include "backend/ISel.h"
+
+#include <unordered_map>
+
+using namespace wario;
+
+namespace {
+
+class Selector {
+public:
+  explicit Selector(const Function &F) : F(F) {}
+
+  MFunction run() {
+    MF.Name = F.getName();
+
+    // Block numbering.
+    int Idx = 0;
+    for (const BasicBlock *BB : F) {
+      BlockIndex[BB] = Idx++;
+      MF.Blocks.push_back({BB->getName(), {}});
+    }
+
+    // Argument pseudos at entry.
+    assert(F.getNumParams() <= MaxRegArgs &&
+           "register-only calling convention supports at most 4 args");
+    Cur = &MF.Blocks[0];
+    for (unsigned I = 0; I != F.getNumParams(); ++I) {
+      MInst MI;
+      MI.Op = MOp::ArgGet;
+      MI.Dst = vregFor(F.getArg(I));
+      MI.Imm = I;
+      emit(MI);
+    }
+
+    // Pre-assign a result vreg and a staging vreg to every phi.
+    for (const BasicBlock *BB : F)
+      for (const Instruction *I : *BB) {
+        if (I->getOpcode() != Opcode::Phi)
+          break;
+        PhiTmp[I] = newVReg();
+        (void)vregFor(I);
+      }
+
+    for (const BasicBlock *BB : F)
+      lowerBlock(BB);
+
+    MF.NumVRegs = NextVReg;
+    return std::move(MF);
+  }
+
+private:
+  int newVReg() { return NextVReg++; }
+
+  /// The vreg holding an instruction or argument value.
+  int vregFor(const Value *V) {
+    auto It = ValueReg.find(V);
+    if (It != ValueReg.end())
+      return It->second;
+    int R = newVReg();
+    ValueReg[V] = R;
+    return R;
+  }
+
+  void emit(MInst MI) { Cur->Insts.push_back(std::move(MI)); }
+
+  /// Materializes any IR value into a vreg at the current point.
+  /// Constants and global addresses are rematerialized per use (with a
+  /// tiny per-block cache).
+  int useOf(const Value *V) {
+    if (const auto *C = dyn_cast<Constant>(V)) {
+      auto Key = std::make_pair(Cur, int64_t(C->getValue()));
+      auto It = ConstCache.find(Key);
+      if (It != ConstCache.end())
+        return It->second;
+      MInst MI;
+      MI.Op = MOp::MovImm;
+      MI.Dst = newVReg();
+      MI.Imm = uint32_t(C->getValue());
+      emit(MI);
+      ConstCache[Key] = MI.Dst;
+      return MI.Dst;
+    }
+    if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+      auto Key = std::make_pair(Cur, G);
+      auto It = GlobalCache.find(Key);
+      if (It != GlobalCache.end())
+        return It->second;
+      MInst MI;
+      MI.Op = MOp::MovGlobal;
+      MI.Dst = newVReg();
+      MI.Global = G;
+      emit(MI);
+      GlobalCache[Key] = MI.Dst;
+      return MI.Dst;
+    }
+    return vregFor(V);
+  }
+
+  void emitBinary(MOp Op, int Dst, int A, int B) {
+    MInst MI;
+    MI.Op = Op;
+    MI.Dst = Dst;
+    MI.Src[0] = A;
+    MI.Src[1] = B;
+    emit(MI);
+  }
+
+  /// Remainder expands to div + mul + sub (Cortex-M has no remainder).
+  void lowerRem(const Instruction *I, bool IsSigned) {
+    int A = useOf(I->getOperand(0));
+    int B = useOf(I->getOperand(1));
+    int Q = newVReg(), P = newVReg();
+    emitBinary(IsSigned ? MOp::SDiv : MOp::UDiv, Q, A, B);
+    emitBinary(MOp::Mul, P, Q, B);
+    emitBinary(MOp::Sub, vregFor(I), A, P);
+  }
+
+  void lowerGep(const Instruction *I) {
+    int Addr = useOf(I->getGepBase());
+    if (const Value *Index = I->getGepIndex()) {
+      int Idx = useOf(Index);
+      int32_t Scale = I->getGepScale();
+      int Scaled;
+      if (Scale == 1) {
+        Scaled = Idx;
+      } else if ((Scale & (Scale - 1)) == 0 && Scale > 0) {
+        // Power of two: shift.
+        MInst Sh;
+        Sh.Op = MOp::MovImm;
+        Sh.Dst = newVReg();
+        int32_t Log = 0;
+        for (int32_t S = Scale; S > 1; S >>= 1)
+          ++Log;
+        Sh.Imm = Log;
+        emit(Sh);
+        Scaled = newVReg();
+        emitBinary(MOp::Lsl, Scaled, Idx, Sh.Dst);
+      } else {
+        MInst MI;
+        MI.Op = MOp::MovImm;
+        MI.Dst = newVReg();
+        MI.Imm = Scale;
+        emit(MI);
+        Scaled = newVReg();
+        emitBinary(MOp::Mul, Scaled, Idx, MI.Dst);
+      }
+      int Sum = newVReg();
+      emitBinary(MOp::Add, Sum, Addr, Scaled);
+      Addr = Sum;
+    }
+    // The result must land in the gep's pre-assignable vreg: uses in other
+    // blocks may already have been lowered against it.
+    int Dst = vregFor(I);
+    if (I->getGepOffset() != 0) {
+      MInst MI;
+      MI.Op = MOp::AddImm;
+      MI.Dst = Dst;
+      MI.Src[0] = Addr;
+      MI.Imm = I->getGepOffset();
+      emit(MI);
+    } else {
+      MInst MI;
+      MI.Op = MOp::Mov;
+      MI.Dst = Dst;
+      MI.Src[0] = Addr;
+      emit(MI);
+    }
+  }
+
+  /// Emits the phi staging copies for every successor of \p BB, then the
+  /// terminator itself.
+  void lowerTerminator(const BasicBlock *BB, const Instruction *T) {
+    for (unsigned S = 0, E = T->getNumBlockOperands(); S != E; ++S) {
+      const BasicBlock *Succ = T->getBlockOperand(S);
+      for (const Instruction *Phi : Succ->phis()) {
+        const Value *In = Phi->getPhiIncomingFor(BB);
+        MInst MI;
+        MI.Op = MOp::Mov;
+        MI.Dst = PhiTmp.at(Phi);
+        MI.Src[0] = useOf(In);
+        emit(MI);
+      }
+    }
+    switch (T->getOpcode()) {
+    case Opcode::Jmp: {
+      MInst MI;
+      MI.Op = MOp::B;
+      MI.Target[0] = BlockIndex.at(T->getBlockOperand(0));
+      emit(MI);
+      break;
+    }
+    case Opcode::Br: {
+      MInst MI;
+      MI.Op = MOp::CBr;
+      MI.Src[0] = useOf(T->getOperand(0));
+      MI.Target[0] = BlockIndex.at(T->getBlockOperand(0));
+      MI.Target[1] = BlockIndex.at(T->getBlockOperand(1));
+      emit(MI);
+      break;
+    }
+    case Opcode::Ret: {
+      MInst MI;
+      MI.Op = MOp::Ret;
+      if (T->getNumOperands() > 0)
+        MI.Src[0] = useOf(T->getOperand(0));
+      emit(MI);
+      break;
+    }
+    default:
+      assert(false && "unknown terminator");
+    }
+  }
+
+  void lowerBlock(const BasicBlock *BB) {
+    Cur = &MF.Blocks[BlockIndex.at(BB)];
+    for (const Instruction *I : *BB) {
+      if (I->isTerminator()) {
+        lowerTerminator(BB, I);
+        continue;
+      }
+      switch (I->getOpcode()) {
+      case Opcode::Phi: {
+        MInst MI;
+        MI.Op = MOp::Mov;
+        MI.Dst = vregFor(I);
+        MI.Src[0] = PhiTmp.at(I);
+        emit(MI);
+        break;
+      }
+      case Opcode::Alloca: {
+        int Slot = int(MF.Slots.size());
+        MF.Slots.push_back({FrameSlot::Kind::Alloca,
+                            (I->getAllocaSize() + 3u) & ~3u, -1});
+        MInst MI;
+        MI.Op = MOp::FrameAddr;
+        MI.Dst = vregFor(I);
+        MI.Slot = Slot;
+        emit(MI);
+        break;
+      }
+      case Opcode::Load: {
+        MInst MI;
+        MI.Op = MOp::Ldr;
+        MI.Dst = vregFor(I);
+        MI.Src[0] = useOf(I->getOperand(0));
+        MI.Size = I->getAccessSize();
+        MI.Signed = I->isSignedLoad();
+        emit(MI);
+        break;
+      }
+      case Opcode::Store: {
+        MInst MI;
+        MI.Op = MOp::Str;
+        MI.Src[0] = useOf(I->getOperand(0));
+        MI.Src[1] = useOf(I->getOperand(1));
+        MI.Size = I->getAccessSize();
+        emit(MI);
+        break;
+      }
+      case Opcode::Gep:
+        lowerGep(I);
+        break;
+      case Opcode::ICmp: {
+        MInst MI;
+        MI.Op = MOp::SetCond;
+        MI.Dst = vregFor(I);
+        MI.Src[0] = useOf(I->getOperand(0));
+        MI.Src[1] = useOf(I->getOperand(1));
+        MI.Pred = I->getPredicate();
+        emit(MI);
+        break;
+      }
+      case Opcode::Select: {
+        MInst MI;
+        MI.Op = MOp::SelectR;
+        MI.Dst = vregFor(I);
+        MI.Src[0] = useOf(I->getOperand(0));
+        MI.Src[1] = useOf(I->getOperand(1));
+        MI.Src[2] = useOf(I->getOperand(2));
+        emit(MI);
+        break;
+      }
+      case Opcode::Call: {
+        MInst MI;
+        MI.Op = MOp::CallPseudo;
+        MI.Callee = I->getCallee();
+        assert(I->getNumOperands() <= MaxRegArgs &&
+               "register-only calling convention supports at most 4 args");
+        for (unsigned J = 0, E = I->getNumOperands(); J != E; ++J)
+          MI.CallArgs.push_back(useOf(I->getOperand(J)));
+        if (I->producesValue())
+          MI.Dst = vregFor(I);
+        emit(MI);
+        break;
+      }
+      case Opcode::Out: {
+        MInst MI;
+        MI.Op = MOp::Out;
+        MI.Src[0] = useOf(I->getOperand(0));
+        emit(MI);
+        break;
+      }
+      case Opcode::Checkpoint: {
+        MInst MI;
+        MI.Op = MOp::Checkpoint;
+        MI.Cause = I->getCheckpointCause();
+        emit(MI);
+        break;
+      }
+      case Opcode::URem:
+        lowerRem(I, false);
+        break;
+      case Opcode::SRem:
+        lowerRem(I, true);
+        break;
+      default: {
+        assert(I->isBinaryOp() && "unhandled opcode in ISel");
+        static const std::unordered_map<Opcode, MOp> BinMap = {
+            {Opcode::Add, MOp::Add},   {Opcode::Sub, MOp::Sub},
+            {Opcode::Mul, MOp::Mul},   {Opcode::UDiv, MOp::UDiv},
+            {Opcode::SDiv, MOp::SDiv}, {Opcode::And, MOp::And},
+            {Opcode::Or, MOp::Orr},    {Opcode::Xor, MOp::Eor},
+            {Opcode::Shl, MOp::Lsl},   {Opcode::LShr, MOp::Lsr},
+            {Opcode::AShr, MOp::Asr},
+        };
+        int A = useOf(I->getOperand(0));
+        int B = useOf(I->getOperand(1));
+        emitBinary(BinMap.at(I->getOpcode()), vregFor(I), A, B);
+        break;
+      }
+      }
+    }
+  }
+
+  struct PairHash {
+    template <typename A, typename B>
+    size_t operator()(const std::pair<A, B> &P) const {
+      return std::hash<const void *>()(
+                 reinterpret_cast<const void *>(P.first)) *
+                 31 ^
+             std::hash<B>()(P.second);
+    }
+  };
+
+  const Function &F;
+  MFunction MF;
+  MBasicBlock *Cur = nullptr;
+  int NextVReg = 0;
+  std::unordered_map<const BasicBlock *, int> BlockIndex;
+  std::unordered_map<const Value *, int> ValueReg;
+  std::unordered_map<const Instruction *, int> PhiTmp;
+  std::unordered_map<std::pair<MBasicBlock *, int64_t>, int, PairHash>
+      ConstCache;
+  std::unordered_map<std::pair<MBasicBlock *, const GlobalVariable *>, int,
+                     PairHash>
+      GlobalCache;
+};
+
+} // namespace
+
+MFunction wario::selectInstructions(const Function &F) {
+  assert(!F.isDeclaration() && "cannot select a declaration");
+  Selector S(F);
+  return S.run();
+}
+
+MModule wario::selectModule(const Module &M) {
+  MModule MM;
+  MM.Name = M.getName();
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      MM.Functions.push_back(selectInstructions(*F));
+  return MM;
+}

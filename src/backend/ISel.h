@@ -1,0 +1,34 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction selection: WARio IR -> virtual-register machine IR.
+///
+/// Phi nodes are lowered with the classic two-stage copy scheme (a fresh
+/// temporary per phi, written in every predecessor and read at the block
+/// head), which is immune to the swap/lost-copy problems without critical
+/// edge splitting. Calls and argument reads stay pseudo instructions until
+/// after register allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_BACKEND_ISEL_H
+#define WARIO_BACKEND_ISEL_H
+
+#include "backend/MIR.h"
+
+namespace wario {
+
+/// Maximum arguments passed in registers (r0-r3). The front end rejects
+/// functions with more parameters.
+inline constexpr unsigned MaxRegArgs = 4;
+
+/// Lowers one IR function (which must be phi-grouped, verified IR) to
+/// pre-RA machine IR.
+MFunction selectInstructions(const Function &F);
+
+/// Lowers a whole module.
+MModule selectModule(const Module &M);
+
+} // namespace wario
+
+#endif // WARIO_BACKEND_ISEL_H

@@ -1,0 +1,64 @@
+#include "backend/MachineCFG.h"
+
+#include <vector>
+
+using namespace wario;
+
+/// Machine-loop depth per block: back edges found via dominators computed
+/// with a dense iterative bitset algorithm (block counts are small).
+std::vector<unsigned> wario::computeMachineLoopDepth(const MFunction &F) {
+  unsigned N = unsigned(F.Blocks.size());
+  std::vector<std::vector<int>> Preds(N);
+  for (unsigned B = 0; B != N; ++B)
+    for (int S : F.successors(int(B)))
+      Preds[S].push_back(int(B));
+
+  // Dom[b] = bitset of blocks dominating b.
+  std::vector<std::vector<bool>> Dom(N, std::vector<bool>(N, true));
+  Dom[0].assign(N, false);
+  Dom[0][0] = true;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = 1; B != N; ++B) {
+      std::vector<bool> New(N, true);
+      if (Preds[B].empty())
+        New.assign(N, false); // Unreachable.
+      for (int P : Preds[B])
+        for (unsigned K = 0; K != N; ++K)
+          New[K] = New[K] && Dom[P][K];
+      New[B] = true;
+      if (New != Dom[B]) {
+        Dom[B] = std::move(New);
+        Changed = true;
+      }
+    }
+  }
+
+  // Natural loop bodies per back edge; depth = number of enclosing loops.
+  std::vector<unsigned> Depth(N, 0);
+  for (unsigned U = 0; U != N; ++U) {
+    for (int H : F.successors(int(U))) {
+      if (!Dom[U][H])
+        continue; // Not a back edge.
+      // Collect the natural loop of U -> H.
+      std::vector<bool> InLoop(N, false);
+      InLoop[H] = true;
+      std::vector<int> Work{int(U)};
+      while (!Work.empty()) {
+        int B = Work.back();
+        Work.pop_back();
+        if (InLoop[B])
+          continue;
+        InLoop[B] = true;
+        for (int P : Preds[B])
+          Work.push_back(P);
+      }
+      for (unsigned B = 0; B != N; ++B)
+        if (InLoop[B])
+          ++Depth[B];
+    }
+  }
+  return Depth;
+}
+

@@ -1,0 +1,23 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small machine-CFG analyses shared by the register allocator and the
+/// spill checkpoint inserter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_BACKEND_MACHINECFG_H
+#define WARIO_BACKEND_MACHINECFG_H
+
+#include "backend/MIR.h"
+
+namespace wario {
+
+/// Natural-loop nesting depth per block (0 = outside any loop), computed
+/// from dominator-identified back edges with a dense iterative algorithm
+/// (machine functions are small).
+std::vector<unsigned> computeMachineLoopDepth(const MFunction &F);
+
+} // namespace wario
+
+#endif // WARIO_BACKEND_MACHINECFG_H

@@ -1,0 +1,591 @@
+#include "backend/RegAlloc.h"
+
+#include "backend/MachineCFG.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace wario;
+
+namespace {
+
+/// Spilled operands of call pseudos are encoded as -2 - slot until
+/// expansion (they cannot use the generic scratch-reload path: four
+/// arguments would exceed the scratch pool).
+int encodeSlot(int Slot) { return -2 - Slot; }
+bool isEncodedSlot(int V) { return V <= -2; }
+int decodeSlot(int V) { return -2 - V; }
+
+struct UseDef {
+  std::vector<int> Uses;
+  int Def = -1;
+};
+
+UseDef collectUseDef(const MInst &I) {
+  UseDef UD;
+  for (int S : I.Src)
+    if (S >= 0)
+      UD.Uses.push_back(S);
+  for (int A : I.CallArgs)
+    UD.Uses.push_back(A);
+  if (I.Dst >= 0)
+    UD.Def = I.Dst;
+  return UD;
+}
+
+struct Interval {
+  int VReg = -1;
+  int Start = INT32_MAX;
+  int End = -1;
+  bool CrossesCall = false;
+  int Reg = -1;  // Assigned PReg, or -1.
+  int Slot = -1; // Spill slot, or -1.
+  // Rematerialization: a vreg defined once by a constant-producing
+  // instruction is recomputed at each use instead of living in a slot.
+  bool Remat = false;
+  bool Evicted = false;
+  double Weight = 0.0; // Loop-depth-weighted use density (spill cost).
+  MOp RematOp = MOp::Nop;
+  int64_t RematImm = 0;
+  const GlobalVariable *RematGlobal = nullptr;
+
+  bool spilled() const { return Evicted; }
+};
+
+/// Call-pseudo encoding for remat operands: -1000000 - vreg.
+int encodeRemat(int VReg) { return -1000000 - VReg; }
+bool isEncodedRemat(int V) { return V <= -1000000; }
+int decodeRemat(int V) { return -1000000 - V; }
+
+} // namespace
+
+namespace {
+
+/// One allocation attempt with \p NumRegs allocatable registers (the
+/// rest of r10-r12 serve as spill scratch). Returns false when rewrite
+/// would need more scratch registers than are reserved — the caller
+/// retries with a smaller allocatable pool.
+bool allocateOnce(MFunction &F, const RegAllocOptions &Opts,
+                  unsigned NumRegs, RegAllocStats &Stats) {
+  unsigned NumScratch = 13 - NumRegs;
+  const PReg Scratch[3] = {PReg(R0 + NumRegs), PReg(R0 + NumRegs + 1),
+                           R12};
+  Stats = RegAllocStats();
+  Stats.VRegs = F.NumVRegs;
+  unsigned NV = F.NumVRegs;
+
+  // --- Linearization -------------------------------------------------------
+  std::vector<int> BlockFirst(F.Blocks.size()), BlockLast(F.Blocks.size());
+  int Pos = 0;
+  std::vector<const MInst *> ByPos;
+  for (unsigned B = 0; B != F.Blocks.size(); ++B) {
+    BlockFirst[B] = Pos;
+    for (const MInst &I : F.Blocks[B].Insts) {
+      ByPos.push_back(&I);
+      ++Pos;
+    }
+    BlockLast[B] = Pos - 1;
+  }
+
+  // --- Block-level liveness --------------------------------------------------
+  std::vector<std::set<int>> Use(F.Blocks.size()), Def(F.Blocks.size());
+  for (unsigned B = 0; B != F.Blocks.size(); ++B) {
+    for (const MInst &I : F.Blocks[B].Insts) {
+      UseDef UD = collectUseDef(I);
+      for (int U : UD.Uses)
+        if (!Def[B].count(U))
+          Use[B].insert(U);
+      if (UD.Def >= 0)
+        Def[B].insert(UD.Def);
+    }
+  }
+  std::vector<std::set<int>> LiveIn(F.Blocks.size()),
+      LiveOut(F.Blocks.size());
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B = int(F.Blocks.size()) - 1; B >= 0; --B) {
+      std::set<int> Out;
+      for (int S : F.successors(B))
+        Out.insert(LiveIn[S].begin(), LiveIn[S].end());
+      std::set<int> In = Use[B];
+      for (int V : Out)
+        if (!Def[B].count(V))
+          In.insert(V);
+      if (Out != LiveOut[B] || In != LiveIn[B]) {
+        LiveOut[B] = std::move(Out);
+        LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+
+  // --- Intervals ---------------------------------------------------------------
+  std::vector<unsigned> LoopDepth = computeMachineLoopDepth(F);
+  std::vector<Interval> Ivs(NV);
+  for (unsigned V = 0; V != NV; ++V)
+    Ivs[V].VReg = int(V);
+  Pos = 0;
+  std::vector<int> CallPositions;
+  for (unsigned B = 0; B != F.Blocks.size(); ++B) {
+    double BlockWeight = 1.0;
+    for (unsigned D = 0; D != std::min(LoopDepth[B], 6u); ++D)
+      BlockWeight *= 8.0;
+    for (const MInst &I : F.Blocks[B].Insts) {
+      UseDef UD = collectUseDef(I);
+      for (int U : UD.Uses) {
+        Ivs[U].Start = std::min(Ivs[U].Start, Pos);
+        Ivs[U].End = std::max(Ivs[U].End, Pos);
+        Ivs[U].Weight += BlockWeight;
+      }
+      if (UD.Def >= 0) {
+        Ivs[UD.Def].Start = std::min(Ivs[UD.Def].Start, Pos);
+        Ivs[UD.Def].End = std::max(Ivs[UD.Def].End, Pos);
+        Ivs[UD.Def].Weight += BlockWeight;
+      }
+      if (I.Op == MOp::CallPseudo)
+        CallPositions.push_back(Pos);
+      ++Pos;
+    }
+    for (int V : LiveIn[B]) {
+      Ivs[V].Start = std::min(Ivs[V].Start, BlockFirst[B]);
+      Ivs[V].End = std::max(Ivs[V].End, BlockFirst[B]);
+    }
+    for (int V : LiveOut[B])
+      Ivs[V].End = std::max(Ivs[V].End, BlockLast[B]);
+  }
+  for (Interval &Iv : Ivs)
+    for (int P : CallPositions)
+      if (Iv.Start < P && P < Iv.End)
+        Iv.CrossesCall = true;
+
+  // Rematerialization candidates: exactly one def, and it is a cheap
+  // constant producer. Spilling such a value needs no slot (and thus can
+  // never create a spill WAR).
+  {
+    std::vector<int> DefCount(NV, 0);
+    std::vector<const MInst *> DefInst(NV, nullptr);
+    for (const MBasicBlock &BB : F.Blocks)
+      for (const MInst &I : BB.Insts)
+        if (I.Dst >= 0) {
+          ++DefCount[I.Dst];
+          DefInst[I.Dst] = &I;
+        }
+    for (unsigned V = 0; V != NV; ++V) {
+      if (DefCount[V] != 1 || !DefInst[V])
+        continue;
+      const MInst &D = *DefInst[V];
+      if (D.Op == MOp::MovImm) {
+        Ivs[V].Remat = true;
+        Ivs[V].RematOp = MOp::MovImm;
+        Ivs[V].RematImm = D.Imm;
+      } else if (D.Op == MOp::MovGlobal) {
+        Ivs[V].Remat = true;
+        Ivs[V].RematOp = MOp::MovGlobal;
+        Ivs[V].RematGlobal = D.Global;
+      }
+    }
+  }
+
+  // --- Linear scan ----------------------------------------------------------------
+  std::vector<Interval *> Order;
+  for (Interval &Iv : Ivs)
+    if (Iv.End >= 0)
+      Order.push_back(&Iv);
+  std::sort(Order.begin(), Order.end(), [](Interval *A, Interval *B) {
+    if (A->Start != B->Start)
+      return A->Start < B->Start;
+    return A->VReg < B->VReg;
+  });
+
+  // Caller-saved first for short intervals, callee-saved (r4-r10) for
+  // intervals live across calls.
+  std::vector<int> AllPool, CalleePool;
+  for (unsigned R = R0; R != R0 + NumRegs; ++R) {
+    AllPool.push_back(int(R));
+    if (R >= R4)
+      CalleePool.push_back(int(R));
+  }
+
+  std::vector<Interval *> Active;
+  std::vector<Interval *> Spills;
+  auto RegInUse = [&](int R) {
+    for (Interval *A : Active)
+      if (A->Reg == R)
+        return true;
+    return false;
+  };
+
+  for (Interval *Iv : Order) {
+    // Expire.
+    Active.erase(std::remove_if(Active.begin(), Active.end(),
+                                [&](Interval *A) {
+                                  return A->End <= Iv->Start;
+                                }),
+                 Active.end());
+    auto Pool = Iv->CrossesCall
+                    ? std::pair(CalleePool.data(), CalleePool.size())
+                    : std::pair(AllPool.data(), AllPool.size());
+    int Free = -1;
+    for (size_t J = 0; J != Pool.second && Free < 0; ++J)
+      if (!RegInUse(Pool.first[J]))
+        Free = Pool.first[J];
+    if (Free >= 0) {
+      Iv->Reg = Free;
+      Active.push_back(Iv);
+      continue;
+    }
+    // Spill the cheapest candidate among the compatible active intervals
+    // and the new one: loop-resident values stay in registers (spill code
+    // inside loops both costs cycles and breeds back-end WARs), and
+    // rematerializable constants spill for free.
+    auto SpillCost = [](const Interval *I) {
+      double Density = I->Weight / double(I->End - I->Start + 1);
+      return I->Remat ? Density * 0.25 : Density;
+    };
+    Interval *Victim = nullptr;
+    for (Interval *A : Active) {
+      bool Compatible = false;
+      for (size_t J = 0; J != Pool.second; ++J)
+        if (Pool.first[J] == A->Reg)
+          Compatible = true;
+      if (!Compatible)
+        continue;
+      if (!Victim || SpillCost(A) < SpillCost(Victim) ||
+          (SpillCost(A) == SpillCost(Victim) && A->End > Victim->End))
+        Victim = A;
+    }
+    if (Victim && SpillCost(Victim) < SpillCost(Iv)) {
+      Iv->Reg = Victim->Reg;
+      Victim->Reg = -1;
+      Victim->Evicted = true;
+      Spills.push_back(Victim);
+      Active.erase(std::find(Active.begin(), Active.end(), Victim));
+      Active.push_back(Iv);
+    } else {
+      Iv->Evicted = true;
+      Spills.push_back(Iv);
+    }
+  }
+
+  // --- Spill slot assignment --------------------------------------------------------
+  std::sort(Spills.begin(), Spills.end(), [](Interval *A, Interval *B) {
+    if (A->Start != B->Start)
+      return A->Start < B->Start;
+    return A->VReg < B->VReg;
+  });
+  // (slot, end-of-current-holder) pool for the sharing mode.
+  std::vector<std::pair<int, int>> SlotPool;
+  for (Interval *S : Spills) {
+    if (S->Remat) {
+      ++Stats.Spilled; // Counted as spilled, but lives nowhere.
+      continue;
+    }
+    int Slot = -1;
+    if (Opts.StackSlotSharing) {
+      for (auto &[Sl, End] : SlotPool)
+        if (End <= S->Start) {
+          Slot = Sl;
+          End = S->End;
+          break;
+        }
+    }
+    if (Slot < 0) {
+      Slot = int(F.Slots.size());
+      F.Slots.push_back({FrameSlot::Kind::Spill, 4, -1});
+      SlotPool.push_back({Slot, S->End});
+      ++Stats.SpillSlots;
+    }
+    S->Slot = Slot;
+    ++Stats.Spilled;
+  }
+
+  // --- Rewrite ------------------------------------------------------------------------
+  auto LocOf = [&](int V) -> const Interval & { return Ivs[V]; };
+
+  for (MBasicBlock &BB : F.Blocks) {
+    std::vector<MInst> Out;
+    Out.reserve(BB.Insts.size() + 8);
+    for (MInst I : BB.Insts) {
+      if (I.Op == MOp::ArgGet) {
+        // Like CallPseudo: encode the location; the expansion phase
+        // resolves all ArgGets of the entry block as one parallel move
+        // (a naive per-arg mov could clobber r0-r3 before they are read).
+        const Interval &Iv = LocOf(I.Dst);
+        I.Dst = Iv.spilled() ? encodeSlot(Iv.Slot) : Iv.Reg;
+        Out.push_back(std::move(I));
+        continue;
+      }
+      if (I.Op == MOp::CallPseudo) {
+        // Encode operand locations; expanded below.
+        for (int &A : I.CallArgs) {
+          const Interval &Iv = LocOf(A);
+          if (Iv.spilled())
+            A = Iv.Remat ? encodeRemat(Iv.VReg) : encodeSlot(Iv.Slot);
+          else
+            A = Iv.Reg;
+        }
+        if (I.Dst >= 0) {
+          const Interval &Iv = LocOf(I.Dst);
+          I.Dst = Iv.spilled() ? encodeSlot(Iv.Slot) : Iv.Reg;
+        }
+        Out.push_back(std::move(I));
+        continue;
+      }
+      // A rematerialized value's single def simply disappears.
+      if (I.Dst >= 0 && LocOf(I.Dst).spilled() && LocOf(I.Dst).Remat)
+        continue;
+      unsigned NumScratchUsed = 0;
+      for (int &S : I.Src) {
+        if (S < 0)
+          continue;
+        const Interval &Iv = LocOf(S);
+        if (Iv.spilled()) {
+          if (NumScratchUsed >= NumScratch)
+            return false; // Retry with more scratch registers.
+          MInst Reload;
+          if (Iv.Remat) {
+            Reload.Op = Iv.RematOp;
+            Reload.Imm = Iv.RematImm;
+            Reload.Global = Iv.RematGlobal;
+          } else {
+            Reload.Op = MOp::LdrSlot;
+            Reload.Slot = Iv.Slot;
+          }
+          Reload.Dst = Scratch[NumScratchUsed];
+          Out.push_back(Reload);
+          S = Scratch[NumScratchUsed++];
+        } else {
+          S = Iv.Reg;
+        }
+      }
+      bool DstSpilled = false;
+      int DstSlot = -1;
+      if (I.Dst >= 0) {
+        const Interval &Iv = LocOf(I.Dst);
+        if (Iv.spilled()) {
+          DstSpilled = true;
+          DstSlot = Iv.Slot;
+          I.Dst = Scratch[0];
+        } else {
+          I.Dst = Iv.Reg;
+        }
+      }
+      Out.push_back(I);
+      if (DstSpilled) {
+        MInst Save;
+        Save.Op = MOp::StrSlot;
+        Save.Src[0] = Scratch[0];
+        Save.Slot = DstSlot;
+        Out.push_back(Save);
+      }
+    }
+    BB.Insts = std::move(Out);
+  }
+
+  // --- Pseudo expansion -----------------------------------------------------------------
+  for (MBasicBlock &BB : F.Blocks) {
+    std::vector<MInst> Out;
+    Out.reserve(BB.Insts.size() + 8);
+    for (size_t Idx = 0; Idx != BB.Insts.size(); ++Idx) {
+      MInst I = BB.Insts[Idx];
+      switch (I.Op) {
+      case MOp::ArgGet: {
+        // Gather the whole consecutive ArgGet group and resolve it as a
+        // parallel move from r0..rN. Spilled args store first (reads
+        // only), then register targets move with r12 breaking cycles.
+        std::vector<MInst> Group{I};
+        while (Idx + 1 < BB.Insts.size() &&
+               BB.Insts[Idx + 1].Op == MOp::ArgGet)
+          Group.push_back(BB.Insts[++Idx]);
+        struct Move {
+          int DstReg;
+          int SrcReg;
+        };
+        std::vector<Move> Pending;
+        for (const MInst &AG : Group) {
+          int SrcReg = R0 + int(AG.Imm);
+          if (isEncodedSlot(AG.Dst)) {
+            MInst Sv;
+            Sv.Op = MOp::StrSlot;
+            Sv.Src[0] = SrcReg;
+            Sv.Slot = decodeSlot(AG.Dst);
+            Out.push_back(Sv);
+          } else if (AG.Dst != SrcReg) {
+            Pending.push_back({AG.Dst, SrcReg});
+          }
+        }
+        while (!Pending.empty()) {
+          bool Emitted = false;
+          for (auto It = Pending.begin(); It != Pending.end(); ++It) {
+            bool DstIsPendingSrc = false;
+            for (const Move &O : Pending)
+              if (O.SrcReg == It->DstReg && &O != &*It)
+                DstIsPendingSrc = true;
+            if (DstIsPendingSrc)
+              continue;
+            MInst Mv;
+            Mv.Op = MOp::Mov;
+            Mv.Dst = It->DstReg;
+            Mv.Src[0] = It->SrcReg;
+            Out.push_back(Mv);
+            Pending.erase(It);
+            Emitted = true;
+            break;
+          }
+          if (!Emitted) {
+            Move &M = Pending.front();
+            MInst Mv;
+            Mv.Op = MOp::Mov;
+            Mv.Dst = R12;
+            Mv.Src[0] = M.SrcReg;
+            Out.push_back(Mv);
+            for (Move &O : Pending)
+              if (O.SrcReg == Mv.Src[0])
+                O.SrcReg = R12;
+          }
+        }
+        break;
+      }
+      case MOp::Ret: {
+        if (I.Src[0] >= 0 && I.Src[0] != R0) {
+          MInst Mv;
+          Mv.Op = MOp::Mov;
+          Mv.Dst = R0;
+          Mv.Src[0] = I.Src[0];
+          Out.push_back(Mv);
+        }
+        I.Src[0] = -1;
+        Out.push_back(I);
+        break;
+      }
+      case MOp::CallPseudo: {
+        // Parallel move of arguments into r0..r3. Slot sources load
+        // directly into their target register; cycles among registers are
+        // broken with r12 (free at call boundaries).
+        struct Move {
+          int DstReg;
+          int Src; // PReg or encoded slot.
+        };
+        std::vector<Move> Pending;
+        std::vector<std::pair<int, int>> Remats; // (dst reg, vreg).
+        for (unsigned A = 0; A != I.CallArgs.size(); ++A) {
+          if (isEncodedRemat(I.CallArgs[A])) {
+            Remats.emplace_back(int(R0 + A), decodeRemat(I.CallArgs[A]));
+            continue;
+          }
+          if (I.CallArgs[A] != int(R0 + A))
+            Pending.push_back({int(R0 + A), I.CallArgs[A]});
+        }
+        while (!Pending.empty()) {
+          bool Emitted = false;
+          for (auto It = Pending.begin(); It != Pending.end(); ++It) {
+            bool DstIsPendingSrc = false;
+            for (const Move &O : Pending)
+              if (!isEncodedSlot(O.Src) && O.Src == It->DstReg &&
+                  &O != &*It)
+                DstIsPendingSrc = true;
+            if (DstIsPendingSrc)
+              continue;
+            MInst Mv;
+            if (isEncodedSlot(It->Src)) {
+              Mv.Op = MOp::LdrSlot;
+              Mv.Dst = It->DstReg;
+              Mv.Slot = decodeSlot(It->Src);
+            } else {
+              Mv.Op = MOp::Mov;
+              Mv.Dst = It->DstReg;
+              Mv.Src[0] = It->Src;
+            }
+            Out.push_back(Mv);
+            Pending.erase(It);
+            Emitted = true;
+            break;
+          }
+          if (!Emitted) {
+            // Pure register cycle: rotate through r12.
+            Move &M = Pending.front();
+            MInst Mv;
+            Mv.Op = MOp::Mov;
+            Mv.Dst = R12;
+            Mv.Src[0] = M.Src;
+            Out.push_back(Mv);
+            for (Move &O : Pending)
+              if (!isEncodedSlot(O.Src) && O.Src == Mv.Src[0])
+                O.Src = R12;
+          }
+        }
+        for (auto &[DstReg, VReg] : Remats) {
+          const Interval &Iv = Ivs[unsigned(VReg)];
+          MInst Mv;
+          Mv.Op = Iv.RematOp;
+          Mv.Dst = DstReg;
+          Mv.Imm = Iv.RematImm;
+          Mv.Global = Iv.RematGlobal;
+          Out.push_back(Mv);
+        }
+        MInst Call;
+        Call.Op = MOp::Bl;
+        Call.Callee = I.Callee;
+        Out.push_back(Call);
+        if (I.Dst != -1) {
+          if (isEncodedSlot(I.Dst)) {
+            MInst Sv;
+            Sv.Op = MOp::StrSlot;
+            Sv.Src[0] = R0;
+            Sv.Slot = decodeSlot(I.Dst);
+            Out.push_back(Sv);
+          } else if (I.Dst != R0) {
+            MInst Mv;
+            Mv.Op = MOp::Mov;
+            Mv.Dst = I.Dst;
+            Mv.Src[0] = R0;
+            Out.push_back(Mv);
+          }
+        }
+        break;
+      }
+      default:
+        Out.push_back(std::move(I));
+        break;
+      }
+    }
+    BB.Insts = std::move(Out);
+  }
+
+  // Record callee-saved registers that now appear in the code.
+  uint16_t Saved = 0;
+  for (const MBasicBlock &BB : F.Blocks)
+    for (const MInst &I : BB.Insts) {
+      auto Mark = [&](int R) {
+        if (R >= R4 && R <= R10)
+          Saved |= uint16_t(1u << R);
+      };
+      Mark(I.Dst);
+      for (int S : I.Src)
+        Mark(S);
+    }
+  F.SavedRegMask = Saved;
+  F.PostRA = true;
+  return true;
+}
+
+} // namespace
+
+RegAllocStats wario::allocateRegisters(MFunction &F,
+                                       const RegAllocOptions &Opts) {
+  assert(!F.PostRA && "function already allocated");
+  RegAllocStats Stats;
+  // Prefer 11 allocatable registers (r0-r10) with two scratch; fall back
+  // to 10 + three scratch for the rare function where some instruction
+  // (a select) carries three spilled sources.
+  MFunction Backup = F;
+  if (allocateOnce(F, Opts, 11, Stats))
+    return Stats;
+  F = std::move(Backup);
+  bool Ok = allocateOnce(F, Opts, 10, Stats);
+  assert(Ok && "allocation with three scratch registers cannot fail");
+  (void)Ok;
+  return Stats;
+}

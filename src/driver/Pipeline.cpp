@@ -1,0 +1,116 @@
+#include "driver/Pipeline.h"
+
+#include "transforms/Inliner.h"
+#include "transforms/LoopUnroller.h"
+#include "transforms/Mem2Reg.h"
+#include "transforms/RegionBounder.h"
+#include "transforms/Utils.h"
+#include "transforms/WriteClusterer.h"
+
+using namespace wario;
+
+const char *wario::environmentName(Environment E) {
+  switch (E) {
+  case Environment::PlainC: return "plain-c";
+  case Environment::Ratchet: return "ratchet";
+  case Environment::RPDG: return "r-pdg";
+  case Environment::EpilogOnly: return "epilog-optimizer";
+  case Environment::WriteClustererOnly: return "write-clusterer";
+  case Environment::LoopWriteClustererOnly: return "loop-write-clusterer";
+  case Environment::WarioComplete: return "wario";
+  case Environment::WarioExpander: return "wario+expander";
+  }
+  return "<bad environment>";
+}
+
+std::vector<Environment> wario::allEnvironments() {
+  return {Environment::PlainC,
+          Environment::Ratchet,
+          Environment::RPDG,
+          Environment::EpilogOnly,
+          Environment::WriteClustererOnly,
+          Environment::LoopWriteClustererOnly,
+          Environment::WarioComplete,
+          Environment::WarioExpander};
+}
+
+MModule wario::compile(Module &M, const PipelineOptions &Opts,
+                       PipelineStats *Stats) {
+  PipelineStats Local;
+  PipelineStats &S = Stats ? *Stats : Local;
+  Environment E = Opts.Env;
+
+  // --- Shared "-O3" front half: basic inlining (the opt -always-inline
+  // -inline prepass of Section 4.6), scalar promotion, and cleanup.
+  S.InlinedPrepass = inlineSmallFunctions(M, /*MaxCalleeSize=*/24);
+  S.AllocasPromoted = promoteAllocasToSSA(M);
+  cleanupModule(M);
+
+  bool Instrumented = E != Environment::PlainC;
+  if (!Instrumented) {
+    unrollStandardLoops(M);
+    cleanupModule(M);
+  }
+  AliasPrecision Precision =
+      (E == Environment::Ratchet || Opts.ForceConservativeAA)
+          ? AliasPrecision::Conservative
+          : AliasPrecision::Precise;
+
+  // --- Middle end (Figure 2 order: Loop Write Clusterer, Expander,
+  // Write Clusterer, PDG Checkpoint Inserter).
+  if (Instrumented) {
+    bool LoopCluster = E == Environment::LoopWriteClustererOnly ||
+                       E == Environment::WarioComplete ||
+                       E == Environment::WarioExpander;
+    bool Expand = E == Environment::WarioExpander;
+    bool Cluster = E == Environment::WriteClustererOnly ||
+                   E == Environment::WarioComplete ||
+                   E == Environment::WarioExpander;
+
+    if (LoopCluster) {
+      LoopWriteClustererOptions LWC;
+      LWC.UnrollFactor = Opts.UnrollFactor;
+      LWC.Precision = Precision;
+      S.LoopClusterer = runLoopWriteClusterer(M, LWC);
+      cleanupModule(M);
+    }
+    // The user-specified optimization level (-O3's unroller) runs after
+    // the Loop Write Clusterer and before the Expander (Section 4.6).
+    unrollStandardLoops(M);
+    cleanupModule(M);
+    if (Expand) {
+      S.Expander = runExpander(M);
+      S.AllocasPromoted += promoteAllocasToSSA(M);
+      cleanupModule(M);
+    }
+    if (Cluster) {
+      AliasAnalysis AA(Precision);
+      S.StoresSunk = runWriteClusterer(M, AA);
+    }
+    CheckpointInserterOptions CI;
+    CI.Precision = Precision;
+    CI.Strategy = Opts.MiddleEndHittingSet ? PlacementStrategy::HittingSet
+                                           : PlacementStrategy::PerWrite;
+    CI.DepthWeightedCost = Opts.DepthWeightedCost;
+    S.MiddleEnd = insertCheckpoints(M, CI);
+
+    if (Opts.BoundRegions) {
+      RegionBounderOptions RB;
+      RB.MaxRegionCycles = Opts.MaxRegionCycles;
+      S.RegionsBounded = boundRegions(M, RB).LoopsBounded;
+    }
+  }
+
+  // --- Back end.
+  BackendOptions BO;
+  BO.InsertCheckpoints = Instrumented;
+  bool LegacyBackend =
+      E == Environment::Ratchet || E == Environment::RPDG;
+  BO.StackSlotSharing = LegacyBackend;
+  BO.HittingSetSpill = Instrumented && !LegacyBackend &&
+                       E != Environment::EpilogOnly;
+  BO.EpilogOptimizer = E == Environment::EpilogOnly ||
+                       E == Environment::WarioComplete ||
+                       E == Environment::WarioExpander;
+  return runBackend(M, BO, &S.Backend);
+}

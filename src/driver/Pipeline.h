@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "iclang" pipeline (paper Section 4.6): orchestrates the middle-end
+/// and back-end transformations for each evaluated software environment.
+///
+/// Environments follow Section 5.1.3:
+///  - PlainC: uninstrumented reference (cannot survive power failures).
+///  - Ratchet: conservative aliasing, no clustering, legacy back end
+///    (stack-slot sharing + per-write spill checkpoints, plain epilogs).
+///  - RPDG: Ratchet placement driven by the precise PDG.
+///  - EpilogOnly / WriteClustererOnly / LoopWriteClustererOnly: individual
+///    WARio transformations on top of R-PDG (the isolated bars of Fig. 4).
+///  - WarioComplete: all WARio transformations except the Expander.
+///  - WarioExpander: WARio + Expander.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_DRIVER_PIPELINE_H
+#define WARIO_DRIVER_PIPELINE_H
+
+#include "backend/Backend.h"
+#include "transforms/CheckpointInserter.h"
+#include "transforms/Expander.h"
+#include "transforms/LoopWriteClusterer.h"
+
+namespace wario {
+
+enum class Environment {
+  PlainC,
+  Ratchet,
+  RPDG,
+  EpilogOnly,
+  WriteClustererOnly,
+  LoopWriteClustererOnly,
+  WarioComplete,
+  WarioExpander,
+};
+
+const char *environmentName(Environment E);
+
+/// All evaluated environments, in the paper's presentation order.
+std::vector<Environment> allEnvironments();
+
+struct PipelineOptions {
+  Environment Env = Environment::WarioComplete;
+  /// Loop Write Clusterer unroll factor N (paper default 8).
+  unsigned UnrollFactor = 8;
+  /// Ablation: disable the loop-depth-weighted hitting set in favor of
+  /// checkpoint-per-WAR-write placement.
+  bool MiddleEndHittingSet = true;
+  /// Ablation: uniform candidate costs instead of 4^loop-depth.
+  bool DepthWeightedCost = true;
+  /// Ablation: force the Ratchet-grade conservative aliasing even for
+  /// WARio environments (isolates the PDG's contribution).
+  bool ForceConservativeAA = false;
+  /// Extension (paper Section 6 future work): bound idempotent region
+  /// length with register-counter checkpoints in cut-free loops.
+  bool BoundRegions = false;
+  uint64_t MaxRegionCycles = 20'000;
+};
+
+struct PipelineStats {
+  unsigned InlinedPrepass = 0;
+  unsigned RegionsBounded = 0;
+  unsigned AllocasPromoted = 0;
+  LoopWriteClustererStats LoopClusterer;
+  ExpanderStats Expander;
+  unsigned StoresSunk = 0;
+  CheckpointInserterStats MiddleEnd;
+  BackendStats Backend;
+};
+
+/// Compiles \p M (mutated in place) to a machine module for the given
+/// environment.
+MModule compile(Module &M, const PipelineOptions &Opts,
+                PipelineStats *Stats = nullptr);
+
+} // namespace wario
+
+#endif // WARIO_DRIVER_PIPELINE_H

@@ -1,0 +1,527 @@
+#include "emu/Emulator.h"
+
+#include "ir/ConstEval.h"
+
+#include <algorithm>
+
+#include <bit>
+#include <sstream>
+#include <unordered_map>
+
+using namespace wario;
+
+namespace {
+
+/// Reserved NVM range for the double-buffered checkpoint (exempt from WAR
+/// monitoring: the checkpoint routine itself is incorruptible by design,
+/// Section 4.5).
+constexpr uint32_t CkptBase = 0x100;
+constexpr uint32_t CkptActiveWord = CkptBase;       // 0 or 1.
+constexpr uint32_t CkptBuf0 = CkptBase + 0x10;      // 17 words.
+constexpr uint32_t CkptBuf1 = CkptBase + 0x60;
+constexpr uint32_t CkptEnd = CkptBase + 0x100;
+constexpr uint32_t CodeAddrBit = 0x80000000u;
+constexpr uint32_t LrSentinel = 0xFFFFFFFEu;
+
+/// A position in the flattened code image.
+struct CodeRef {
+  const MFunction *F;
+  int Block;
+  int Index;
+};
+
+class Machine {
+public:
+  Machine(const MModule &M, const EmulatorOptions &Opts)
+      : M(M), Opts(Opts), Mem(memmap::MemSize, 0) {
+    assert(!M.InitImage.empty() || M.DataEnd == 0);
+    std::copy(M.InitImage.begin(), M.InitImage.end(), Mem.begin());
+    // Flatten code and record block entry addresses.
+    for (const MFunction &F : M.Functions) {
+      FuncEntry[&F] = uint32_t(Code.size());
+      std::vector<uint32_t> &Starts = BlockStart[&F];
+      for (int B = 0; B != int(F.Blocks.size()); ++B) {
+        Starts.push_back(uint32_t(Code.size()));
+        for (int I = 0; I != int(F.Blocks[B].Insts.size()); ++I)
+          Code.push_back({&F, B, I});
+      }
+    }
+  }
+
+  EmulatorResult run(const std::string &Entry) {
+    EmulatorResult R;
+    const MFunction *Main = M.getFunction(Entry);
+    if (!Main) {
+      R.Error = "entry function '" + Entry + "' not found";
+      return R;
+    }
+
+    coldStart(Main);
+    unsigned StalledBoots = 0;
+
+    while (true) {
+      if (Res.TotalCycles >= Opts.MaxCycles) {
+        fail("cycle budget exhausted (runaway program?)");
+        break;
+      }
+      if (!Failed && Done)
+        break;
+      if (Failed)
+        break;
+
+      // Power failure?
+      uint64_t OnBudget = Opts.Power.onDuration(Res.PowerFailures);
+      if (ActiveSinceBoot >= OnBudget) {
+        ++Res.PowerFailures;
+        if (!ProgressThisBoot) {
+          if (++StalledBoots >= Opts.MaxStalledBoots) {
+            fail("no forward progress across " +
+                 std::to_string(StalledBoots) + " boots");
+            break;
+          }
+        } else {
+          StalledBoots = 0;
+        }
+        reboot(Main);
+        continue;
+      }
+
+      // Interrupt delivery at instruction boundaries. The inter-arrival
+      // clock restarts when the handler *returns* (resetting before it
+      // runs would re-pend immediately whenever the service cost exceeds
+      // the period — an interrupt storm that starves user code).
+      if (Opts.InterruptPeriod && !Primask &&
+          (Pending || CyclesSinceIrq >= Opts.InterruptPeriod)) {
+        Pending = false;
+        serviceInterrupt();
+        CyclesSinceIrq = 0;
+        if (Failed)
+          break;
+        continue;
+      }
+
+      step();
+    }
+
+    R = std::move(Res);
+    R.FinalMemory = std::move(Mem);
+    R.Ok = !Failed;
+    if (Failed)
+      R.Error = ErrorMsg;
+    return R;
+  }
+
+private:
+  // --- Helpers ---------------------------------------------------------------
+  void fail(std::string Msg) {
+    if (!Failed) {
+      Failed = true;
+      ErrorMsg = std::move(Msg);
+    }
+  }
+
+  void spend(uint64_t C) {
+    Res.TotalCycles += C;
+    ActiveSinceBoot += C;
+    CyclesSinceIrq += C;
+  }
+
+  uint32_t &reg(int R) {
+    assert(R >= 0 && R < NumPRegs);
+    return Regs[R];
+  }
+
+  // --- Memory with WAR monitoring ----------------------------------------------
+  enum class Access : uint8_t { Read, Write };
+
+  bool monitored(uint32_t Addr) const {
+    if (Addr >= CkptBase && Addr < CkptEnd)
+      return false; // Checkpoint buffers are incorruptible by design.
+    return true;
+  }
+
+  void recordAccess(uint32_t Addr, unsigned Size, Access Kind) {
+    if (!monitored(Addr))
+      return;
+    bool CountedThisAccess = false;
+    for (unsigned I = 0; I != Size; ++I) {
+      uint32_t A = Addr + I;
+      auto It = FirstAccess.find(A);
+      if (It == FirstAccess.end()) {
+        FirstAccess.emplace(A, Kind);
+        continue;
+      }
+      if (Kind == Access::Write && It->second == Access::Read) {
+        // One violation per offending store, not per overlapping byte.
+        if (!CountedThisAccess)
+          ++Res.WarViolations;
+        CountedThisAccess = true;
+        if (Res.WarReports.size() < 8) {
+          std::ostringstream OS;
+          OS << "WAR violation: write to 0x" << std::hex << A
+             << " first read in the same idempotent region (function @"
+             << Cur().F->Name << ", block "
+             << Cur().F->Blocks[Cur().Block].Name << ")";
+          Res.WarReports.push_back(OS.str());
+        }
+        if (Opts.WarIsFatal)
+          fail(Res.WarReports.empty() ? "WAR violation"
+                                      : Res.WarReports.back());
+        // Record as write so each spot reports once.
+        It->second = Access::Write;
+      }
+    }
+  }
+
+  uint32_t loadMem(uint32_t Addr, unsigned Size, bool SignExtend) {
+    if (Addr > memmap::MemSize - Size) {
+      fail("load out of bounds");
+      return 0;
+    }
+    recordAccess(Addr, Size, Access::Read);
+    uint32_t V = 0;
+    for (unsigned I = 0; I != Size; ++I)
+      V |= uint32_t(Mem[Addr + I]) << (8 * I);
+    if (SignExtend && Size < 4) {
+      uint32_t SignBit = 1u << (Size * 8 - 1);
+      if (V & SignBit)
+        V |= ~((SignBit << 1) - 1);
+    }
+    return V;
+  }
+
+  void storeMem(uint32_t Addr, unsigned Size, uint32_t V) {
+    if (Addr == memmap::OutPort) {
+      Res.Output.push_back(int32_t(V));
+      return;
+    }
+    if (Addr > memmap::MemSize - Size) {
+      fail("store out of bounds");
+      return;
+    }
+    recordAccess(Addr, Size, Access::Write);
+    for (unsigned I = 0; I != Size; ++I)
+      Mem[Addr + I] = uint8_t(V >> (8 * I));
+  }
+
+  /// Raw word access bypassing the monitor (checkpoint machinery).
+  uint32_t rawLoad(uint32_t Addr) {
+    uint32_t V = 0;
+    for (unsigned I = 0; I != 4; ++I)
+      V |= uint32_t(Mem[Addr + I]) << (8 * I);
+    return V;
+  }
+  void rawStore(uint32_t Addr, uint32_t V) {
+    for (unsigned I = 0; I != 4; ++I)
+      Mem[Addr + I] = uint8_t(V >> (8 * I));
+  }
+
+  // --- Power / checkpoints -------------------------------------------------------
+  void coldStart(const MFunction *Main) {
+    for (uint32_t &R : Regs)
+      R = 0;
+    Regs[SP] = memmap::StackTop;
+    Regs[LR] = LrSentinel;
+    Pc = CodeAddrBit | FuncEntry.at(Main);
+    Primask = false;
+    Pending = false;
+    FirstAccess.clear();
+    RegionStartCycles = Res.TotalCycles;
+    ActiveSinceBoot = 0;
+    ProgressThisBoot = false;
+    spend(cycles::Boot);
+    CyclesSinceIrq = 0; // The interrupt timer restarts on power-up.
+  }
+
+  void reboot(const MFunction *Main) {
+    // Volatile state is lost; PRIMASK resets; NVM persists.
+    ActiveSinceBoot = 0;
+    ProgressThisBoot = false;
+    Primask = false;
+    Pending = false;
+    spend(cycles::Boot);
+    CyclesSinceIrq = 0; // The interrupt timer restarts on power-up.
+    // Restore the last committed checkpoint, if any.
+    uint32_t Active = rawLoad(CkptActiveWord);
+    if (Active == 0) {
+      // Never checkpointed: restart from scratch (registers only; any
+      // NVM mutations persist, which is exactly what the WAR monitor
+      // checks for).
+      for (uint32_t &R : Regs)
+        R = 0;
+      Regs[SP] = memmap::StackTop;
+      Regs[LR] = LrSentinel;
+      Pc = CodeAddrBit | FuncEntry.at(Main);
+      FirstAccess.clear();
+      RegionStartCycles = Res.TotalCycles;
+      return;
+    }
+    uint32_t Buf = (Active == 1) ? CkptBuf0 : CkptBuf1;
+    for (int R = 0; R != 15; ++R)
+      Regs[R] = rawLoad(Buf + 4 * unsigned(R));
+    Pc = rawLoad(Buf + 4 * 15);
+    spend(cycles::Restore);
+    // Re-execution starts a fresh idempotent region attempt.
+    FirstAccess.clear();
+    RegionStartCycles = Res.TotalCycles;
+  }
+
+  void commitCheckpoint(CheckpointCause Cause) {
+    uint32_t Active = rawLoad(CkptActiveWord);
+    uint32_t Buf = (Active == 1) ? CkptBuf1 : CkptBuf0;
+    for (int R = 0; R != 15; ++R)
+      rawStore(Buf + 4 * unsigned(R), Regs[R]);
+    rawStore(Buf + 4 * 15, Pc); // Resume after this instruction.
+    rawStore(CkptActiveWord, (Active == 1) ? 2 : 1);
+    spend(cycles::Checkpoint);
+
+    ++Res.CheckpointsExecuted;
+    switch (Cause) {
+    case CheckpointCause::MiddleEndWar: ++Res.Causes.MiddleEndWar; break;
+    case CheckpointCause::BackendSpill: ++Res.Causes.BackendSpill; break;
+    case CheckpointCause::FunctionEntry: ++Res.Causes.FunctionEntry; break;
+    case CheckpointCause::FunctionExit: ++Res.Causes.FunctionExit; break;
+    }
+    if (Opts.CollectRegionSizes)
+      Res.RegionSizes.push_back(Res.TotalCycles - RegionStartCycles);
+    RegionStartCycles = Res.TotalCycles;
+    FirstAccess.clear();
+    ProgressThisBoot = true;
+  }
+
+  void serviceInterrupt() {
+    ++Res.InterruptsTaken;
+    // Hardware-assisted entry checkpoint (see DESIGN.md): closes the
+    // region so the exception stacking below cannot complete a WAR.
+    commitCheckpoint(CheckpointCause::FunctionEntry);
+    // Exception stacking: {r0-r3, r12, lr, pc, xpsr} below SP.
+    uint32_t SPv = Regs[SP] - 32;
+    static const int Stacked[] = {R0, R1, R2, R3, R12, LR};
+    for (int I = 0; I != 6; ++I)
+      storeMem(SPv + 4 * unsigned(I), 4, Regs[Stacked[I]]);
+    storeMem(SPv + 24, 4, Pc);
+    storeMem(SPv + 28, 4, 0x01000000); // xPSR.
+    // Handler body is modeled as a fixed-cost register-only routine.
+    // Unstacking (reads).
+    for (int I = 0; I != 6; ++I)
+      Regs[Stacked[I]] = loadMem(SPv + 4 * unsigned(I), 4, false);
+    (void)loadMem(SPv + 24, 4, false);
+    (void)loadMem(SPv + 28, 4, false);
+    spend(cycles::IsrOverhead);
+  }
+
+  // --- Execution --------------------------------------------------------------------
+  const CodeRef &Cur() const { return Code[Pc & ~CodeAddrBit]; }
+
+  void jumpToBlock(const MFunction *F, int Block) {
+    Pc = CodeAddrBit | BlockStart.at(F)[unsigned(Block)];
+  }
+
+  uint32_t slotAddress(const MFunction *F, int Slot) const {
+    assert(F->FrameLowered && Slot >= 0 && Slot < int(F->Slots.size()));
+    return Regs[SP] + uint32_t(F->Slots[unsigned(Slot)].Offset);
+  }
+
+  void step() {
+    const CodeRef CR = Cur();
+    const MInst &I = CR.F->Blocks[CR.Block].Insts[unsigned(CR.Index)];
+    ++Res.InstructionsExecuted;
+    uint32_t NextPc = Pc + 1;
+
+    switch (I.Op) {
+    case MOp::MovImm:
+      reg(I.Dst) = uint32_t(I.Imm);
+      spend((uint64_t(I.Imm) & 0xFFFF0000u) ? 2 : 1);
+      break;
+    case MOp::MovGlobal:
+      fail("unlinked MovGlobal reached the emulator");
+      return;
+    case MOp::Mov:
+      reg(I.Dst) = reg(I.Src[0]);
+      spend(1);
+      break;
+    case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::And:
+    case MOp::Orr: case MOp::Eor: case MOp::Lsl: case MOp::Lsr:
+    case MOp::Asr: {
+      static const std::unordered_map<MOp, Opcode> Map = {
+          {MOp::Add, Opcode::Add}, {MOp::Sub, Opcode::Sub},
+          {MOp::Mul, Opcode::Mul}, {MOp::And, Opcode::And},
+          {MOp::Orr, Opcode::Or},  {MOp::Eor, Opcode::Xor},
+          {MOp::Lsl, Opcode::Shl}, {MOp::Lsr, Opcode::LShr},
+          {MOp::Asr, Opcode::AShr}};
+      reg(I.Dst) = *constEvalBinary(Map.at(I.Op), reg(I.Src[0]),
+                                    reg(I.Src[1]));
+      spend(1);
+      break;
+    }
+    case MOp::UDiv:
+    case MOp::SDiv: {
+      auto V = constEvalBinary(I.Op == MOp::UDiv ? Opcode::UDiv
+                                                 : Opcode::SDiv,
+                               reg(I.Src[0]), reg(I.Src[1]));
+      if (!V) {
+        fail("division by zero");
+        return;
+      }
+      reg(I.Dst) = *V;
+      spend(6);
+      break;
+    }
+    case MOp::AddImm:
+      reg(I.Dst) = reg(I.Src[0]) + uint32_t(I.Imm);
+      spend(1);
+      break;
+    case MOp::SetCond:
+      reg(I.Dst) =
+          constEvalPred(I.Pred, reg(I.Src[0]), reg(I.Src[1])) ? 1 : 0;
+      spend(2);
+      break;
+    case MOp::SelectR:
+      reg(I.Dst) = reg(I.Src[0]) != 0 ? reg(I.Src[1]) : reg(I.Src[2]);
+      spend(2);
+      break;
+    case MOp::Ldr:
+      reg(I.Dst) = loadMem(reg(I.Src[0]) + uint32_t(I.Imm), I.Size,
+                           I.Signed);
+      spend(2);
+      break;
+    case MOp::Str:
+      storeMem(reg(I.Src[1]) + uint32_t(I.Imm), I.Size, reg(I.Src[0]));
+      spend(2);
+      break;
+    case MOp::LdrSlot:
+      reg(I.Dst) = loadMem(slotAddress(CR.F, I.Slot), 4, false);
+      spend(2);
+      break;
+    case MOp::StrSlot:
+      storeMem(slotAddress(CR.F, I.Slot), 4, reg(I.Src[0]));
+      spend(2);
+      break;
+    case MOp::FrameAddr:
+      reg(I.Dst) = slotAddress(CR.F, I.Slot);
+      spend(1);
+      break;
+    case MOp::Bl: {
+      if (I.CalleeIdx < 0 || I.CalleeIdx >= int(M.Functions.size())) {
+        fail("call through an unlinked or bad function index");
+        return;
+      }
+      const MFunction *Callee = &M.Functions[unsigned(I.CalleeIdx)];
+      Regs[LR] = NextPc;
+      Pc = CodeAddrBit | FuncEntry.at(Callee);
+      spend(1 + cycles::PipelineRefill);
+      return;
+    }
+    case MOp::B:
+      jumpToBlock(CR.F, I.Target[0]);
+      spend(1 + cycles::PipelineRefill);
+      return;
+    case MOp::CBr:
+      if (reg(I.Src[0]) != 0) {
+        jumpToBlock(CR.F, I.Target[0]);
+        spend(1 + cycles::PipelineRefill);
+      } else {
+        jumpToBlock(CR.F, I.Target[1]);
+        spend(1 + cycles::PipelineRefill);
+      }
+      return;
+    case MOp::Ret:
+      if (Regs[LR] == LrSentinel) {
+        Done = true;
+        Res.ReturnValue = int32_t(Regs[R0]);
+        spend(1 + cycles::PipelineRefill);
+        return;
+      }
+      if (!(Regs[LR] & CodeAddrBit)) {
+        fail("return to a non-code address (corrupt lr)");
+        return;
+      }
+      Pc = Regs[LR];
+      spend(1 + cycles::PipelineRefill);
+      return;
+    case MOp::Push: {
+      unsigned N = unsigned(std::popcount(unsigned(I.RegList)));
+      uint32_t Base = Regs[SP] - 4 * N;
+      unsigned Idx = 0;
+      for (int R = 0; R != NumPRegs; ++R)
+        if (I.RegList & (1u << R))
+          storeMem(Base + 4 * Idx++, 4, Regs[R]);
+      Regs[SP] = Base;
+      spend(1 + N);
+      break;
+    }
+    case MOp::Pop:
+    case MOp::PopLoads: {
+      unsigned N = unsigned(std::popcount(unsigned(I.RegList)));
+      unsigned Idx = 0;
+      for (int R = 0; R != NumPRegs; ++R)
+        if (I.RegList & (1u << R))
+          Regs[R] = loadMem(Regs[SP] + 4 * Idx++, 4, false);
+      if (I.Op == MOp::Pop)
+        Regs[SP] += 4 * N;
+      spend(1 + N);
+      break;
+    }
+    case MOp::SpAdjust:
+      Regs[SP] += uint32_t(int32_t(I.Imm));
+      spend(1);
+      break;
+    case MOp::Checkpoint:
+      // Commit with the resume point after this instruction.
+      Pc = NextPc;
+      commitCheckpoint(I.Cause);
+      return;
+    case MOp::Out:
+      Res.Output.push_back(int32_t(reg(I.Src[0])));
+      spend(2);
+      break;
+    case MOp::IntMask:
+      Primask = true;
+      spend(1);
+      break;
+    case MOp::IntUnmask:
+      Primask = false;
+      spend(1);
+      break;
+    case MOp::Nop:
+      spend(1);
+      break;
+    case MOp::CallPseudo:
+    case MOp::ArgGet:
+      fail("unexpanded pseudo instruction reached the emulator");
+      return;
+    }
+    Pc = NextPc;
+  }
+
+  const MModule &M;
+  EmulatorOptions Opts;
+  std::vector<uint8_t> Mem;
+  std::vector<CodeRef> Code;
+  std::unordered_map<const MFunction *, uint32_t> FuncEntry;
+  std::unordered_map<const MFunction *, std::vector<uint32_t>> BlockStart;
+
+  uint32_t Regs[NumPRegs] = {};
+  uint32_t Pc = 0;
+  bool Primask = false;
+  bool Pending = false;
+  bool Done = false;
+  bool Failed = false;
+  std::string ErrorMsg;
+
+  std::unordered_map<uint32_t, Access> FirstAccess;
+  uint64_t RegionStartCycles = 0;
+  uint64_t ActiveSinceBoot = 0;
+  uint64_t CyclesSinceIrq = 0;
+  bool ProgressThisBoot = false;
+
+  EmulatorResult Res;
+};
+
+} // namespace
+
+EmulatorResult wario::emulate(const MModule &M, const EmulatorOptions &Opts,
+                              const std::string &Entry) {
+  Machine Mach(M, Opts);
+  return Mach.run(Entry);
+}

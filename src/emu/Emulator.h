@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle-counting emulator for the modeled Cortex-M-class MCU with
+/// byte-addressable non-volatile main memory (paper Section 5.1.1).
+///
+/// Modeled features, mirroring the paper's Unicorn-based emulator:
+///  - performance statistics: executed cycles (3-stage-pipeline refill
+///    model), checkpoint counts and causes, cycles between checkpoints
+///    (idempotent region sizes), instruction counts;
+///  - WAR-violation absence verification on every memory access, covering
+///    middle-end, back-end, and "assembly" (prologue/epilog/ISR) accesses;
+///  - power-failure injection from a PowerSchedule, with double-buffered
+///    register checkpoints, boot/restore costs, and re-execution;
+///  - optional periodic interrupts with hardware stacking, to exercise
+///    the idempotent pop converter and epilog optimizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_EMU_EMULATOR_H
+#define WARIO_EMU_EMULATOR_H
+
+#include "backend/MIR.h"
+#include "emu/PowerTrace.h"
+#include "ir/MemoryLayout.h"
+
+namespace wario {
+
+/// Cycle-model constants (documented in DESIGN.md; the shape of results,
+/// not absolute values, is what matters for reproduction).
+namespace cycles {
+inline constexpr uint64_t PipelineRefill = 2; ///< Taken-branch penalty.
+inline constexpr uint64_t Boot = 1000;        ///< Power-up sequence.
+inline constexpr uint64_t Restore = 40;       ///< Checkpoint restoration.
+inline constexpr uint64_t Checkpoint = 40;    ///< Save 17 words, flip.
+inline constexpr uint64_t IsrOverhead = 60;   ///< Entry+body+exit.
+} // namespace cycles
+
+struct EmulatorOptions {
+  PowerSchedule Power = PowerSchedule::continuous();
+  /// Fire an interrupt every N active cycles (0 = disabled).
+  uint64_t InterruptPeriod = 0;
+  /// Abort after this many total cycles (runaway guard).
+  uint64_t MaxCycles = 40'000'000'000ull;
+  /// Abort after this many power failures without a committed checkpoint
+  /// advancing (no-forward-progress guard).
+  unsigned MaxStalledBoots = 64;
+  /// Record every idempotent region size (disable for very long runs).
+  bool CollectRegionSizes = true;
+  /// Treat a WAR violation as a fatal error (else just count).
+  bool WarIsFatal = true;
+};
+
+/// Executed-checkpoint counts by cause (paper Figure 5).
+struct CheckpointCauses {
+  uint64_t MiddleEndWar = 0;
+  uint64_t BackendSpill = 0;
+  uint64_t FunctionEntry = 0;
+  uint64_t FunctionExit = 0;
+  uint64_t total() const {
+    return MiddleEndWar + BackendSpill + FunctionEntry + FunctionExit;
+  }
+};
+
+struct EmulatorResult {
+  bool Ok = false;
+  std::string Error;
+  int32_t ReturnValue = 0;
+  std::vector<int32_t> Output;
+
+  uint64_t TotalCycles = 0;  ///< All on-time incl. boot/restore/re-exec.
+  uint64_t InstructionsExecuted = 0;
+  uint64_t CheckpointsExecuted = 0;
+  CheckpointCauses Causes;
+  unsigned PowerFailures = 0;
+  uint64_t InterruptsTaken = 0;
+  uint64_t WarViolations = 0;
+  std::vector<std::string> WarReports; ///< First few diagnostics.
+  std::vector<uint64_t> RegionSizes;   ///< Cycles between checkpoints.
+
+  /// Final NVM image (for checking benchmark result buffers).
+  std::vector<uint8_t> FinalMemory;
+
+  uint32_t readWord(uint32_t Addr) const {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= uint32_t(FinalMemory[Addr + I]) << (8 * I);
+    return V;
+  }
+};
+
+/// Runs \p Entry (default "main") of the machine module to completion
+/// under the given options.
+EmulatorResult emulate(const MModule &M, const EmulatorOptions &Opts = {},
+                       const std::string &Entry = "main");
+
+} // namespace wario
+
+#endif // WARIO_EMU_EMULATOR_H

@@ -1,0 +1,50 @@
+#include "emu/PowerTrace.h"
+
+using namespace wario;
+
+namespace {
+
+/// Deterministic xorshift32; traces must be reproducible across runs.
+struct XorShift {
+  uint32_t State;
+  explicit XorShift(uint32_t Seed) : State(Seed ? Seed : 1) {}
+  uint32_t next() {
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State;
+  }
+  /// Uniform in [Lo, Hi].
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    return Lo + next() % (Hi - Lo + 1);
+  }
+};
+
+} // namespace
+
+PowerSchedule wario::harvesterTraceAlpha(unsigned Periods) {
+  XorShift Rng(0xA11CE5);
+  std::vector<uint64_t> D;
+  D.reserve(Periods);
+  for (unsigned I = 0; I != Periods; ++I) {
+    // 85% short bursts (50k-400k cycles), 15% long charges (1M-6M).
+    if (Rng.next() % 100 < 85)
+      D.push_back(Rng.range(50'000, 400'000));
+    else
+      D.push_back(Rng.range(1'000'000, 6'000'000));
+  }
+  return PowerSchedule::trace(std::move(D), "alpha");
+}
+
+PowerSchedule wario::harvesterTraceBeta(unsigned Periods) {
+  XorShift Rng(0xBEE5);
+  std::vector<uint64_t> D;
+  D.reserve(Periods);
+  for (unsigned I = 0; I != Periods; ++I) {
+    // Quasi-periodic around 2.5M cycles with +-40% jitter.
+    uint64_t Base = 2'500'000;
+    uint64_t Jitter = Rng.range(0, Base * 4 / 5);
+    D.push_back(Base * 3 / 5 + Jitter);
+  }
+  return PowerSchedule::trace(std::move(D), "beta");
+}

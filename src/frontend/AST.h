@@ -1,0 +1,197 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree and type table for the C subset front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_FRONTEND_AST_H
+#define WARIO_FRONTEND_AST_H
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <memory>
+
+namespace wario {
+
+/// A type in the C subset: void, sized integers, pointers, and constant-
+/// length arrays. Types are interned in a TypeTable and referenced by id.
+struct CType {
+  enum class Kind : uint8_t { Void, Int, Ptr, Array };
+  Kind K = Kind::Void;
+  unsigned Bits = 0;  ///< 8, 16 or 32 for Int.
+  bool Signed = true; ///< For Int.
+  int Elem = -1;      ///< Element/pointee type id for Ptr/Array.
+  uint32_t ArrayLen = 0;
+
+  bool operator==(const CType &O) const {
+    return K == O.K && Bits == O.Bits && Signed == O.Signed &&
+           Elem == O.Elem && ArrayLen == O.ArrayLen;
+  }
+};
+
+/// Interns types and answers layout queries.
+class TypeTable {
+public:
+  TypeTable() {
+    // Fixed well-known ids.
+    VoidId = intern({CType::Kind::Void, 0, true, -1, 0});
+    IntId = intern({CType::Kind::Int, 32, true, -1, 0});
+    UIntId = intern({CType::Kind::Int, 32, false, -1, 0});
+  }
+
+  int intern(const CType &T) {
+    for (unsigned I = 0; I != Types.size(); ++I)
+      if (Types[I] == T)
+        return int(I);
+    Types.push_back(T);
+    return int(Types.size()) - 1;
+  }
+
+  const CType &get(int Id) const {
+    assert(Id >= 0 && Id < int(Types.size()) && "bad type id");
+    return Types[unsigned(Id)];
+  }
+
+  int voidTy() const { return VoidId; }
+  int intTy() const { return IntId; }
+  int uintTy() const { return UIntId; }
+  int makeInt(unsigned Bits, bool Signed) {
+    return intern({CType::Kind::Int, Bits, Signed, -1, 0});
+  }
+  int ptrTo(int Elem) {
+    return intern({CType::Kind::Ptr, 0, true, Elem, 0});
+  }
+  int arrayOf(int Elem, uint32_t Len) {
+    return intern({CType::Kind::Array, 0, true, Elem, Len});
+  }
+
+  uint32_t sizeOf(int Id) const {
+    const CType &T = get(Id);
+    switch (T.K) {
+    case CType::Kind::Void: return 0;
+    case CType::Kind::Int: return T.Bits / 8;
+    case CType::Kind::Ptr: return 4;
+    case CType::Kind::Array: return T.ArrayLen * sizeOf(T.Elem);
+    }
+    return 0;
+  }
+
+  bool isInt(int Id) const { return get(Id).K == CType::Kind::Int; }
+  bool isPtr(int Id) const { return get(Id).K == CType::Kind::Ptr; }
+  bool isArray(int Id) const { return get(Id).K == CType::Kind::Array; }
+  bool isVoid(int Id) const { return get(Id).K == CType::Kind::Void; }
+
+  /// Array-to-pointer decay; other types unchanged.
+  int decay(int Id) {
+    const CType &T = get(Id);
+    if (T.K == CType::Kind::Array)
+      return ptrTo(T.Elem);
+    return Id;
+  }
+
+  std::string name(int Id) const {
+    const CType &T = get(Id);
+    switch (T.K) {
+    case CType::Kind::Void: return "void";
+    case CType::Kind::Int:
+      return std::string(T.Signed ? "" : "unsigned ") +
+             (T.Bits == 8 ? "char" : T.Bits == 16 ? "short" : "int");
+    case CType::Kind::Ptr: return name(T.Elem) + "*";
+    case CType::Kind::Array:
+      return name(T.Elem) + "[" + std::to_string(T.ArrayLen) + "]";
+    }
+    return "?";
+  }
+
+private:
+  std::vector<CType> Types;
+  int VoidId, IntId, UIntId;
+};
+
+/// An expression node.
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,     ///< IntValue.
+    Ident,      ///< Name.
+    Unary,      ///< Op in {-, ~, !, *, &}; Kids[0].
+    Binary,     ///< Arithmetic/comparison/logical; Kids[0], Kids[1].
+    Assign,     ///< Kids[0] = Kids[1].
+    CompoundAssign, ///< Kids[0] Op= Kids[1].
+    IncDec,     ///< Op in {++, --}; IsPrefix; Kids[0].
+    Call,       ///< Name(Kids...).
+    Index,      ///< Kids[0][Kids[1]].
+    Ternary,    ///< Kids[0] ? Kids[1] : Kids[2].
+    Cast,       ///< (TypeId)Kids[0].
+    SizeofType, ///< sizeof(TypeId).
+    Comma,      ///< Kids[0], Kids[1].
+  };
+  Kind K;
+  SourceLoc Loc;
+  uint64_t IntValue = 0;
+  std::string Name;
+  TokKind Op = TokKind::End;
+  bool IsPrefix = false;
+  int TypeId = -1; ///< For Cast/SizeofType.
+  std::vector<std::unique_ptr<Expr>> Kids;
+};
+
+/// A statement node.
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block,    ///< Body.
+    Decl,     ///< Name : TypeId, optional E (scalar init) or InitList.
+    ExprStmt, ///< E.
+    If,       ///< E, S1 (then), S2 (optional else).
+    While,    ///< E, S1.
+    DoWhile,  ///< S1, E.
+    For,      ///< S1 (init, may be null), E (cond, may be null),
+              ///< E2 (step, may be null), S2 (body).
+    Break,
+    Continue,
+    Return,   ///< Optional E.
+    Empty,
+  };
+  Kind K;
+  SourceLoc Loc;
+  std::string Name;
+  int TypeId = -1;
+  std::unique_ptr<Expr> E, E2;
+  std::unique_ptr<Stmt> S1, S2;
+  std::vector<std::unique_ptr<Stmt>> Body;
+  std::vector<std::unique_ptr<Expr>> InitList;
+};
+
+/// A module-level variable with a constant (flattened) initializer.
+struct GlobalDecl {
+  std::string Name;
+  int TypeId;
+  std::vector<int64_t> InitValues; ///< Flattened; empty => zero-init.
+  SourceLoc Loc;
+};
+
+struct ParamDecl {
+  std::string Name;
+  int TypeId;
+};
+
+struct FunctionDecl {
+  std::string Name;
+  int RetTypeId;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<Stmt> Body; ///< Null for forward declarations.
+  SourceLoc Loc;
+};
+
+/// One parsed source file (the subset has no preprocessor; multi-file
+/// projects concatenate sources, mirroring the paper's whole-program IR).
+struct TranslationUnit {
+  TypeTable Types;
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace wario
+
+#endif // WARIO_FRONTEND_AST_H

@@ -1,0 +1,777 @@
+#include "frontend/CodeGen.h"
+
+#include "ir/IRBuilder.h"
+
+#include <unordered_map>
+
+using namespace wario;
+
+namespace {
+
+/// An rvalue: a 32-bit SSA value plus its C type (already decayed).
+struct RValue {
+  Value *V = nullptr;
+  int TypeId = -1;
+};
+
+/// An lvalue: the object's address plus the object type (arrays allowed).
+struct LValue {
+  Value *Addr = nullptr;
+  int TypeId = -1;
+};
+
+class CodeGen {
+public:
+  CodeGen(TranslationUnit &TU, const std::string &Name,
+          DiagnosticEngine &Diags)
+      : TU(TU), Types(TU.Types), Diags(Diags),
+        M(std::make_unique<Module>(Name)), IRB(M.get()) {}
+
+  std::unique_ptr<Module> run() {
+    declareGlobals();
+    declareFunctions();
+    for (FunctionDecl &FD : TU.Functions)
+      if (FD.Body)
+        genFunction(FD);
+    if (Diags.hasErrors())
+      return nullptr;
+    return std::move(M);
+  }
+
+private:
+  // --- Declarations ---------------------------------------------------------
+  /// Scalar element width of a (possibly nested) array type.
+  uint32_t scalarSize(int TypeId) {
+    const CType &T = Types.get(TypeId);
+    if (T.K == CType::Kind::Array)
+      return scalarSize(T.Elem);
+    return Types.sizeOf(TypeId);
+  }
+
+  void declareGlobals() {
+    for (GlobalDecl &GD : TU.Globals) {
+      if (M->getGlobal(GD.Name)) {
+        Diags.error(GD.Loc, "redefinition of global '" + GD.Name + "'");
+        continue;
+      }
+      uint32_t Size = Types.sizeOf(GD.TypeId);
+      std::vector<uint8_t> Image;
+      if (!GD.InitValues.empty()) {
+        uint32_t Elem = scalarSize(GD.TypeId);
+        Image.reserve(Size);
+        for (int64_t V : GD.InitValues)
+          for (uint32_t B = 0; B != Elem; ++B)
+            Image.push_back(uint8_t(uint64_t(V) >> (8 * B)));
+        Image.resize(Size, 0);
+      }
+      GlobalVariable *G = M->createGlobal(GD.Name, Size, std::move(Image));
+      GlobalTypes[G] = GD.TypeId;
+    }
+  }
+
+  void declareFunctions() {
+    for (FunctionDecl &FD : TU.Functions) {
+      Function *Existing = M->getFunction(FD.Name);
+      if (Existing) {
+        if (Existing->getNumParams() != FD.Params.size())
+          Diags.error(FD.Loc, "conflicting declaration of '" + FD.Name +
+                                  "'");
+        continue;
+      }
+      if (FD.Params.size() > 4)
+        Diags.error(FD.Loc,
+                    "function '" + FD.Name +
+                        "' has more than 4 parameters (register-only "
+                        "calling convention)");
+      bool ReturnsVal = !Types.isVoid(FD.RetTypeId);
+      Function *F = M->createFunction(FD.Name, unsigned(FD.Params.size()),
+                                      ReturnsVal);
+      FuncDecls[F] = &FD;
+    }
+  }
+
+  // --- Function bodies --------------------------------------------------------
+  struct LocalVar {
+    Value *Addr;
+    int TypeId;
+  };
+
+  void genFunction(FunctionDecl &FD) {
+    Function *F = M->getFunction(FD.Name);
+    assert(F);
+    if (!F->isDeclaration()) {
+      Diags.error(FD.Loc, "redefinition of function '" + FD.Name + "'");
+      return;
+    }
+    CurFn = F;
+    CurDecl = &FD;
+    Scopes.clear();
+    Scopes.emplace_back();
+    BreakTargets.clear();
+    ContinueTargets.clear();
+
+    BasicBlock *Entry = F->createBlock("entry");
+    IRB.setInsertPoint(Entry);
+
+    // Parameters become stack slots so they are addressable/assignable;
+    // mem2reg promotes the scalar ones later.
+    for (unsigned I = 0; I != FD.Params.size(); ++I) {
+      const ParamDecl &P = FD.Params[I];
+      Instruction *Slot =
+          IRB.createAlloca(Types.sizeOf(P.TypeId), P.Name + ".addr");
+      IRB.createStore(F->getArg(I), Slot,
+                      uint8_t(Types.sizeOf(P.TypeId)));
+      declare(P.Name, {Slot, P.TypeId}, FD.Loc);
+    }
+
+    genStmt(FD.Body.get());
+
+    // Fall-off-the-end: implicit return.
+    if (!IRB.getInsertBlock()->getTerminator()) {
+      if (Types.isVoid(FD.RetTypeId))
+        IRB.createRet();
+      else
+        IRB.createRet(IRB.getInt(0));
+    }
+    CurFn = nullptr;
+  }
+
+  // --- Scopes -------------------------------------------------------------------
+  void declare(const std::string &Name, LocalVar V, SourceLoc Loc) {
+    if (Scopes.back().count(Name)) {
+      Diags.error(Loc, "redefinition of '" + Name + "'");
+      return;
+    }
+    Scopes.back()[Name] = V;
+  }
+
+  const LocalVar *lookupLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  // --- Statement generation ---------------------------------------------------------
+  /// Starts a fresh block for code after a terminator (unreachable code;
+  /// cleaned up by removeUnreachableBlocks later).
+  void ensureOpenBlock() {
+    if (IRB.getInsertBlock()->getTerminator()) {
+      BasicBlock *Dead = CurFn->createBlock("dead");
+      IRB.setInsertPoint(Dead);
+    }
+  }
+
+  void genStmt(Stmt *S) {
+    if (!S || Diags.hasErrors())
+      return;
+    ensureOpenBlock();
+    switch (S->K) {
+    case Stmt::Kind::Block: {
+      Scopes.emplace_back();
+      for (auto &Child : S->Body)
+        genStmt(Child.get());
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::Decl:
+      genDecl(S);
+      return;
+    case Stmt::Kind::ExprStmt:
+      genRValue(S->E.get());
+      return;
+    case Stmt::Kind::If: {
+      BasicBlock *Then = CurFn->createBlock("if.then");
+      BasicBlock *Else = S->S2 ? CurFn->createBlock("if.else") : nullptr;
+      BasicBlock *End = CurFn->createBlock("if.end");
+      genCond(S->E.get(), Then, Else ? Else : End);
+      IRB.setInsertPoint(Then);
+      genStmt(S->S1.get());
+      if (!IRB.getInsertBlock()->getTerminator())
+        IRB.createJmp(End);
+      if (Else) {
+        IRB.setInsertPoint(Else);
+        genStmt(S->S2.get());
+        if (!IRB.getInsertBlock()->getTerminator())
+          IRB.createJmp(End);
+      }
+      IRB.setInsertPoint(End);
+      return;
+    }
+    case Stmt::Kind::While: {
+      BasicBlock *Cond = CurFn->createBlock("while.cond");
+      BasicBlock *Body = CurFn->createBlock("while.body");
+      BasicBlock *End = CurFn->createBlock("while.end");
+      IRB.createJmp(Cond);
+      IRB.setInsertPoint(Cond);
+      genCond(S->E.get(), Body, End);
+      BreakTargets.push_back(End);
+      ContinueTargets.push_back(Cond);
+      IRB.setInsertPoint(Body);
+      genStmt(S->S1.get());
+      if (!IRB.getInsertBlock()->getTerminator())
+        IRB.createJmp(Cond);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      IRB.setInsertPoint(End);
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      BasicBlock *Body = CurFn->createBlock("do.body");
+      BasicBlock *Cond = CurFn->createBlock("do.cond");
+      BasicBlock *End = CurFn->createBlock("do.end");
+      IRB.createJmp(Body);
+      BreakTargets.push_back(End);
+      ContinueTargets.push_back(Cond);
+      IRB.setInsertPoint(Body);
+      genStmt(S->S1.get());
+      if (!IRB.getInsertBlock()->getTerminator())
+        IRB.createJmp(Cond);
+      IRB.setInsertPoint(Cond);
+      genCond(S->E.get(), Body, End);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      IRB.setInsertPoint(End);
+      return;
+    }
+    case Stmt::Kind::For: {
+      genStmt(S->S1.get());
+      ensureOpenBlock();
+      BasicBlock *Cond = CurFn->createBlock("for.cond");
+      BasicBlock *Body = CurFn->createBlock("for.body");
+      BasicBlock *Step = CurFn->createBlock("for.step");
+      BasicBlock *End = CurFn->createBlock("for.end");
+      IRB.createJmp(Cond);
+      IRB.setInsertPoint(Cond);
+      if (S->E)
+        genCond(S->E.get(), Body, End);
+      else
+        IRB.createJmp(Body);
+      BreakTargets.push_back(End);
+      ContinueTargets.push_back(Step);
+      IRB.setInsertPoint(Body);
+      genStmt(S->S2.get());
+      if (!IRB.getInsertBlock()->getTerminator())
+        IRB.createJmp(Step);
+      IRB.setInsertPoint(Step);
+      if (S->E2)
+        genRValue(S->E2.get());
+      IRB.createJmp(Cond);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      IRB.setInsertPoint(End);
+      return;
+    }
+    case Stmt::Kind::Break:
+      if (BreakTargets.empty())
+        Diags.error(S->Loc, "'break' outside of a loop");
+      else
+        IRB.createJmp(BreakTargets.back());
+      return;
+    case Stmt::Kind::Continue:
+      if (ContinueTargets.empty())
+        Diags.error(S->Loc, "'continue' outside of a loop");
+      else
+        IRB.createJmp(ContinueTargets.back());
+      return;
+    case Stmt::Kind::Return: {
+      bool IsVoid = Types.isVoid(CurDecl->RetTypeId);
+      if (S->E) {
+        if (IsVoid) {
+          Diags.error(S->Loc, "void function returns a value");
+          return;
+        }
+        RValue V = genRValue(S->E.get());
+        IRB.createRet(V.V);
+      } else {
+        if (!IsVoid) {
+          Diags.error(S->Loc, "non-void function returns no value");
+          return;
+        }
+        IRB.createRet();
+      }
+      return;
+    }
+    case Stmt::Kind::Empty:
+      return;
+    }
+  }
+
+  void genDecl(Stmt *S) {
+    uint32_t Size = Types.sizeOf(S->TypeId);
+    Instruction *Slot = IRB.createAlloca(Size, S->Name);
+    // Allocas must live in the entry block for static frame layout.
+    if (Slot->getParent() != CurFn->getEntryBlock())
+      Slot->moveBefore(CurFn->getEntryBlock()->front());
+    declare(S->Name, {Slot, S->TypeId}, S->Loc);
+
+    if (S->E) {
+      RValue Init = genRValue(S->E.get());
+      storeTo({Slot, S->TypeId}, Init, S->Loc);
+    } else if (!S->InitList.empty()) {
+      if (!Types.isArray(S->TypeId)) {
+        Diags.error(S->Loc, "brace initializer on a non-array");
+        return;
+      }
+      int Elem = Types.get(S->TypeId).Elem;
+      uint32_t ElemSize = Types.sizeOf(Elem);
+      if (S->InitList.size() > Types.get(S->TypeId).ArrayLen) {
+        Diags.error(S->Loc, "too many initializers");
+        return;
+      }
+      for (unsigned I = 0; I != S->InitList.size(); ++I) {
+        RValue V = genRValue(S->InitList[I].get());
+        Instruction *Addr =
+            IRB.createGep(Slot, nullptr, 1, int32_t(I * ElemSize),
+                          S->Name + ".init");
+        IRB.createStore(V.V, Addr, uint8_t(ElemSize));
+      }
+      // Remaining elements are zero-filled, matching C semantics.
+      for (uint32_t I = uint32_t(S->InitList.size());
+           I != Types.get(S->TypeId).ArrayLen; ++I) {
+        Instruction *Addr = IRB.createGep(
+            Slot, nullptr, 1, int32_t(I * ElemSize), S->Name + ".zero");
+        IRB.createStore(IRB.getInt(0), Addr, uint8_t(ElemSize));
+      }
+    }
+  }
+
+  // --- Conditions with short-circuiting -----------------------------------------------
+  void genCond(Expr *E, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+    if (Diags.hasErrors())
+      return;
+    if (E->K == Expr::Kind::Binary && E->Op == TokKind::AmpAmp) {
+      BasicBlock *Mid = CurFn->createBlock("land.rhs");
+      genCond(E->Kids[0].get(), Mid, FalseBB);
+      IRB.setInsertPoint(Mid);
+      genCond(E->Kids[1].get(), TrueBB, FalseBB);
+      return;
+    }
+    if (E->K == Expr::Kind::Binary && E->Op == TokKind::PipePipe) {
+      BasicBlock *Mid = CurFn->createBlock("lor.rhs");
+      genCond(E->Kids[0].get(), TrueBB, Mid);
+      IRB.setInsertPoint(Mid);
+      genCond(E->Kids[1].get(), TrueBB, FalseBB);
+      return;
+    }
+    if (E->K == Expr::Kind::Unary && E->Op == TokKind::Bang) {
+      genCond(E->Kids[0].get(), FalseBB, TrueBB);
+      return;
+    }
+    RValue V = genRValue(E);
+    if (Diags.hasErrors())
+      return;
+    Value *Flag = V.V;
+    // Reuse a comparison result directly; otherwise test against zero.
+    auto *I = dyn_cast<Instruction>(Flag);
+    if (!I || I->getOpcode() != Opcode::ICmp)
+      Flag = IRB.createICmp(CmpPred::NE, Flag, IRB.getInt(0), "tobool");
+    IRB.createBr(Flag, TrueBB, FalseBB);
+  }
+
+  // --- Expression generation ------------------------------------------------------------
+  uint8_t accessSize(int TypeId) {
+    uint32_t S = Types.sizeOf(TypeId);
+    assert(S == 1 || S == 2 || S == 4);
+    return uint8_t(S);
+  }
+
+  /// Loads from an lvalue, applying array decay.
+  RValue loadFrom(LValue LV, SourceLoc Loc) {
+    (void)Loc;
+    if (Types.isArray(LV.TypeId))
+      return {LV.Addr, Types.decay(LV.TypeId)};
+    const CType &T = Types.get(LV.TypeId);
+    bool SignExtend = T.K == CType::Kind::Int && T.Signed && T.Bits < 32;
+    Instruction *L =
+        IRB.createLoad(LV.Addr, accessSize(LV.TypeId), SignExtend, "ld");
+    return {L, LV.TypeId};
+  }
+
+  void storeTo(LValue LV, RValue V, SourceLoc Loc) {
+    if (Types.isArray(LV.TypeId)) {
+      Diags.error(Loc, "cannot assign to an array");
+      return;
+    }
+    IRB.createStore(V.V, LV.Addr, accessSize(LV.TypeId));
+  }
+
+  /// Applies C value conversion when the target is a sub-word integer.
+  RValue convertTo(RValue V, int TargetTy) {
+    const CType &T = Types.get(TargetTy);
+    if (T.K != CType::Kind::Int || T.Bits == 32)
+      return {V.V, TargetTy};
+    unsigned Shift = 32 - T.Bits;
+    Instruction *Up = IRB.createBinary(Opcode::Shl, V.V,
+                                       IRB.getInt(int32_t(Shift)), "cv");
+    Instruction *Down = IRB.createBinary(
+        T.Signed ? Opcode::AShr : Opcode::LShr, Up,
+        IRB.getInt(int32_t(Shift)), "cv");
+    return {Down, TargetTy};
+  }
+
+  bool isUnsignedTy(int TypeId) {
+    const CType &T = Types.get(TypeId);
+    if (T.K == CType::Kind::Ptr)
+      return true;
+    return T.K == CType::Kind::Int && !T.Signed;
+  }
+
+  RValue genRValue(Expr *E) {
+    if (Diags.hasErrors() || !E)
+      return {IRB.getInt(0), Types.intTy()};
+    switch (E->K) {
+    case Expr::Kind::IntLit: {
+      int Ty = E->IntValue > 0x7FFFFFFF ? Types.uintTy() : Types.intTy();
+      return {IRB.getInt(int32_t(uint32_t(E->IntValue))), Ty};
+    }
+    case Expr::Kind::Ident: {
+      LValue LV = genLValue(E);
+      if (Diags.hasErrors())
+        return {IRB.getInt(0), Types.intTy()};
+      return loadFrom(LV, E->Loc);
+    }
+    case Expr::Kind::Index:
+    case Expr::Kind::Unary:
+      if (E->K == Expr::Kind::Unary && E->Op == TokKind::Amp) {
+        LValue LV = genLValue(E->Kids[0].get());
+        if (Diags.hasErrors())
+          return {IRB.getInt(0), Types.intTy()};
+        int Ty = Types.isArray(LV.TypeId)
+                     ? Types.decay(LV.TypeId)
+                     : Types.ptrTo(LV.TypeId);
+        return {LV.Addr, Ty};
+      }
+      if (E->K == Expr::Kind::Unary && E->Op != TokKind::Star)
+        return genUnary(E);
+      // Deref and indexing: form the lvalue then load.
+      {
+        LValue LV = genLValue(E);
+        if (Diags.hasErrors())
+          return {IRB.getInt(0), Types.intTy()};
+        return loadFrom(LV, E->Loc);
+      }
+    case Expr::Kind::Binary:
+      return genBinary(E);
+    case Expr::Kind::Assign: {
+      LValue LV = genLValue(E->Kids[0].get());
+      RValue RHS = genRValue(E->Kids[1].get());
+      if (Diags.hasErrors())
+        return {IRB.getInt(0), Types.intTy()};
+      RValue Conv = convertTo(RHS, LV.TypeId);
+      storeTo(LV, Conv, E->Loc);
+      return Conv;
+    }
+    case Expr::Kind::CompoundAssign: {
+      LValue LV = genLValue(E->Kids[0].get());
+      if (Diags.hasErrors())
+        return {IRB.getInt(0), Types.intTy()};
+      RValue Old = loadFrom(LV, E->Loc);
+      RValue RHS = genRValue(E->Kids[1].get());
+      RValue New = applyBinary(compoundBase(E->Op), Old, RHS, E->Loc);
+      RValue Conv = convertTo(New, LV.TypeId);
+      storeTo(LV, Conv, E->Loc);
+      return Conv;
+    }
+    case Expr::Kind::IncDec: {
+      LValue LV = genLValue(E->Kids[0].get());
+      if (Diags.hasErrors())
+        return {IRB.getInt(0), Types.intTy()};
+      RValue Old = loadFrom(LV, E->Loc);
+      RValue One{IRB.getInt(1), Types.intTy()};
+      RValue New = applyBinary(E->Op == TokKind::PlusPlus ? TokKind::Plus
+                                                          : TokKind::Minus,
+                               Old, One, E->Loc);
+      RValue Conv = convertTo(New, LV.TypeId);
+      storeTo(LV, Conv, E->Loc);
+      return E->IsPrefix ? Conv : Old;
+    }
+    case Expr::Kind::Call:
+      return genCall(E);
+    case Expr::Kind::Ternary: {
+      BasicBlock *TBB = CurFn->createBlock("cond.true");
+      BasicBlock *FBB = CurFn->createBlock("cond.false");
+      BasicBlock *End = CurFn->createBlock("cond.end");
+      genCond(E->Kids[0].get(), TBB, FBB);
+      IRB.setInsertPoint(TBB);
+      RValue TV = genRValue(E->Kids[1].get());
+      BasicBlock *TEnd = IRB.getInsertBlock();
+      IRB.createJmp(End);
+      IRB.setInsertPoint(FBB);
+      RValue FV = genRValue(E->Kids[2].get());
+      BasicBlock *FEnd = IRB.getInsertBlock();
+      IRB.createJmp(End);
+      IRB.setInsertPoint(End);
+      if (Diags.hasErrors())
+        return {IRB.getInt(0), Types.intTy()};
+      Instruction *Phi = IRB.createPhi("cond");
+      IRBuilder::addPhiIncoming(Phi, TV.V, TEnd);
+      IRBuilder::addPhiIncoming(Phi, FV.V, FEnd);
+      return {Phi, TV.TypeId};
+    }
+    case Expr::Kind::Cast: {
+      RValue V = genRValue(E->Kids[0].get());
+      if (Diags.hasErrors())
+        return {IRB.getInt(0), Types.intTy()};
+      return convertTo(V, E->TypeId);
+    }
+    case Expr::Kind::SizeofType:
+      return {IRB.getInt(int32_t(Types.sizeOf(E->TypeId))),
+              Types.uintTy()};
+    case Expr::Kind::Comma: {
+      genRValue(E->Kids[0].get());
+      return genRValue(E->Kids[1].get());
+    }
+    }
+    Diags.error(E->Loc, "unsupported expression");
+    return {IRB.getInt(0), Types.intTy()};
+  }
+
+  RValue genUnary(Expr *E) {
+    RValue V = genRValue(E->Kids[0].get());
+    if (Diags.hasErrors())
+      return {IRB.getInt(0), Types.intTy()};
+    switch (E->Op) {
+    case TokKind::Minus:
+      return {IRB.createSub(IRB.getInt(0), V.V, "neg"), V.TypeId};
+    case TokKind::Tilde:
+      return {IRB.createBinary(Opcode::Xor, V.V, IRB.getInt(-1), "not"),
+              V.TypeId};
+    case TokKind::Bang:
+      return {IRB.createICmp(CmpPred::EQ, V.V, IRB.getInt(0), "lnot"),
+              Types.intTy()};
+    default:
+      Diags.error(E->Loc, "unsupported unary operator");
+      return V;
+    }
+  }
+
+  static TokKind compoundBase(TokKind K) {
+    switch (K) {
+    case TokKind::PlusAssign: return TokKind::Plus;
+    case TokKind::MinusAssign: return TokKind::Minus;
+    case TokKind::StarAssign: return TokKind::Star;
+    case TokKind::SlashAssign: return TokKind::Slash;
+    case TokKind::PercentAssign: return TokKind::Percent;
+    case TokKind::ShlAssign: return TokKind::Shl;
+    case TokKind::ShrAssign: return TokKind::Shr;
+    case TokKind::AmpAssign: return TokKind::Amp;
+    case TokKind::PipeAssign: return TokKind::Pipe;
+    case TokKind::CaretAssign: return TokKind::Caret;
+    default: return K;
+    }
+  }
+
+  RValue genBinary(Expr *E) {
+    // Short-circuit operators as values: materialize through a phi.
+    if (E->Op == TokKind::AmpAmp || E->Op == TokKind::PipePipe) {
+      BasicBlock *TBB = CurFn->createBlock("scc.true");
+      BasicBlock *FBB = CurFn->createBlock("scc.false");
+      BasicBlock *End = CurFn->createBlock("scc.end");
+      genCond(E, TBB, FBB);
+      IRB.setInsertPoint(TBB);
+      IRB.createJmp(End);
+      IRB.setInsertPoint(FBB);
+      IRB.createJmp(End);
+      IRB.setInsertPoint(End);
+      Instruction *Phi = IRB.createPhi("scc");
+      IRBuilder::addPhiIncoming(Phi, IRB.getInt(1), TBB);
+      IRBuilder::addPhiIncoming(Phi, IRB.getInt(0), FBB);
+      return {Phi, Types.intTy()};
+    }
+    RValue L = genRValue(E->Kids[0].get());
+    RValue R = genRValue(E->Kids[1].get());
+    return applyBinary(E->Op, L, R, E->Loc);
+  }
+
+  RValue applyBinary(TokKind Op, RValue L, RValue R, SourceLoc Loc) {
+    if (Diags.hasErrors())
+      return {IRB.getInt(0), Types.intTy()};
+    bool LPtr = Types.isPtr(L.TypeId), RPtr = Types.isPtr(R.TypeId);
+
+    // Pointer arithmetic.
+    if (Op == TokKind::Plus && (LPtr || RPtr) && !(LPtr && RPtr)) {
+      RValue Ptr = LPtr ? L : R;
+      RValue Idx = LPtr ? R : L;
+      int Elem = Types.get(Ptr.TypeId).Elem;
+      Instruction *G = IRB.createGep(Ptr.V, Idx.V,
+                                     int32_t(Types.sizeOf(Elem)), 0, "pa");
+      return {G, Ptr.TypeId};
+    }
+    if (Op == TokKind::Minus && LPtr && !RPtr) {
+      int Elem = Types.get(L.TypeId).Elem;
+      Instruction *Neg = IRB.createSub(IRB.getInt(0), R.V, "nidx");
+      Instruction *G =
+          IRB.createGep(L.V, Neg, int32_t(Types.sizeOf(Elem)), 0, "pa");
+      return {G, L.TypeId};
+    }
+    if (Op == TokKind::Minus && LPtr && RPtr) {
+      int Elem = Types.get(L.TypeId).Elem;
+      Instruction *Diff = IRB.createSub(L.V, R.V, "pd");
+      Instruction *Div = IRB.createBinary(
+          Opcode::SDiv, Diff, IRB.getInt(int32_t(Types.sizeOf(Elem))),
+          "pdiv");
+      return {Div, Types.intTy()};
+    }
+
+    bool Unsigned = isUnsignedTy(L.TypeId) || isUnsignedTy(R.TypeId);
+    int ResultTy = Unsigned ? Types.uintTy() : Types.intTy();
+    switch (Op) {
+    case TokKind::Plus:
+      return {IRB.createAdd(L.V, R.V, "add"), ResultTy};
+    case TokKind::Minus:
+      return {IRB.createSub(L.V, R.V, "sub"), ResultTy};
+    case TokKind::Star:
+      return {IRB.createMul(L.V, R.V, "mul"), ResultTy};
+    case TokKind::Slash:
+      return {IRB.createBinary(Unsigned ? Opcode::UDiv : Opcode::SDiv, L.V,
+                               R.V, "div"),
+              ResultTy};
+    case TokKind::Percent:
+      return {IRB.createBinary(Unsigned ? Opcode::URem : Opcode::SRem, L.V,
+                               R.V, "rem"),
+              ResultTy};
+    case TokKind::Shl:
+      return {IRB.createBinary(Opcode::Shl, L.V, R.V, "shl"), L.TypeId};
+    case TokKind::Shr:
+      return {IRB.createBinary(isUnsignedTy(L.TypeId) ? Opcode::LShr
+                                                      : Opcode::AShr,
+                               L.V, R.V, "shr"),
+              L.TypeId};
+    case TokKind::Amp:
+      return {IRB.createBinary(Opcode::And, L.V, R.V, "and"), ResultTy};
+    case TokKind::Pipe:
+      return {IRB.createBinary(Opcode::Or, L.V, R.V, "or"), ResultTy};
+    case TokKind::Caret:
+      return {IRB.createBinary(Opcode::Xor, L.V, R.V, "xor"), ResultTy};
+    case TokKind::Lt:
+    case TokKind::Gt:
+    case TokKind::Le:
+    case TokKind::Ge:
+    case TokKind::EqEq:
+    case TokKind::NotEq: {
+      CmpPred P;
+      switch (Op) {
+      case TokKind::Lt: P = Unsigned ? CmpPred::ULT : CmpPred::SLT; break;
+      case TokKind::Gt: P = Unsigned ? CmpPred::UGT : CmpPred::SGT; break;
+      case TokKind::Le: P = Unsigned ? CmpPred::ULE : CmpPred::SLE; break;
+      case TokKind::Ge: P = Unsigned ? CmpPred::UGE : CmpPred::SGE; break;
+      case TokKind::EqEq: P = CmpPred::EQ; break;
+      default: P = CmpPred::NE; break;
+      }
+      return {IRB.createICmp(P, L.V, R.V, "cmp"), Types.intTy()};
+    }
+    default:
+      Diags.error(Loc, "unsupported binary operator");
+      return {IRB.getInt(0), Types.intTy()};
+    }
+  }
+
+  RValue genCall(Expr *E) {
+    // The output-port builtin.
+    if (E->Name == "__out") {
+      if (E->Kids.size() != 1) {
+        Diags.error(E->Loc, "__out takes exactly one argument");
+        return {IRB.getInt(0), Types.intTy()};
+      }
+      RValue V = genRValue(E->Kids[0].get());
+      IRB.createOut(V.V);
+      return {IRB.getInt(0), Types.intTy()};
+    }
+    Function *Callee = M->getFunction(E->Name);
+    if (!Callee) {
+      Diags.error(E->Loc, "call to undeclared function '" + E->Name + "'");
+      return {IRB.getInt(0), Types.intTy()};
+    }
+    if (Callee->getNumParams() != E->Kids.size()) {
+      Diags.error(E->Loc, "wrong number of arguments to '" + E->Name +
+                              "'");
+      return {IRB.getInt(0), Types.intTy()};
+    }
+    std::vector<Value *> Args;
+    const FunctionDecl *FD = FuncDecls.at(Callee);
+    for (unsigned I = 0; I != E->Kids.size(); ++I) {
+      RValue A = genRValue(E->Kids[I].get());
+      if (Diags.hasErrors())
+        return {IRB.getInt(0), Types.intTy()};
+      Args.push_back(convertTo(A, FD->Params[I].TypeId).V);
+    }
+    Instruction *C = IRB.createCall(Callee, std::move(Args), E->Name);
+    return {Callee->returnsValue() ? static_cast<Value *>(C)
+                                   : static_cast<Value *>(IRB.getInt(0)),
+            FD->RetTypeId};
+  }
+
+  // --- Lvalues ---------------------------------------------------------------------------
+  LValue genLValue(Expr *E) {
+    if (Diags.hasErrors())
+      return {IRB.getInt(0), Types.intTy()};
+    switch (E->K) {
+    case Expr::Kind::Ident: {
+      if (const LocalVar *LV = lookupLocal(E->Name))
+        return {LV->Addr, LV->TypeId};
+      if (GlobalVariable *G = M->getGlobal(E->Name))
+        return {G, GlobalTypes.at(G)};
+      Diags.error(E->Loc, "use of undeclared identifier '" + E->Name +
+                              "'");
+      return {IRB.getInt(0), Types.intTy()};
+    }
+    case Expr::Kind::Unary:
+      if (E->Op == TokKind::Star) {
+        RValue P = genRValue(E->Kids[0].get());
+        if (Diags.hasErrors())
+          return {IRB.getInt(0), Types.intTy()};
+        if (!Types.isPtr(P.TypeId)) {
+          Diags.error(E->Loc, "dereference of a non-pointer");
+          return {IRB.getInt(0), Types.intTy()};
+        }
+        return {P.V, Types.get(P.TypeId).Elem};
+      }
+      break;
+    case Expr::Kind::Index: {
+      RValue Base = genRValue(E->Kids[0].get()); // Decays arrays.
+      RValue Idx = genRValue(E->Kids[1].get());
+      if (Diags.hasErrors())
+        return {IRB.getInt(0), Types.intTy()};
+      if (!Types.isPtr(Base.TypeId)) {
+        Diags.error(E->Loc, "subscript of a non-pointer/array");
+        return {IRB.getInt(0), Types.intTy()};
+      }
+      int Elem = Types.get(Base.TypeId).Elem;
+      Instruction *Addr = IRB.createGep(
+          Base.V, Idx.V, int32_t(Types.sizeOf(Elem)), 0, "idx");
+      return {Addr, Elem};
+    }
+    default:
+      break;
+    }
+    Diags.error(E->Loc, "expression is not assignable");
+    return {IRB.getInt(0), Types.intTy()};
+  }
+
+  TranslationUnit &TU;
+  TypeTable &Types;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<Module> M;
+  IRBuilder IRB;
+
+  Function *CurFn = nullptr;
+  const FunctionDecl *CurDecl = nullptr;
+  std::vector<std::unordered_map<std::string, LocalVar>> Scopes;
+  std::vector<BasicBlock *> BreakTargets, ContinueTargets;
+  std::unordered_map<const GlobalVariable *, int> GlobalTypes;
+  std::unordered_map<const Function *, const FunctionDecl *> FuncDecls;
+};
+
+} // namespace
+
+std::unique_ptr<Module> wario::generateIR(TranslationUnit &TU,
+                                          const std::string &ModuleName,
+                                          DiagnosticEngine &Diags) {
+  if (Diags.hasErrors())
+    return nullptr;
+  CodeGen CG(TU, ModuleName, Diags);
+  return CG.run();
+}

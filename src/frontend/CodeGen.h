@@ -1,0 +1,24 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR generation from the C-subset AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_FRONTEND_CODEGEN_H
+#define WARIO_FRONTEND_CODEGEN_H
+
+#include "frontend/AST.h"
+#include "ir/Module.h"
+
+namespace wario {
+
+/// Lowers a translation unit to an IR module. Returns null after
+/// reporting diagnostics on semantic errors.
+std::unique_ptr<Module> generateIR(TranslationUnit &TU,
+                                   const std::string &ModuleName,
+                                   DiagnosticEngine &Diags);
+
+} // namespace wario
+
+#endif // WARIO_FRONTEND_CODEGEN_H

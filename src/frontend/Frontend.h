@@ -1,0 +1,29 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call front end: C subset source text -> IR module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_FRONTEND_FRONTEND_H
+#define WARIO_FRONTEND_FRONTEND_H
+
+#include "frontend/CodeGen.h"
+#include "frontend/Parser.h"
+
+namespace wario {
+
+/// Compiles \p Source to IR. Returns null on any diagnostic error;
+/// details are in \p Diags.
+inline std::unique_ptr<Module> compileC(const std::string &Source,
+                                        const std::string &ModuleName,
+                                        DiagnosticEngine &Diags) {
+  std::unique_ptr<TranslationUnit> TU = parseC(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  return generateIR(*TU, ModuleName, Diags);
+}
+
+} // namespace wario
+
+#endif // WARIO_FRONTEND_FRONTEND_H

@@ -1,0 +1,334 @@
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace wario;
+
+const char *wario::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::End: return "end of input";
+  case TokKind::Identifier: return "identifier";
+  case TokKind::IntLiteral: return "integer literal";
+  case TokKind::KwVoid: return "'void'";
+  case TokKind::KwChar: return "'char'";
+  case TokKind::KwShort: return "'short'";
+  case TokKind::KwInt: return "'int'";
+  case TokKind::KwLong: return "'long'";
+  case TokKind::KwUnsigned: return "'unsigned'";
+  case TokKind::KwSigned: return "'signed'";
+  case TokKind::KwConst: return "'const'";
+  case TokKind::KwStatic: return "'static'";
+  case TokKind::KwVolatile: return "'volatile'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwWhile: return "'while'";
+  case TokKind::KwFor: return "'for'";
+  case TokKind::KwDo: return "'do'";
+  case TokKind::KwBreak: return "'break'";
+  case TokKind::KwContinue: return "'continue'";
+  case TokKind::KwReturn: return "'return'";
+  case TokKind::KwSizeof: return "'sizeof'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Semicolon: return "';'";
+  case TokKind::Comma: return "','";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::Amp: return "'&'";
+  case TokKind::Pipe: return "'|'";
+  case TokKind::Caret: return "'^'";
+  case TokKind::Tilde: return "'~'";
+  case TokKind::Bang: return "'!'";
+  case TokKind::Shl: return "'<<'";
+  case TokKind::Shr: return "'>>'";
+  case TokKind::Lt: return "'<'";
+  case TokKind::Gt: return "'>'";
+  case TokKind::Le: return "'<='";
+  case TokKind::Ge: return "'>='";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::NotEq: return "'!='";
+  case TokKind::AmpAmp: return "'&&'";
+  case TokKind::PipePipe: return "'||'";
+  case TokKind::Question: return "'?'";
+  case TokKind::Colon: return "':'";
+  case TokKind::Assign: return "'='";
+  case TokKind::PlusAssign: return "'+='";
+  case TokKind::MinusAssign: return "'-='";
+  case TokKind::StarAssign: return "'*='";
+  case TokKind::SlashAssign: return "'/='";
+  case TokKind::PercentAssign: return "'%='";
+  case TokKind::ShlAssign: return "'<<='";
+  case TokKind::ShrAssign: return "'>>='";
+  case TokKind::AmpAssign: return "'&='";
+  case TokKind::PipeAssign: return "'|='";
+  case TokKind::CaretAssign: return "'^='";
+  case TokKind::PlusPlus: return "'++'";
+  case TokKind::MinusMinus: return "'--'";
+  }
+  return "<bad token>";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokKind> &keywords() {
+  static const std::unordered_map<std::string, TokKind> Map = {
+      {"void", TokKind::KwVoid},         {"char", TokKind::KwChar},
+      {"short", TokKind::KwShort},       {"int", TokKind::KwInt},
+      {"long", TokKind::KwLong},         {"unsigned", TokKind::KwUnsigned},
+      {"signed", TokKind::KwSigned},     {"const", TokKind::KwConst},
+      {"static", TokKind::KwStatic},     {"volatile", TokKind::KwVolatile},
+      {"if", TokKind::KwIf},             {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},       {"for", TokKind::KwFor},
+      {"do", TokKind::KwDo},             {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"return", TokKind::KwReturn},
+      {"sizeof", TokKind::KwSizeof},
+  };
+  return Map;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, DiagnosticEngine &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Toks;
+    while (true) {
+      skipTrivia();
+      Token T = next();
+      Toks.push_back(T);
+      if (T.Kind == TokKind::End)
+        break;
+    }
+    return Toks;
+  }
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  SourceLoc here() const { return {Line, Col}; }
+
+  void skipTrivia() {
+    while (true) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = here();
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (peek() == '\0') {
+            Diags.error(Start, "unterminated block comment");
+            return;
+          }
+          advance();
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind K, SourceLoc Loc) {
+    Token T;
+    T.Kind = K;
+    T.Loc = Loc;
+    return T;
+  }
+
+  Token next() {
+    SourceLoc Loc = here();
+    char C = peek();
+    if (C == '\0')
+      return make(TokKind::End, Loc);
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_')
+        Ident += advance();
+      auto It = keywords().find(Ident);
+      if (It != keywords().end())
+        return make(It->second, Loc);
+      Token T = make(TokKind::Identifier, Loc);
+      T.Text = std::move(Ident);
+      return T;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(Loc);
+
+    if (C == '\'')
+      return lexCharLiteral(Loc);
+
+    return lexPunct(Loc);
+  }
+
+  Token lexNumber(SourceLoc Loc) {
+    Token T = make(TokKind::IntLiteral, Loc);
+    uint64_t V = 0;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      bool Any = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char D = advance();
+        unsigned Digit = std::isdigit(static_cast<unsigned char>(D))
+                             ? unsigned(D - '0')
+                             : unsigned(std::tolower(D) - 'a') + 10;
+        V = V * 16 + Digit;
+        Any = true;
+      }
+      if (!Any)
+        Diags.error(Loc, "hexadecimal literal needs at least one digit");
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        V = V * 10 + uint64_t(advance() - '0');
+    }
+    // Integer suffixes are accepted and ignored (everything is 32-bit).
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+      advance();
+    if (V > 0xFFFFFFFFull)
+      Diags.error(Loc, "integer literal does not fit in 32 bits");
+    T.IntValue = V;
+    return T;
+  }
+
+  Token lexCharLiteral(SourceLoc Loc) {
+    advance(); // opening quote
+    Token T = make(TokKind::IntLiteral, Loc);
+    char C = advance();
+    if (C == '\\') {
+      char E = advance();
+      switch (E) {
+      case 'n': T.IntValue = '\n'; break;
+      case 't': T.IntValue = '\t'; break;
+      case 'r': T.IntValue = '\r'; break;
+      case '0': T.IntValue = 0; break;
+      case '\\': T.IntValue = '\\'; break;
+      case '\'': T.IntValue = '\''; break;
+      default:
+        Diags.error(Loc, "unsupported escape sequence");
+      }
+    } else {
+      T.IntValue = uint64_t(uint8_t(C));
+    }
+    if (peek() == '\'')
+      advance();
+    else
+      Diags.error(Loc, "unterminated character literal");
+    return T;
+  }
+
+  Token lexPunct(SourceLoc Loc) {
+    char C = advance();
+    auto Two = [&](char Next, TokKind Long, TokKind Short) {
+      if (peek() == Next) {
+        advance();
+        return make(Long, Loc);
+      }
+      return make(Short, Loc);
+    };
+    switch (C) {
+    case '(': return make(TokKind::LParen, Loc);
+    case ')': return make(TokKind::RParen, Loc);
+    case '{': return make(TokKind::LBrace, Loc);
+    case '}': return make(TokKind::RBrace, Loc);
+    case '[': return make(TokKind::LBracket, Loc);
+    case ']': return make(TokKind::RBracket, Loc);
+    case ';': return make(TokKind::Semicolon, Loc);
+    case ',': return make(TokKind::Comma, Loc);
+    case '?': return make(TokKind::Question, Loc);
+    case ':': return make(TokKind::Colon, Loc);
+    case '~': return make(TokKind::Tilde, Loc);
+    case '+':
+      if (peek() == '+') {
+        advance();
+        return make(TokKind::PlusPlus, Loc);
+      }
+      return Two('=', TokKind::PlusAssign, TokKind::Plus);
+    case '-':
+      if (peek() == '-') {
+        advance();
+        return make(TokKind::MinusMinus, Loc);
+      }
+      return Two('=', TokKind::MinusAssign, TokKind::Minus);
+    case '*': return Two('=', TokKind::StarAssign, TokKind::Star);
+    case '/': return Two('=', TokKind::SlashAssign, TokKind::Slash);
+    case '%': return Two('=', TokKind::PercentAssign, TokKind::Percent);
+    case '!': return Two('=', TokKind::NotEq, TokKind::Bang);
+    case '=': return Two('=', TokKind::EqEq, TokKind::Assign);
+    case '^': return Two('=', TokKind::CaretAssign, TokKind::Caret);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AmpAmp, Loc);
+      }
+      return Two('=', TokKind::AmpAssign, TokKind::Amp);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::PipePipe, Loc);
+      }
+      return Two('=', TokKind::PipeAssign, TokKind::Pipe);
+    case '<':
+      if (peek() == '<') {
+        advance();
+        return Two('=', TokKind::ShlAssign, TokKind::Shl);
+      }
+      return Two('=', TokKind::Le, TokKind::Lt);
+    case '>':
+      if (peek() == '>') {
+        advance();
+        return Two('=', TokKind::ShrAssign, TokKind::Shr);
+      }
+      return Two('=', TokKind::Ge, TokKind::Gt);
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      return next();
+    }
+  }
+
+  const std::string &Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> wario::tokenize(const std::string &Source,
+                                   DiagnosticEngine &Diags) {
+  LexerImpl L(Source, Diags);
+  return L.run();
+}

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the C subset accepted by the WARio front end (Section 3.1.1:
+/// "WARio takes the C code of a project ... and converts it to IR").
+///
+/// The subset covers what the evaluation benchmarks need: the integer
+/// type family, pointers, multi-dimensional arrays, all integer
+/// operators, full statement-level control flow, and functions. No
+/// preprocessor, structs, floats, or strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_FRONTEND_LEXER_H
+#define WARIO_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wario {
+
+enum class TokKind : uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwUnsigned, KwSigned,
+  KwConst, KwStatic, KwVolatile,
+  KwIf, KwElse, KwWhile, KwFor, KwDo, KwBreak, KwContinue, KwReturn,
+  KwSizeof,
+  // Punctuation and operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Comma,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  AmpAmp, PipePipe,
+  Question, Colon,
+  Assign,
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  ShlAssign, ShrAssign, AmpAssign, PipeAssign, CaretAssign,
+  PlusPlus, MinusMinus,
+};
+
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  SourceLoc Loc;
+  std::string Text;   ///< Identifier spelling.
+  uint64_t IntValue = 0;
+};
+
+/// Tokenizes \p Source. Errors (bad characters, unterminated comments)
+/// are reported to \p Diags; lexing continues where possible.
+std::vector<Token> tokenize(const std::string &Source,
+                            DiagnosticEngine &Diags);
+
+} // namespace wario
+
+#endif // WARIO_FRONTEND_LEXER_H

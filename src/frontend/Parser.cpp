@@ -1,0 +1,748 @@
+#include "frontend/Parser.h"
+
+#include <optional>
+
+using namespace wario;
+
+namespace {
+
+/// Binding powers for binary operators (higher binds tighter).
+int binaryPrec(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe: return 1;
+  case TokKind::AmpAmp: return 2;
+  case TokKind::Pipe: return 3;
+  case TokKind::Caret: return 4;
+  case TokKind::Amp: return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq: return 6;
+  case TokKind::Lt:
+  case TokKind::Gt:
+  case TokKind::Le:
+  case TokKind::Ge: return 7;
+  case TokKind::Shl:
+  case TokKind::Shr: return 8;
+  case TokKind::Plus:
+  case TokKind::Minus: return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent: return 10;
+  default: return -1;
+  }
+}
+
+bool isAssignOp(TokKind K) {
+  switch (K) {
+  case TokKind::Assign:
+  case TokKind::PlusAssign:
+  case TokKind::MinusAssign:
+  case TokKind::StarAssign:
+  case TokKind::SlashAssign:
+  case TokKind::PercentAssign:
+  case TokKind::ShlAssign:
+  case TokKind::ShrAssign:
+  case TokKind::AmpAssign:
+  case TokKind::PipeAssign:
+  case TokKind::CaretAssign:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool startsType(TokKind K) {
+  switch (K) {
+  case TokKind::KwVoid:
+  case TokKind::KwChar:
+  case TokKind::KwShort:
+  case TokKind::KwInt:
+  case TokKind::KwLong:
+  case TokKind::KwUnsigned:
+  case TokKind::KwSigned:
+  case TokKind::KwConst:
+  case TokKind::KwStatic:
+  case TokKind::KwVolatile:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, DiagnosticEngine &Diags)
+      : Toks(std::move(Toks)), Diags(Diags),
+        TU(std::make_unique<TranslationUnit>()) {}
+
+  std::unique_ptr<TranslationUnit> run() {
+    while (!at(TokKind::End) && !Diags.hasErrors())
+      parseTopLevel();
+    return std::move(TU);
+  }
+
+private:
+  // --- Token plumbing ---------------------------------------------------------
+  const Token &peek(unsigned Ahead = 0) const {
+    unsigned I = std::min<size_t>(Pos + Ahead, Toks.size() - 1);
+    return Toks[I];
+  }
+  bool at(TokKind K) const { return peek().Kind == K; }
+  Token consume() { return Toks[std::min(Pos++, Toks.size() - 1)]; }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    consume();
+    return true;
+  }
+  Token expect(TokKind K) {
+    if (at(K))
+      return consume();
+    Diags.error(peek().Loc, std::string("expected ") + tokKindName(K) +
+                                ", found " + tokKindName(peek().Kind));
+    return peek();
+  }
+
+  TypeTable &types() { return TU->Types; }
+
+  // --- Types ---------------------------------------------------------------------
+  /// Parses declaration specifiers into a base type id.
+  int parseDeclSpec() {
+    SourceLoc Loc = peek().Loc;
+    bool SawUnsigned = false, SawSigned = false, SawBase = false;
+    unsigned Bits = 32;
+    bool IsVoid = false;
+    bool Any = false;
+    while (true) {
+      switch (peek().Kind) {
+      case TokKind::KwConst:
+      case TokKind::KwStatic:
+      case TokKind::KwVolatile:
+        consume();
+        continue;
+      case TokKind::KwUnsigned:
+        SawUnsigned = true;
+        consume();
+        Any = true;
+        continue;
+      case TokKind::KwSigned:
+        SawSigned = true;
+        consume();
+        Any = true;
+        continue;
+      case TokKind::KwVoid:
+        IsVoid = true;
+        SawBase = true;
+        consume();
+        Any = true;
+        continue;
+      case TokKind::KwChar:
+        Bits = 8;
+        SawBase = true;
+        consume();
+        Any = true;
+        continue;
+      case TokKind::KwShort:
+        Bits = 16;
+        SawBase = true;
+        consume();
+        Any = true;
+        // Allow "short int".
+        accept(TokKind::KwInt);
+        continue;
+      case TokKind::KwLong:
+        Bits = 32;
+        SawBase = true;
+        consume();
+        Any = true;
+        accept(TokKind::KwInt);
+        continue;
+      case TokKind::KwInt:
+        Bits = 32;
+        SawBase = true;
+        consume();
+        Any = true;
+        continue;
+      default:
+        break;
+      }
+      break;
+    }
+    if (!Any) {
+      Diags.error(Loc, "expected a type");
+      return types().intTy();
+    }
+    if (IsVoid)
+      return types().voidTy();
+    // Plain char is unsigned (ARM AAPCS convention); "signed char" opts in.
+    bool Signed = Bits == 8 ? SawSigned : !SawUnsigned;
+    if (SawUnsigned)
+      Signed = false;
+    (void)SawBase;
+    return types().makeInt(Bits, Signed);
+  }
+
+  /// Parses '*'* name suffix-dims; returns the full type and name.
+  std::pair<int, std::string> parseDeclarator(int Base) {
+    while (accept(TokKind::Star))
+      Base = types().ptrTo(Base);
+    Token Name = expect(TokKind::Identifier);
+    std::vector<uint32_t> Dims;
+    while (accept(TokKind::LBracket)) {
+      std::unique_ptr<Expr> DimE = parseAssign();
+      std::optional<int64_t> V = evalConst(DimE.get());
+      if (!V || *V <= 0) {
+        Diags.error(Name.Loc, "array dimension must be a positive "
+                              "constant expression");
+        V = 1;
+      }
+      Dims.push_back(uint32_t(*V));
+      expect(TokKind::RBracket);
+    }
+    for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+      Base = types().arrayOf(Base, *It);
+    return {Base, Name.Text};
+  }
+
+  // --- Constant expressions ---------------------------------------------------------
+  std::optional<int64_t> evalConst(const Expr *E) {
+    if (!E)
+      return std::nullopt;
+    switch (E->K) {
+    case Expr::Kind::IntLit:
+      return int64_t(int32_t(E->IntValue));
+    case Expr::Kind::SizeofType:
+      return int64_t(types().sizeOf(E->TypeId));
+    case Expr::Kind::Cast:
+      return evalConst(E->Kids[0].get());
+    case Expr::Kind::Unary: {
+      std::optional<int64_t> V = evalConst(E->Kids[0].get());
+      if (!V)
+        return std::nullopt;
+      int32_t X = int32_t(*V);
+      switch (E->Op) {
+      case TokKind::Minus: return int64_t(int32_t(-uint32_t(X)));
+      case TokKind::Tilde: return int64_t(~X);
+      case TokKind::Bang: return int64_t(X == 0 ? 1 : 0);
+      default: return std::nullopt;
+      }
+    }
+    case Expr::Kind::Binary: {
+      std::optional<int64_t> A = evalConst(E->Kids[0].get());
+      std::optional<int64_t> B = evalConst(E->Kids[1].get());
+      if (!A || !B)
+        return std::nullopt;
+      uint32_t X = uint32_t(*A), Y = uint32_t(*B);
+      int32_t SX = int32_t(X), SY = int32_t(Y);
+      switch (E->Op) {
+      case TokKind::Plus: return int64_t(int32_t(X + Y));
+      case TokKind::Minus: return int64_t(int32_t(X - Y));
+      case TokKind::Star: return int64_t(int32_t(X * Y));
+      case TokKind::Slash:
+        return SY == 0 ? std::nullopt
+                       : std::optional<int64_t>(int64_t(SX / SY));
+      case TokKind::Percent:
+        return SY == 0 ? std::nullopt
+                       : std::optional<int64_t>(int64_t(SX % SY));
+      case TokKind::Shl: return int64_t(int32_t(X << (Y & 31)));
+      case TokKind::Shr: return int64_t(int32_t(X >> (Y & 31)));
+      case TokKind::Amp: return int64_t(int32_t(X & Y));
+      case TokKind::Pipe: return int64_t(int32_t(X | Y));
+      case TokKind::Caret: return int64_t(int32_t(X ^ Y));
+      case TokKind::Lt: return SX < SY;
+      case TokKind::Gt: return SX > SY;
+      case TokKind::Le: return SX <= SY;
+      case TokKind::Ge: return SX >= SY;
+      case TokKind::EqEq: return X == Y;
+      case TokKind::NotEq: return X != Y;
+      case TokKind::AmpAmp: return (X && Y) ? 1 : 0;
+      case TokKind::PipePipe: return (X || Y) ? 1 : 0;
+      default: return std::nullopt;
+      }
+    }
+    case Expr::Kind::Ternary: {
+      std::optional<int64_t> C = evalConst(E->Kids[0].get());
+      if (!C)
+        return std::nullopt;
+      return evalConst(E->Kids[*C != 0 ? 1 : 2].get());
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+
+  // --- Top level ------------------------------------------------------------------------
+  void parseTopLevel() {
+    int Base = parseDeclSpec();
+    // Function or global(s).
+    bool First = true;
+    while (true) {
+      auto [Ty, Name] = parseDeclarator(Base);
+      if (First && at(TokKind::LParen)) {
+        parseFunctionRest(Ty, Name);
+        return;
+      }
+      First = false;
+      parseGlobalRest(Ty, Name);
+      if (accept(TokKind::Comma))
+        continue;
+      expect(TokKind::Semicolon);
+      return;
+    }
+  }
+
+  void parseFunctionRest(int RetTy, std::string Name) {
+    SourceLoc Loc = peek().Loc;
+    expect(TokKind::LParen);
+    FunctionDecl FD;
+    FD.Name = std::move(Name);
+    FD.RetTypeId = RetTy;
+    FD.Loc = Loc;
+    if (at(TokKind::KwVoid) && peek(1).Kind == TokKind::RParen) {
+      consume();
+    } else if (!at(TokKind::RParen)) {
+      do {
+        int PBase = parseDeclSpec();
+        auto [PTy, PName] = parseDeclarator(PBase);
+        // Array parameters decay to pointers.
+        PTy = types().decay(PTy);
+        FD.Params.push_back({std::move(PName), PTy});
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen);
+    if (accept(TokKind::Semicolon)) {
+      TU->Functions.push_back(std::move(FD)); // Forward declaration.
+      return;
+    }
+    FD.Body = parseBlock();
+    TU->Functions.push_back(std::move(FD));
+  }
+
+  void parseGlobalRest(int Ty, std::string Name) {
+    GlobalDecl GD;
+    GD.Name = std::move(Name);
+    GD.TypeId = Ty;
+    GD.Loc = peek().Loc;
+    if (accept(TokKind::Assign))
+      parseGlobalInit(Ty, GD.InitValues);
+    TU->Globals.push_back(std::move(GD));
+  }
+
+  /// Parses a constant initializer for \p Ty, flattening into \p Out and
+  /// zero-filling to the type's full element count.
+  void parseGlobalInit(int Ty, std::vector<int64_t> &Out) {
+    size_t Before = Out.size();
+    parseInitInto(Ty, Out);
+    size_t Want = elementCount(Ty);
+    if (Out.size() - Before > Want)
+      Diags.error(peek().Loc, "too many initializers");
+    Out.resize(Before + Want, 0);
+  }
+
+  size_t elementCount(int Ty) {
+    const CType &T = types().get(Ty);
+    if (T.K == CType::Kind::Array)
+      return T.ArrayLen * elementCount(T.Elem);
+    return 1;
+  }
+
+  void parseInitInto(int Ty, std::vector<int64_t> &Out) {
+    const CType &T = types().get(Ty);
+    if (T.K == CType::Kind::Array && accept(TokKind::LBrace)) {
+      size_t Start = Out.size();
+      if (!at(TokKind::RBrace)) {
+        uint32_t Index = 0;
+        do {
+          if (at(TokKind::RBrace))
+            break; // Trailing comma.
+          if (at(TokKind::LBrace)) {
+            // Nested initializer for one element row.
+            std::vector<int64_t> Row;
+            parseInitInto(T.Elem, Row);
+            Row.resize(elementCount(T.Elem), 0);
+            Out.insert(Out.end(), Row.begin(), Row.end());
+          } else {
+            std::unique_ptr<Expr> E = parseAssign();
+            std::optional<int64_t> V = evalConst(E.get());
+            if (!V) {
+              Diags.error(E ? E->Loc : peek().Loc,
+                          "global initializer must be constant");
+              V = 0;
+            }
+            Out.push_back(*V);
+          }
+          ++Index;
+        } while (accept(TokKind::Comma));
+        (void)Index;
+      }
+      expect(TokKind::RBrace);
+      size_t Want = elementCount(Ty);
+      if (Out.size() - Start > Want)
+        Diags.error(peek().Loc, "too many initializers in array");
+      Out.resize(Start + Want, 0);
+      return;
+    }
+    // Scalar initializer.
+    std::unique_ptr<Expr> E = parseAssign();
+    std::optional<int64_t> V = evalConst(E.get());
+    if (!V) {
+      Diags.error(E ? E->Loc : peek().Loc,
+                  "global initializer must be constant");
+      V = 0;
+    }
+    Out.push_back(*V);
+  }
+
+  // --- Statements ------------------------------------------------------------------------
+  std::unique_ptr<Stmt> parseBlock() {
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::Block;
+    S->Loc = peek().Loc;
+    expect(TokKind::LBrace);
+    while (!at(TokKind::RBrace) && !at(TokKind::End) && !Diags.hasErrors())
+      parseStmtInto(S->Body);
+    expect(TokKind::RBrace);
+    return S;
+  }
+
+  /// Parses one statement; declarations may expand into several.
+  void parseStmtInto(std::vector<std::unique_ptr<Stmt>> &Out) {
+    if (startsType(peek().Kind)) {
+      parseLocalDecls(Out);
+      return;
+    }
+    Out.push_back(parseStmt());
+  }
+
+  void parseLocalDecls(std::vector<std::unique_ptr<Stmt>> &Out) {
+    int Base = parseDeclSpec();
+    do {
+      auto [Ty, Name] = parseDeclarator(Base);
+      auto D = std::make_unique<Stmt>();
+      D->K = Stmt::Kind::Decl;
+      D->Loc = peek().Loc;
+      D->Name = std::move(Name);
+      D->TypeId = Ty;
+      if (accept(TokKind::Assign)) {
+        if (at(TokKind::LBrace)) {
+          // Local array initializer: elements become explicit stores.
+          expect(TokKind::LBrace);
+          if (!at(TokKind::RBrace)) {
+            do {
+              if (at(TokKind::RBrace))
+                break;
+              D->InitList.push_back(parseAssign());
+            } while (accept(TokKind::Comma));
+          }
+          expect(TokKind::RBrace);
+        } else {
+          D->E = parseAssign();
+        }
+      }
+      Out.push_back(std::move(D));
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semicolon);
+  }
+
+  std::unique_ptr<Stmt> parseStmt() {
+    SourceLoc Loc = peek().Loc;
+    auto Make = [&](Stmt::Kind K) {
+      auto S = std::make_unique<Stmt>();
+      S->K = K;
+      S->Loc = Loc;
+      return S;
+    };
+    switch (peek().Kind) {
+    case TokKind::LBrace:
+      return parseBlock();
+    case TokKind::Semicolon:
+      consume();
+      return Make(Stmt::Kind::Empty);
+    case TokKind::KwIf: {
+      consume();
+      auto S = Make(Stmt::Kind::If);
+      expect(TokKind::LParen);
+      S->E = parseExpr();
+      expect(TokKind::RParen);
+      S->S1 = parseStmt();
+      if (accept(TokKind::KwElse))
+        S->S2 = parseStmt();
+      return S;
+    }
+    case TokKind::KwWhile: {
+      consume();
+      auto S = Make(Stmt::Kind::While);
+      expect(TokKind::LParen);
+      S->E = parseExpr();
+      expect(TokKind::RParen);
+      S->S1 = parseStmt();
+      return S;
+    }
+    case TokKind::KwDo: {
+      consume();
+      auto S = Make(Stmt::Kind::DoWhile);
+      S->S1 = parseStmt();
+      expect(TokKind::KwWhile);
+      expect(TokKind::LParen);
+      S->E = parseExpr();
+      expect(TokKind::RParen);
+      expect(TokKind::Semicolon);
+      return S;
+    }
+    case TokKind::KwFor: {
+      consume();
+      expect(TokKind::LParen);
+      // A for with a declaration initializer desugars to
+      // { decls; for(;cond;step) body }.
+      std::vector<std::unique_ptr<Stmt>> Decls;
+      auto S = Make(Stmt::Kind::For);
+      if (startsType(peek().Kind)) {
+        parseLocalDecls(Decls);
+      } else if (!at(TokKind::Semicolon)) {
+        auto Init = Make(Stmt::Kind::ExprStmt);
+        Init->E = parseExpr();
+        S->S1 = std::move(Init);
+        expect(TokKind::Semicolon);
+      } else {
+        expect(TokKind::Semicolon);
+      }
+      if (!at(TokKind::Semicolon))
+        S->E = parseExpr();
+      expect(TokKind::Semicolon);
+      if (!at(TokKind::RParen))
+        S->E2 = parseExpr();
+      expect(TokKind::RParen);
+      S->S2 = parseStmt();
+      if (Decls.empty())
+        return S;
+      auto Wrap = Make(Stmt::Kind::Block);
+      for (auto &D : Decls)
+        Wrap->Body.push_back(std::move(D));
+      Wrap->Body.push_back(std::move(S));
+      return Wrap;
+    }
+    case TokKind::KwBreak:
+      consume();
+      expect(TokKind::Semicolon);
+      return Make(Stmt::Kind::Break);
+    case TokKind::KwContinue:
+      consume();
+      expect(TokKind::Semicolon);
+      return Make(Stmt::Kind::Continue);
+    case TokKind::KwReturn: {
+      consume();
+      auto S = Make(Stmt::Kind::Return);
+      if (!at(TokKind::Semicolon))
+        S->E = parseExpr();
+      expect(TokKind::Semicolon);
+      return S;
+    }
+    default: {
+      auto S = Make(Stmt::Kind::ExprStmt);
+      S->E = parseExpr();
+      expect(TokKind::Semicolon);
+      return S;
+    }
+    }
+  }
+
+  // --- Expressions ----------------------------------------------------------------------
+  std::unique_ptr<Expr> makeExpr(Expr::Kind K, SourceLoc Loc) {
+    auto E = std::make_unique<Expr>();
+    E->K = K;
+    E->Loc = Loc;
+    return E;
+  }
+
+  std::unique_ptr<Expr> parseExpr() {
+    std::unique_ptr<Expr> E = parseAssign();
+    while (at(TokKind::Comma)) {
+      SourceLoc Loc = consume().Loc;
+      auto C = makeExpr(Expr::Kind::Comma, Loc);
+      C->Kids.push_back(std::move(E));
+      C->Kids.push_back(parseAssign());
+      E = std::move(C);
+    }
+    return E;
+  }
+
+  std::unique_ptr<Expr> parseAssign() {
+    std::unique_ptr<Expr> LHS = parseTernary();
+    if (!isAssignOp(peek().Kind))
+      return LHS;
+    Token Op = consume();
+    auto E = makeExpr(Op.Kind == TokKind::Assign
+                          ? Expr::Kind::Assign
+                          : Expr::Kind::CompoundAssign,
+                      Op.Loc);
+    E->Op = Op.Kind;
+    E->Kids.push_back(std::move(LHS));
+    E->Kids.push_back(parseAssign());
+    return E;
+  }
+
+  std::unique_ptr<Expr> parseTernary() {
+    std::unique_ptr<Expr> Cond = parseBinary(0);
+    if (!at(TokKind::Question))
+      return Cond;
+    SourceLoc Loc = consume().Loc;
+    auto E = makeExpr(Expr::Kind::Ternary, Loc);
+    E->Kids.push_back(std::move(Cond));
+    E->Kids.push_back(parseExpr());
+    expect(TokKind::Colon);
+    E->Kids.push_back(parseAssign());
+    return E;
+  }
+
+  std::unique_ptr<Expr> parseBinary(int MinPrec) {
+    std::unique_ptr<Expr> LHS = parseUnary();
+    while (true) {
+      int Prec = binaryPrec(peek().Kind);
+      if (Prec < 0 || Prec < MinPrec)
+        return LHS;
+      Token Op = consume();
+      std::unique_ptr<Expr> RHS = parseBinary(Prec + 1);
+      auto E = makeExpr(Expr::Kind::Binary, Op.Loc);
+      E->Op = Op.Kind;
+      E->Kids.push_back(std::move(LHS));
+      E->Kids.push_back(std::move(RHS));
+      LHS = std::move(E);
+    }
+  }
+
+  /// True if '(' at the current position begins a cast.
+  bool atCast() const {
+    return at(TokKind::LParen) && startsType(peek(1).Kind);
+  }
+
+  std::unique_ptr<Expr> parseUnary() {
+    SourceLoc Loc = peek().Loc;
+    switch (peek().Kind) {
+    case TokKind::Minus:
+    case TokKind::Tilde:
+    case TokKind::Bang:
+    case TokKind::Star:
+    case TokKind::Amp: {
+      Token Op = consume();
+      auto E = makeExpr(Expr::Kind::Unary, Loc);
+      E->Op = Op.Kind;
+      E->Kids.push_back(parseUnary());
+      return E;
+    }
+    case TokKind::Plus: // Unary plus is a no-op.
+      consume();
+      return parseUnary();
+    case TokKind::PlusPlus:
+    case TokKind::MinusMinus: {
+      Token Op = consume();
+      auto E = makeExpr(Expr::Kind::IncDec, Loc);
+      E->Op = Op.Kind;
+      E->IsPrefix = true;
+      E->Kids.push_back(parseUnary());
+      return E;
+    }
+    case TokKind::KwSizeof: {
+      consume();
+      expect(TokKind::LParen);
+      auto E = makeExpr(Expr::Kind::SizeofType, Loc);
+      int Base = parseDeclSpec();
+      while (accept(TokKind::Star))
+        Base = types().ptrTo(Base);
+      E->TypeId = Base;
+      expect(TokKind::RParen);
+      return E;
+    }
+    case TokKind::LParen:
+      if (atCast()) {
+        consume();
+        int Base = parseDeclSpec();
+        while (accept(TokKind::Star))
+          Base = types().ptrTo(Base);
+        expect(TokKind::RParen);
+        auto E = makeExpr(Expr::Kind::Cast, Loc);
+        E->TypeId = Base;
+        E->Kids.push_back(parseUnary());
+        return E;
+      }
+      return parsePostfix(parsePrimary());
+    default:
+      return parsePostfix(parsePrimary());
+    }
+  }
+
+  std::unique_ptr<Expr> parsePrimary() {
+    SourceLoc Loc = peek().Loc;
+    if (at(TokKind::IntLiteral)) {
+      Token T = consume();
+      auto E = makeExpr(Expr::Kind::IntLit, Loc);
+      E->IntValue = T.IntValue;
+      return E;
+    }
+    if (at(TokKind::Identifier)) {
+      Token T = consume();
+      if (at(TokKind::LParen)) {
+        consume();
+        auto E = makeExpr(Expr::Kind::Call, Loc);
+        E->Name = T.Text;
+        if (!at(TokKind::RParen)) {
+          do {
+            E->Kids.push_back(parseAssign());
+          } while (accept(TokKind::Comma));
+        }
+        expect(TokKind::RParen);
+        return E;
+      }
+      auto E = makeExpr(Expr::Kind::Ident, Loc);
+      E->Name = T.Text;
+      return E;
+    }
+    if (accept(TokKind::LParen)) {
+      std::unique_ptr<Expr> E = parseExpr();
+      expect(TokKind::RParen);
+      return E;
+    }
+    Diags.error(Loc, std::string("expected an expression, found ") +
+                         tokKindName(peek().Kind));
+    consume();
+    return makeExpr(Expr::Kind::IntLit, Loc);
+  }
+
+  std::unique_ptr<Expr> parsePostfix(std::unique_ptr<Expr> E) {
+    while (true) {
+      SourceLoc Loc = peek().Loc;
+      if (accept(TokKind::LBracket)) {
+        auto I = makeExpr(Expr::Kind::Index, Loc);
+        I->Kids.push_back(std::move(E));
+        I->Kids.push_back(parseExpr());
+        expect(TokKind::RBracket);
+        E = std::move(I);
+        continue;
+      }
+      if (at(TokKind::PlusPlus) || at(TokKind::MinusMinus)) {
+        Token Op = consume();
+        auto I = makeExpr(Expr::Kind::IncDec, Loc);
+        I->Op = Op.Kind;
+        I->IsPrefix = false;
+        I->Kids.push_back(std::move(E));
+        E = std::move(I);
+        continue;
+      }
+      return E;
+    }
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<TranslationUnit> TU;
+};
+
+} // namespace
+
+std::unique_ptr<TranslationUnit> wario::parseC(const std::string &Source,
+                                               DiagnosticEngine &Diags) {
+  std::vector<Token> Toks = tokenize(Source, Diags);
+  if (Diags.hasErrors())
+    return std::make_unique<TranslationUnit>();
+  Parser P(std::move(Toks), Diags);
+  return P.run();
+}

@@ -1,0 +1,23 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the C subset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_FRONTEND_PARSER_H
+#define WARIO_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+
+namespace wario {
+
+/// Parses \p Source into a TranslationUnit. On error, diagnostics are
+/// reported and the result may be partial; callers must check
+/// \p Diags.hasErrors().
+std::unique_ptr<TranslationUnit> parseC(const std::string &Source,
+                                        DiagnosticEngine &Diags);
+
+} // namespace wario
+
+#endif // WARIO_FRONTEND_PARSER_H

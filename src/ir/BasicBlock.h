@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock: a straight-line instruction sequence ended by a terminator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_BASICBLOCK_H
+#define WARIO_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <list>
+#include <string>
+#include <vector>
+
+namespace wario {
+
+class Function;
+
+/// A basic block. Instructions are owned by the parent Function's arena;
+/// the block holds an ordered list of attached instructions. Instructions
+/// may only branch at the terminator, so any path leaving the block passes
+/// through every instruction after a given point — a property the WAR
+/// resolution-set computation relies on.
+class BasicBlock {
+public:
+  using iterator = std::list<Instruction *>::iterator;
+  using const_iterator = std::list<Instruction *>::const_iterator;
+
+  BasicBlock(Function *Parent, std::string Name)
+      : Parent(Parent), Name(std::move(Name)) {}
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  Function *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  iterator begin() { return Insts.begin(); }
+  iterator end() { return Insts.end(); }
+  const_iterator begin() const { return Insts.begin(); }
+  const_iterator end() const { return Insts.end(); }
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  Instruction *front() const { return Insts.front(); }
+  Instruction *back() const { return Insts.back(); }
+
+  /// Inserts \p I before \p Pos. \p I must be detached.
+  iterator insert(iterator Pos, Instruction *I);
+  /// Appends \p I at the end of the block.
+  void push_back(Instruction *I) { insert(end(), I); }
+  /// Unlinks \p I from this block (does not destroy it).
+  void remove(Instruction *I);
+
+  /// The block terminator, or nullptr if the block is not yet terminated.
+  Instruction *getTerminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back();
+  }
+
+  /// Successor blocks, read off the terminator.
+  std::vector<BasicBlock *> successors() const;
+  /// Predecessor blocks (maintained lazily by the parent Function).
+  const std::vector<BasicBlock *> &predecessors() const;
+
+  /// First non-phi position; phi nodes must be grouped at the block head.
+  iterator firstNonPhi();
+
+  /// All phi instructions at the head of the block.
+  std::vector<Instruction *> phis() const;
+
+private:
+  friend class Function;
+
+  Function *Parent;
+  std::string Name;
+  std::list<Instruction *> Insts;
+  mutable std::vector<BasicBlock *> Preds; // Cache; see Function::ensureCFG.
+};
+
+} // namespace wario
+
+#endif // WARIO_IR_BASICBLOCK_H

@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time evaluation of IR arithmetic, shared by the interpreter,
+/// the constant folder, and the emulator so all three agree on semantics
+/// (wrap-around 32-bit arithmetic, shift clamping, INT_MIN/-1 division).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_CONSTEVAL_H
+#define WARIO_IR_CONSTEVAL_H
+
+#include "ir/Instruction.h"
+
+#include <optional>
+
+namespace wario {
+
+/// Evaluates a binary opcode on 32-bit values. Returns nullopt for
+/// division or remainder by zero (a trap, not a value).
+inline std::optional<uint32_t> constEvalBinary(Opcode Op, uint32_t A,
+                                               uint32_t B) {
+  int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+  switch (Op) {
+  case Opcode::Add: return A + B;
+  case Opcode::Sub: return A - B;
+  case Opcode::Mul: return A * B;
+  case Opcode::UDiv:
+    if (B == 0)
+      return std::nullopt;
+    return A / B;
+  case Opcode::SDiv:
+    if (B == 0)
+      return std::nullopt;
+    if (SA == INT32_MIN && SB == -1)
+      return uint32_t(INT32_MIN);
+    return uint32_t(SA / SB);
+  case Opcode::URem:
+    if (B == 0)
+      return std::nullopt;
+    return A % B;
+  case Opcode::SRem:
+    if (B == 0)
+      return std::nullopt;
+    if (SA == INT32_MIN && SB == -1)
+      return 0u;
+    return uint32_t(SA % SB);
+  case Opcode::And: return A & B;
+  case Opcode::Or: return A | B;
+  case Opcode::Xor: return A ^ B;
+  case Opcode::Shl: return B >= 32 ? 0u : A << B;
+  case Opcode::LShr: return B >= 32 ? 0u : A >> B;
+  case Opcode::AShr:
+    if (B >= 32)
+      return SA < 0 ? ~0u : 0u;
+    return uint32_t(SA >> B);
+  default:
+    assert(false && "not a binary opcode");
+    return std::nullopt;
+  }
+}
+
+/// Evaluates an ICmp predicate on 32-bit values.
+inline bool constEvalPred(CmpPred P, uint32_t A, uint32_t B) {
+  int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+  switch (P) {
+  case CmpPred::EQ: return A == B;
+  case CmpPred::NE: return A != B;
+  case CmpPred::ULT: return A < B;
+  case CmpPred::ULE: return A <= B;
+  case CmpPred::UGT: return A > B;
+  case CmpPred::UGE: return A >= B;
+  case CmpPred::SLT: return SA < SB;
+  case CmpPred::SLE: return SA <= SB;
+  case CmpPred::SGT: return SA > SB;
+  case CmpPred::SGE: return SA >= SB;
+  }
+  return false;
+}
+
+} // namespace wario
+
+#endif // WARIO_IR_CONSTEVAL_H

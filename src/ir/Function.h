@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function: a CFG of basic blocks plus the arenas owning blocks and
+/// instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_FUNCTION_H
+#define WARIO_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+
+namespace wario {
+
+class Module;
+
+/// A function definition (or declaration, when it has no blocks).
+///
+/// Blocks and instructions are arena-owned by the function: detaching an
+/// instruction from a block does not destroy it, which lets passes move
+/// instructions around freely (the write-clustering passes depend on this).
+class Function {
+public:
+  Function(Module *Parent, std::string Name, unsigned NumParams,
+           bool ReturnsVal);
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+  ~Function();
+
+  Module *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+
+  unsigned getNumParams() const { return Args.size(); }
+  Argument *getArg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+  bool returnsValue() const { return ReturnsVal; }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  // -- Blocks ----------------------------------------------------------------
+  using block_iterator = std::list<BasicBlock *>::iterator;
+  using const_block_iterator = std::list<BasicBlock *>::const_iterator;
+
+  block_iterator begin() { return Blocks.begin(); }
+  block_iterator end() { return Blocks.end(); }
+  const_block_iterator begin() const { return Blocks.begin(); }
+  const_block_iterator end() const { return Blocks.end(); }
+  size_t size() const { return Blocks.size(); }
+
+  BasicBlock *getEntryBlock() const {
+    assert(!Blocks.empty() && "function has no body");
+    return Blocks.front();
+  }
+
+  /// Creates a new block appended to the block list.
+  BasicBlock *createBlock(std::string BlockName);
+  /// Creates a new block inserted after \p After in the block list.
+  BasicBlock *createBlockAfter(BasicBlock *After, std::string BlockName);
+  /// Unlinks \p BB from the block list and detaches its instructions.
+  /// The block must have no predecessors.
+  void eraseBlock(BasicBlock *BB);
+
+  // -- Instruction arena -------------------------------------------------------
+  /// Takes ownership of \p I; returns the raw pointer for insertion into a
+  /// block. Assigns the per-function instruction id.
+  Instruction *adopt(std::unique_ptr<Instruction> I);
+
+  /// Detaches \p I from its block and drops its operands. The value must
+  /// have no remaining users. Memory is reclaimed when the function dies.
+  void eraseInstruction(Instruction *I);
+
+  // -- CFG cache ----------------------------------------------------------------
+  /// Marks predecessor caches stale. Called by mutation APIs; passes that
+  /// mutate terminators through raw setters must call it themselves.
+  void invalidateCFG() { CFGDirty = true; }
+  /// Recomputes predecessor lists if stale.
+  void ensureCFG() const;
+
+  /// Total number of instructions currently attached to blocks.
+  unsigned countInstructions() const;
+
+private:
+  Module *Parent;
+  std::string Name;
+  bool ReturnsVal;
+
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::list<BasicBlock *> Blocks;
+  std::vector<std::unique_ptr<BasicBlock>> BlockArena;
+  std::vector<std::unique_ptr<Instruction>> InstArena;
+  unsigned NextInstId = 0;
+  mutable bool CFGDirty = true;
+};
+
+} // namespace wario
+
+#endif // WARIO_IR_FUNCTION_H

@@ -1,0 +1,413 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the core IR classes (Value, Instruction, BasicBlock,
+/// Function, Module).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace wario;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+void Value::removeUser(Instruction *I) {
+  auto It = std::find(Users.begin(), Users.end(), I);
+  assert(It != Users.end() && "removing a user that was never added");
+  Users.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "replacing a value with itself");
+  // Copy: setOperand mutates the user list.
+  std::vector<Instruction *> Snapshot = Users;
+  for (Instruction *U : Snapshot)
+    for (unsigned I = 0, E = U->getNumOperands(); I != E; ++I)
+      if (U->getOperand(I) == this)
+        U->setOperand(I, New);
+  assert(Users.empty() && "stale uses after replaceAllUsesWith");
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction
+//===----------------------------------------------------------------------===//
+
+const char *wario::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Alloca: return "alloca";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::Gep: return "gep";
+  case Opcode::Add: return "add";
+  case Opcode::Sub: return "sub";
+  case Opcode::Mul: return "mul";
+  case Opcode::UDiv: return "udiv";
+  case Opcode::SDiv: return "sdiv";
+  case Opcode::URem: return "urem";
+  case Opcode::SRem: return "srem";
+  case Opcode::And: return "and";
+  case Opcode::Or: return "or";
+  case Opcode::Xor: return "xor";
+  case Opcode::Shl: return "shl";
+  case Opcode::LShr: return "lshr";
+  case Opcode::AShr: return "ashr";
+  case Opcode::ICmp: return "icmp";
+  case Opcode::Select: return "select";
+  case Opcode::Call: return "call";
+  case Opcode::Out: return "out";
+  case Opcode::Checkpoint: return "checkpoint";
+  case Opcode::Br: return "br";
+  case Opcode::Jmp: return "jmp";
+  case Opcode::Ret: return "ret";
+  case Opcode::Phi: return "phi";
+  }
+  return "<bad opcode>";
+}
+
+const char *wario::checkpointCauseName(CheckpointCause C) {
+  switch (C) {
+  case CheckpointCause::MiddleEndWar: return "middle-end-war";
+  case CheckpointCause::BackendSpill: return "backend-spill";
+  case CheckpointCause::FunctionEntry: return "function-entry";
+  case CheckpointCause::FunctionExit: return "function-exit";
+  }
+  return "<bad cause>";
+}
+
+const char *wario::predName(CmpPred P) {
+  switch (P) {
+  case CmpPred::EQ: return "eq";
+  case CmpPred::NE: return "ne";
+  case CmpPred::ULT: return "ult";
+  case CmpPred::ULE: return "ule";
+  case CmpPred::UGT: return "ugt";
+  case CmpPred::UGE: return "uge";
+  case CmpPred::SLT: return "slt";
+  case CmpPred::SLE: return "sle";
+  case CmpPred::SGT: return "sgt";
+  case CmpPred::SGE: return "sge";
+  }
+  return "<bad pred>";
+}
+
+Instruction::Instruction(Opcode Op, std::vector<Value *> Ops)
+    : Value(ValueKind::Instruction), Op(Op) {
+  for (Value *V : Ops)
+    addOperand(V);
+}
+
+Instruction::~Instruction() { dropAllOperands(); }
+
+void Instruction::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  assert(V && "operand must not be null");
+  if (Operands[I] == V)
+    return;
+  if (Operands[I])
+    Operands[I]->removeUser(this);
+  Operands[I] = V;
+  V->addUser(this);
+}
+
+void Instruction::addOperand(Value *V) {
+  assert(V && "operand must not be null");
+  Operands.push_back(V);
+  V->addUser(this);
+}
+
+void Instruction::removeOperand(unsigned I) {
+  assert(I < Operands.size() && "operand index out of range");
+  Operands[I]->removeUser(this);
+  Operands.erase(Operands.begin() + I);
+}
+
+void Instruction::removeBlockOperand(unsigned I) {
+  assert(I < BlockOps.size() && "block operand index out of range");
+  BlockOps.erase(BlockOps.begin() + I);
+  if (Parent)
+    Parent->getParent()->invalidateCFG();
+}
+
+void Instruction::removePhiIncomingFor(const BasicBlock *Pred) {
+  assert(Op == Opcode::Phi && "not a phi");
+  for (unsigned I = 0, E = BlockOps.size(); I != E; ++I) {
+    if (BlockOps[I] == Pred) {
+      removeOperand(I);
+      removeBlockOperand(I);
+      return;
+    }
+  }
+  assert(false && "phi has no incoming entry for this block");
+}
+
+Value *Instruction::getPhiIncomingFor(const BasicBlock *Pred) const {
+  assert(Op == Opcode::Phi && "not a phi");
+  for (unsigned I = 0, E = BlockOps.size(); I != E; ++I)
+    if (BlockOps[I] == Pred)
+      return Operands[I];
+  assert(false && "phi has no incoming entry for this block");
+  return nullptr;
+}
+
+void Instruction::dropAllOperands() {
+  for (Value *V : Operands)
+    if (V)
+      V->removeUser(this);
+  Operands.clear();
+}
+
+void Instruction::setBlockOperand(unsigned I, BasicBlock *BB) {
+  assert(I < BlockOps.size() && "block operand index out of range");
+  BlockOps[I] = BB;
+  if (Parent)
+    Parent->getParent()->invalidateCFG();
+}
+
+void Instruction::addBlockOperand(BasicBlock *BB) {
+  BlockOps.push_back(BB);
+  if (Parent)
+    Parent->getParent()->invalidateCFG();
+}
+
+bool Instruction::producesValue() const {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Out:
+  case Opcode::Checkpoint:
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+    return false;
+  case Opcode::Call:
+    return Callee && Callee->returnsValue();
+  default:
+    return true;
+  }
+}
+
+bool Instruction::mayReadMemory() const {
+  // Calls may transitively read; checkpoints only write their own NVM
+  // buffer, which no program load can observe.
+  return Op == Opcode::Load || Op == Opcode::Call;
+}
+
+bool Instruction::mayWriteMemory() const {
+  return Op == Opcode::Store || Op == Opcode::Call;
+}
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+void Instruction::removeFromParent() {
+  assert(Parent && "instruction is not attached to a block");
+  Parent->remove(this);
+}
+
+void Instruction::moveBefore(Instruction *Other) {
+  assert(Other->Parent && "target instruction is detached");
+  if (Parent)
+    removeFromParent();
+  BasicBlock *BB = Other->Parent;
+  BB->insert(Other->SelfIt, this);
+}
+
+void Instruction::moveBeforeTerminator(BasicBlock *BB) {
+  if (Parent)
+    removeFromParent();
+  Instruction *Term = BB->getTerminator();
+  if (Term && !isTerminator())
+    BB->insert(Term->SelfIt, this);
+  else
+    BB->push_back(this);
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+BasicBlock::iterator BasicBlock::insert(iterator Pos, Instruction *I) {
+  assert(!I->Parent && "instruction already attached to a block");
+  I->Parent = this;
+  I->SelfIt = Insts.insert(Pos, I);
+  if (I->isTerminator())
+    Parent->invalidateCFG();
+  return I->SelfIt;
+}
+
+void BasicBlock::remove(Instruction *I) {
+  assert(I->Parent == this && "instruction not attached to this block");
+  if (I->isTerminator())
+    Parent->invalidateCFG();
+  Insts.erase(I->SelfIt);
+  I->Parent = nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Succs;
+  if (const Instruction *Term = getTerminator())
+    for (unsigned I = 0, E = Term->getNumBlockOperands(); I != E; ++I)
+      Succs.push_back(Term->getBlockOperand(I));
+  return Succs;
+}
+
+const std::vector<BasicBlock *> &BasicBlock::predecessors() const {
+  Parent->ensureCFG();
+  return Preds;
+}
+
+BasicBlock::iterator BasicBlock::firstNonPhi() {
+  iterator It = Insts.begin();
+  while (It != Insts.end() && (*It)->getOpcode() == Opcode::Phi)
+    ++It;
+  return It;
+}
+
+std::vector<Instruction *> BasicBlock::phis() const {
+  std::vector<Instruction *> Result;
+  for (Instruction *I : Insts) {
+    if (I->getOpcode() != Opcode::Phi)
+      break;
+    Result.push_back(I);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Function::Function(Module *Parent, std::string Name, unsigned NumParams,
+                   bool ReturnsVal)
+    : Parent(Parent), Name(std::move(Name)), ReturnsVal(ReturnsVal) {
+  for (unsigned I = 0; I != NumParams; ++I) {
+    auto Arg = std::make_unique<Argument>(this, I);
+    Arg->setName("arg" + std::to_string(I));
+    Args.push_back(std::move(Arg));
+  }
+}
+
+Function::~Function() {
+  // Instructions reference each other through use lists; drop all operands
+  // first so destruction order does not matter.
+  for (auto &I : InstArena)
+    I->dropAllOperands();
+}
+
+BasicBlock *Function::createBlock(std::string BlockName) {
+  auto BB = std::make_unique<BasicBlock>(this, std::move(BlockName));
+  BasicBlock *Raw = BB.get();
+  BlockArena.push_back(std::move(BB));
+  Blocks.push_back(Raw);
+  invalidateCFG();
+  return Raw;
+}
+
+BasicBlock *Function::createBlockAfter(BasicBlock *After,
+                                       std::string BlockName) {
+  auto BB = std::make_unique<BasicBlock>(this, std::move(BlockName));
+  BasicBlock *Raw = BB.get();
+  BlockArena.push_back(std::move(BB));
+  auto It = std::find(Blocks.begin(), Blocks.end(), After);
+  assert(It != Blocks.end() && "anchor block not in this function");
+  Blocks.insert(std::next(It), Raw);
+  invalidateCFG();
+  return Raw;
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  assert(BB->predecessors().empty() && "erasing a block with predecessors");
+  // Detach all instructions, dropping operands so no dangling uses remain.
+  while (!BB->empty()) {
+    Instruction *I = BB->back();
+    BB->remove(I);
+    I->dropAllOperands();
+    assert(!I->hasUsers() && "erased block defines a live value");
+  }
+  Blocks.remove(BB);
+  invalidateCFG();
+}
+
+Instruction *Function::adopt(std::unique_ptr<Instruction> I) {
+  I->Id = NextInstId++;
+  Instruction *Raw = I.get();
+  InstArena.push_back(std::move(I));
+  return Raw;
+}
+
+void Function::eraseInstruction(Instruction *I) {
+  assert(!I->hasUsers() && "erasing an instruction that still has users");
+  if (I->getParent())
+    I->removeFromParent();
+  I->dropAllOperands();
+}
+
+void Function::ensureCFG() const {
+  if (!CFGDirty)
+    return;
+  for (BasicBlock *BB : Blocks)
+    BB->Preds.clear();
+  for (BasicBlock *BB : Blocks)
+    if (const Instruction *Term = BB->getTerminator())
+      for (unsigned I = 0, E = Term->getNumBlockOperands(); I != E; ++I)
+        Term->getBlockOperand(I)->Preds.push_back(BB);
+  CFGDirty = false;
+}
+
+unsigned Function::countInstructions() const {
+  unsigned N = 0;
+  for (const BasicBlock *BB : Blocks)
+    N += BB->size();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Function *Module::createFunction(std::string FnName, unsigned NumParams,
+                                 bool ReturnsVal) {
+  assert(!getFunction(FnName) && "duplicate function name");
+  Functions.push_back(std::make_unique<Function>(this, std::move(FnName),
+                                                 NumParams, ReturnsVal));
+  return Functions.back().get();
+}
+
+Function *Module::getFunction(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->getName() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+GlobalVariable *Module::createGlobal(std::string GlobalName,
+                                     uint32_t SizeBytes,
+                                     std::vector<uint8_t> Init) {
+  assert(!getGlobal(GlobalName) && "duplicate global name");
+  Globals.push_back(std::make_unique<GlobalVariable>(std::move(GlobalName),
+                                                     SizeBytes,
+                                                     std::move(Init)));
+  return Globals.back().get();
+}
+
+GlobalVariable *Module::getGlobal(const std::string &GlobalName) const {
+  for (const auto &G : Globals)
+    if (G->getName() == GlobalName)
+      return G.get();
+  return nullptr;
+}
+
+Constant *Module::getConstant(int32_t V) {
+  auto It = Constants.find(V);
+  if (It != Constants.end())
+    return It->second.get();
+  auto C = std::make_unique<Constant>(V);
+  Constant *Raw = C.get();
+  Constants.emplace(V, std::move(C));
+  return Raw;
+}

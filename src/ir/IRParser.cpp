@@ -1,0 +1,543 @@
+#include "ir/IRParser.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+using namespace wario;
+
+namespace {
+
+/// Line-oriented recursive-descent parser over the printer's output.
+class IRParserImpl {
+public:
+  IRParserImpl(const std::string &Text, DiagnosticEngine &Diags)
+      : Diags(Diags) {
+    std::istringstream SS(Text);
+    std::string L;
+    while (std::getline(SS, L))
+      Lines.push_back(L);
+  }
+
+  std::unique_ptr<Module> run() {
+    M = std::make_unique<Module>("parsed");
+    while (Cur < Lines.size() && !Diags.hasErrors()) {
+      const std::string &L = trimmed();
+      if (L.empty()) {
+        ++Cur;
+        continue;
+      }
+      if (L.rfind("global @", 0) == 0) {
+        parseGlobal(L);
+        ++Cur;
+      } else if (L.rfind("declare @", 0) == 0) {
+        // Declarations round-trip as 0-ary void declarations.
+        M->createFunction(L.substr(9), 0, false);
+        ++Cur;
+      } else if (L.rfind("func @", 0) == 0) {
+        parseFunction();
+      } else {
+        error("unexpected top-level line: '" + L + "'");
+        ++Cur;
+      }
+    }
+    if (Diags.hasErrors())
+      return nullptr;
+    return std::move(M);
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Diags.error({uint32_t(Cur + 1), 1}, Msg);
+  }
+
+  std::string trimmed() const {
+    const std::string &L = Lines[Cur];
+    size_t B = L.find_first_not_of(" \t");
+    size_t E = L.find_last_not_of(" \t\r");
+    if (B == std::string::npos)
+      return "";
+    return L.substr(B, E - B + 1);
+  }
+
+  // --- Token scanning within one line --------------------------------------
+  struct Scanner {
+    const std::string &S;
+    size_t P = 0;
+
+    void skipWs() {
+      while (P < S.size() && (S[P] == ' ' || S[P] == '\t'))
+        ++P;
+    }
+    bool eat(const std::string &Lit) {
+      skipWs();
+      if (S.compare(P, Lit.size(), Lit) == 0) {
+        P += Lit.size();
+        return true;
+      }
+      return false;
+    }
+    bool atEnd() {
+      skipWs();
+      return P >= S.size();
+    }
+    /// An identifier-ish token: letters, digits, '_', '.'.
+    std::string ident() {
+      skipWs();
+      size_t B = P;
+      while (P < S.size() &&
+             (std::isalnum(static_cast<unsigned char>(S[P])) ||
+              S[P] == '_' || S[P] == '.'))
+        ++P;
+      return S.substr(B, P - B);
+    }
+    bool number(int64_t &Out) {
+      skipWs();
+      size_t B = P;
+      if (P < S.size() && S[P] == '-')
+        ++P;
+      size_t DigitsBegin = P;
+      while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+        ++P;
+      if (P == DigitsBegin) {
+        P = B;
+        return false;
+      }
+      Out = std::stoll(S.substr(B, P - B));
+      return true;
+    }
+  };
+
+  // --- Top-level pieces -------------------------------------------------------
+  void parseGlobal(const std::string &L) {
+    Scanner Sc{L};
+    Sc.eat("global @");
+    std::string Name = Sc.ident();
+    int64_t Size = 0;
+    if (!Sc.eat(" :") || !Sc.number(Size) || !Sc.eat(" bytes")) {
+      // Retry in one sweep with flexible spacing.
+      Scanner Sc2{L};
+      Sc2.eat("global @");
+      Name = Sc2.ident();
+      Sc2.eat(":");
+      if (!Sc2.number(Size)) {
+        error("malformed global line");
+        return;
+      }
+    }
+    M->createGlobal(Name, uint32_t(Size));
+  }
+
+  void parseFunction() {
+    std::string Header = trimmed();
+    Scanner Sc{Header};
+    Sc.eat("func @");
+    std::string Name = Sc.ident();
+    if (!Sc.eat("(")) {
+      error("expected '(' in function header");
+      ++Cur;
+      return;
+    }
+    std::vector<std::string> Params;
+    if (!Sc.eat(")")) {
+      do {
+        if (!Sc.eat("%")) {
+          error("expected parameter");
+          break;
+        }
+        Params.push_back(Sc.ident());
+      } while (Sc.eat(","));
+      Sc.eat(")");
+    }
+    bool ReturnsVal = Sc.eat(" -> i32") || Sc.eat("-> i32");
+    Function *F = M->getFunction(Name);
+    if (F) {
+      error("duplicate function @" + Name);
+      ++Cur;
+      return;
+    }
+    F = M->createFunction(Name, unsigned(Params.size()), ReturnsVal);
+    for (unsigned I = 0; I != Params.size(); ++I)
+      F->getArg(I)->setName(Params[I]);
+    ++Cur;
+
+    // First pass: find the block labels up to the closing brace.
+    Values.clear();
+    Blocks.clear();
+    Fixups.clear();
+    for (unsigned I = 0; I != Params.size(); ++I)
+      Values["%" + Params[I]] = F->getArg(I);
+
+    size_t BodyStart = Cur;
+    for (size_t I = Cur; I < Lines.size(); ++I) {
+      std::string L = Lines[I];
+      size_t B = L.find_first_not_of(" \t");
+      if (B == std::string::npos)
+        continue;
+      size_t E = L.find_last_not_of(" \t\r");
+      std::string T = L.substr(B, E - B + 1);
+      if (T == "}")
+        break;
+      if (T.back() == ':' && B == 0)
+        Blocks[T.substr(0, T.size() - 1)] =
+            F->createBlock(T.substr(0, T.size() - 1));
+    }
+
+    // Second pass: instructions.
+    Cur = BodyStart;
+    IRBuilder IRB(M.get());
+    BasicBlock *BB = nullptr;
+    while (Cur < Lines.size() && !Diags.hasErrors()) {
+      std::string T = trimmed();
+      if (T == "}") {
+        ++Cur;
+        break;
+      }
+      if (T.empty()) {
+        ++Cur;
+        continue;
+      }
+      if (T.back() == ':' && Lines[Cur].find_first_not_of(" \t") == 0) {
+        BB = Blocks[T.substr(0, T.size() - 1)];
+        IRB.setInsertPoint(BB);
+        ++Cur;
+        continue;
+      }
+      if (!BB) {
+        error("instruction outside any block");
+        return;
+      }
+      parseInstruction(IRB, T);
+      ++Cur;
+    }
+
+    // Resolve forward references.
+    for (auto &[I, OpIdx, Token] : Fixups) {
+      auto It = Values.find(Token);
+      if (It == Values.end()) {
+        error("use of undefined value " + Token);
+        return;
+      }
+      I->setOperand(OpIdx, It->second);
+    }
+  }
+
+  // --- Operands --------------------------------------------------------------------
+  /// Parses one value operand; may register a fixup on \p Pending if the
+  /// token is not defined yet.
+  Value *parseValue(Scanner &Sc, std::vector<std::string> *PendingToken) {
+    Sc.skipWs();
+    if (Sc.eat("%")) {
+      std::string Token = "%" + Sc.ident();
+      auto It = Values.find(Token);
+      if (It != Values.end())
+        return It->second;
+      if (PendingToken) {
+        PendingToken->push_back(Token);
+        return M->getConstant(0); // Placeholder; patched by fixups.
+      }
+      error("use of undefined value " + Token);
+      return M->getConstant(0);
+    }
+    if (Sc.eat("@")) {
+      std::string Name = Sc.ident();
+      if (GlobalVariable *G = M->getGlobal(Name))
+        return G;
+      error("unknown global @" + Name);
+      return M->getConstant(0);
+    }
+    int64_t N = 0;
+    if (Sc.number(N))
+      return M->getConstant(int32_t(N));
+    error("expected an operand");
+    return M->getConstant(0);
+  }
+
+  /// Wraps parseValue: operand I of instruction (to be attached) gets a
+  /// fixup when the token is forward-referenced.
+  void operand(Instruction *I, unsigned Idx, Scanner &Sc) {
+    std::vector<std::string> Pending;
+    Value *V = parseValue(Sc, &Pending);
+    I->setOperand(Idx, V);
+    if (!Pending.empty())
+      Fixups.emplace_back(I, Idx, Pending.front());
+  }
+
+  BasicBlock *blockRef(Scanner &Sc) {
+    std::string Name = Sc.ident();
+    auto It = Blocks.find(Name);
+    if (It == Blocks.end()) {
+      error("unknown block '" + Name + "'");
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  /// Strips the printer's ".id" suffix to recover the base name.
+  static std::string baseName(const std::string &Token) {
+    size_t Dot = Token.rfind('.');
+    if (Dot == std::string::npos || Dot + 1 >= Token.size())
+      return Token;
+    for (size_t I = Dot + 1; I < Token.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(Token[I])))
+        return Token;
+    return Token.substr(0, Dot);
+  }
+
+  void define(const std::string &Token, Instruction *I) {
+    I->setName(baseName(Token.substr(1)));
+    Values[Token] = I;
+  }
+
+  // --- Instructions ----------------------------------------------------------------
+  void parseInstruction(IRBuilder &IRB, const std::string &T) {
+    Scanner Sc{T};
+    std::string DefToken;
+    if (Sc.eat("%")) {
+      DefToken = "%" + Sc.ident();
+      if (!Sc.eat(" =") && !Sc.eat("=")) {
+        error("expected '=' after result name");
+        return;
+      }
+    }
+    Sc.skipWs();
+    std::string Op = Sc.ident();
+
+    auto DefineIf = [&](Instruction *I) {
+      if (!DefToken.empty())
+        define(DefToken, I);
+    };
+
+    if (Op == "alloca") {
+      int64_t N = 0;
+      Sc.number(N);
+      DefineIf(IRB.createAlloca(uint32_t(N), "a"));
+      return;
+    }
+    if (Op.rfind("loadi", 0) == 0) {
+      unsigned Bits = Op.find("32") != std::string::npos  ? 32
+                      : Op.find("16") != std::string::npos ? 16
+                                                           : 8;
+      bool Signed = Op.back() == 's';
+      Instruction *I = IRB.createLoad(M->getConstant(0), uint8_t(Bits / 8),
+                                      Signed, "l");
+      operand(I, 0, Sc);
+      DefineIf(I);
+      return;
+    }
+    if (Op.rfind("storei", 0) == 0) {
+      unsigned Bits = Op.find("32") != std::string::npos  ? 32
+                      : Op.find("16") != std::string::npos ? 16
+                                                           : 8;
+      Instruction *I = IRB.createStore(M->getConstant(0), M->getConstant(0),
+                                       uint8_t(Bits / 8));
+      operand(I, 0, Sc);
+      Sc.eat(",");
+      operand(I, 1, Sc);
+      return;
+    }
+    if (Op == "gep") {
+      // base [+ index * scale] [+ offset]
+      std::vector<std::string> Pending;
+      Value *Base = parseValue(Sc, &Pending);
+      Value *Index = nullptr;
+      int64_t Scale = 1, Offset = 0, N = 0;
+      std::string IdxToken;
+      if (Sc.eat("+")) {
+        size_t SaveP = Sc.P;
+        if (Sc.number(N)) {
+          Offset = N; // "+ constant" straight to the offset.
+        } else {
+          Sc.P = SaveP;
+          std::vector<std::string> IdxPending;
+          Index = parseValue(Sc, &IdxPending);
+          if (!IdxPending.empty())
+            IdxToken = IdxPending.front();
+          if (Sc.eat("*"))
+            Sc.number(Scale);
+          if (Sc.eat("+") && Sc.number(N))
+            Offset = N;
+        }
+      }
+      Instruction *I = IRB.createGep(Base, Index, int32_t(Scale),
+                                     int32_t(Offset), "g");
+      if (!Pending.empty())
+        Fixups.emplace_back(I, 0, Pending.front());
+      if (!IdxToken.empty())
+        Fixups.emplace_back(I, 1, IdxToken);
+      DefineIf(I);
+      return;
+    }
+    if (Op == "icmp") {
+      std::string P = Sc.ident();
+      static const std::unordered_map<std::string, CmpPred> Preds = {
+          {"eq", CmpPred::EQ},   {"ne", CmpPred::NE},
+          {"ult", CmpPred::ULT}, {"ule", CmpPred::ULE},
+          {"ugt", CmpPred::UGT}, {"uge", CmpPred::UGE},
+          {"slt", CmpPred::SLT}, {"sle", CmpPred::SLE},
+          {"sgt", CmpPred::SGT}, {"sge", CmpPred::SGE}};
+      auto It = Preds.find(P);
+      if (It == Preds.end()) {
+        error("unknown icmp predicate '" + P + "'");
+        return;
+      }
+      Instruction *I = IRB.createICmp(It->second, M->getConstant(0),
+                                      M->getConstant(0), "c");
+      operand(I, 0, Sc);
+      Sc.eat(",");
+      operand(I, 1, Sc);
+      DefineIf(I);
+      return;
+    }
+    if (Op == "select") {
+      Instruction *I =
+          IRB.createSelect(M->getConstant(0), M->getConstant(0),
+                           M->getConstant(0), "s");
+      operand(I, 0, Sc);
+      Sc.eat(",");
+      operand(I, 1, Sc);
+      Sc.eat(",");
+      operand(I, 2, Sc);
+      DefineIf(I);
+      return;
+    }
+    if (Op == "call") {
+      Sc.eat("@");
+      std::string Callee = Sc.ident();
+      Function *CF = M->getFunction(Callee);
+      if (!CF) {
+        error("call to unknown function @" + Callee);
+        return;
+      }
+      Sc.eat("(");
+      std::vector<Value *> Args;
+      std::vector<std::pair<unsigned, std::string>> ArgFixups;
+      if (!Sc.eat(")")) {
+        do {
+          std::vector<std::string> Pending;
+          Value *V = parseValue(Sc, &Pending);
+          if (!Pending.empty())
+            ArgFixups.emplace_back(unsigned(Args.size()), Pending.front());
+          Args.push_back(V);
+        } while (Sc.eat(","));
+        Sc.eat(")");
+      }
+      if (Args.size() != CF->getNumParams()) {
+        error("call arity mismatch for @" + Callee);
+        return;
+      }
+      Instruction *I = IRB.createCall(CF, std::move(Args), "r");
+      for (auto &[Idx, Tok] : ArgFixups)
+        Fixups.emplace_back(I, Idx, Tok);
+      DefineIf(I);
+      return;
+    }
+    if (Op == "out") {
+      Instruction *I = IRB.createOut(M->getConstant(0));
+      operand(I, 0, Sc);
+      return;
+    }
+    if (Op == "checkpoint") {
+      Instruction *I = IRB.createCheckpoint();
+      if (Sc.eat("(")) {
+        std::string Cause;
+        while (!Sc.atEnd() && !Sc.eat(")")) {
+          std::string Piece = Sc.ident();
+          if (Piece.empty()) {
+            ++Sc.P;
+            Cause += "-";
+            continue;
+          }
+          Cause += Piece;
+        }
+        if (Cause.find("backend") != std::string::npos)
+          I->setCheckpointCause(CheckpointCause::BackendSpill);
+        else if (Cause.find("entry") != std::string::npos)
+          I->setCheckpointCause(CheckpointCause::FunctionEntry);
+        else if (Cause.find("exit") != std::string::npos)
+          I->setCheckpointCause(CheckpointCause::FunctionExit);
+      }
+      return;
+    }
+    if (Op == "br") {
+      Instruction *I = IRB.createBr(M->getConstant(0), nullptr, nullptr);
+      operand(I, 0, Sc);
+      Sc.eat(",");
+      I->setBlockOperand(0, blockRef(Sc));
+      Sc.eat(",");
+      I->setBlockOperand(1, blockRef(Sc));
+      return;
+    }
+    if (Op == "jmp") {
+      BasicBlock *Dest = blockRef(Sc);
+      if (Dest)
+        IRB.createJmp(Dest);
+      return;
+    }
+    if (Op == "ret") {
+      if (Sc.atEnd()) {
+        IRB.createRet();
+        return;
+      }
+      Instruction *I = IRB.createRet(M->getConstant(0));
+      operand(I, 0, Sc);
+      return;
+    }
+    if (Op == "phi") {
+      Instruction *I = IRB.createPhi("p");
+      while (Sc.eat("[")) {
+        std::vector<std::string> Pending;
+        Value *V = parseValue(Sc, &Pending);
+        Sc.eat(",");
+        BasicBlock *In = blockRef(Sc);
+        Sc.eat("]");
+        IRBuilder::addPhiIncoming(I, V, In);
+        if (!Pending.empty())
+          Fixups.emplace_back(I, I->getNumOperands() - 1, Pending.front());
+        if (!Sc.eat(","))
+          break;
+      }
+      DefineIf(I);
+      return;
+    }
+
+    // Binary operators.
+    static const std::unordered_map<std::string, Opcode> Bins = {
+        {"add", Opcode::Add},   {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},   {"udiv", Opcode::UDiv},
+        {"sdiv", Opcode::SDiv}, {"urem", Opcode::URem},
+        {"srem", Opcode::SRem}, {"and", Opcode::And},
+        {"or", Opcode::Or},     {"xor", Opcode::Xor},
+        {"shl", Opcode::Shl},   {"lshr", Opcode::LShr},
+        {"ashr", Opcode::AShr}};
+    auto It = Bins.find(Op);
+    if (It != Bins.end()) {
+      Instruction *I = IRB.createBinary(It->second, M->getConstant(0),
+                                        M->getConstant(0), "b");
+      operand(I, 0, Sc);
+      Sc.eat(",");
+      operand(I, 1, Sc);
+      DefineIf(I);
+      return;
+    }
+    error("unknown instruction '" + Op + "'");
+  }
+
+  DiagnosticEngine &Diags;
+  std::vector<std::string> Lines;
+  size_t Cur = 0;
+  std::unique_ptr<Module> M;
+  std::unordered_map<std::string, Value *> Values;
+  std::unordered_map<std::string, BasicBlock *> Blocks;
+  std::vector<std::tuple<Instruction *, unsigned, std::string>> Fixups;
+};
+
+} // namespace
+
+std::unique_ptr<Module> wario::parseModule(const std::string &Text,
+                                           DiagnosticEngine &Diags) {
+  IRParserImpl P(Text, Diags);
+  return P.run();
+}

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual IR form produced by IRPrinter — the
+/// printModule/parseModule pair round-trips, which tests exploit for
+/// golden transform cases and persistence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_IRPARSER_H
+#define WARIO_IR_IRPARSER_H
+
+#include "ir/Module.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace wario {
+
+/// Parses the textual IR in \p Text. Returns null after reporting
+/// diagnostics on malformed input.
+///
+/// Accepted grammar (exactly what printModule emits):
+///
+///   global @name : SIZE bytes [zeroinit]
+///   func @name(%arg0, ...) [-> i32] {
+///   label:
+///     %v.N = OPCODE operands...
+///     ...
+///   }
+///
+/// Note: initializer bytes are not part of the textual form; parsed
+/// globals are zero-initialized.
+std::unique_ptr<Module> parseModule(const std::string &Text,
+                                    DiagnosticEngine &Diags);
+
+} // namespace wario
+
+#endif // WARIO_IR_IRPARSER_H

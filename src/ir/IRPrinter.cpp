@@ -1,0 +1,158 @@
+#include "ir/IRPrinter.h"
+
+#include "ir/Module.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace wario;
+
+namespace {
+
+/// Function-unique block labels: block names may repeat after cloning
+/// transformations, so repeated names get a "_N" disambiguator.
+using BlockLabels = std::unordered_map<const BasicBlock *, std::string>;
+
+BlockLabels makeLabels(const Function &F) {
+  BlockLabels Labels;
+  std::unordered_map<std::string, unsigned> Seen;
+  for (const BasicBlock *BB : F) {
+    unsigned N = Seen[BB->getName()]++;
+    Labels[BB] = N == 0 ? BB->getName()
+                        : BB->getName() + "_" + std::to_string(N);
+  }
+  return Labels;
+}
+
+std::string valueRef(const Value *V) {
+  if (const auto *C = dyn_cast<Constant>(V))
+    return std::to_string(C->getValue());
+  if (const auto *G = dyn_cast<GlobalVariable>(V))
+    return "@" + G->getName();
+  if (const auto *A = dyn_cast<Argument>(V))
+    return "%" + A->getName();
+  const auto *I = cast<Instruction>(V);
+  std::string Name = I->getName().empty() ? "v" : I->getName();
+  return "%" + Name + "." + std::to_string(I->getId());
+}
+
+void printInst(std::ostringstream &OS, const Instruction &I,
+               const BlockLabels *Labels = nullptr) {
+  auto Label = [&](const BasicBlock *BB) {
+    if (Labels) {
+      auto It = Labels->find(BB);
+      if (It != Labels->end())
+        return It->second;
+    }
+    return BB->getName();
+  };
+  if (I.producesValue())
+    OS << valueRef(&I) << " = ";
+  OS << opcodeName(I.getOpcode());
+
+  switch (I.getOpcode()) {
+  case Opcode::Alloca:
+    OS << ' ' << I.getAllocaSize();
+    return;
+  case Opcode::Load:
+    OS << 'i' << unsigned(I.getAccessSize()) * 8
+       << (I.getAccessSize() < 4 && I.isSignedLoad() ? "s" : "") << ' '
+       << valueRef(I.getOperand(0));
+    return;
+  case Opcode::Store:
+    OS << 'i' << unsigned(I.getAccessSize()) * 8 << ' '
+       << valueRef(I.getOperand(0)) << ", " << valueRef(I.getOperand(1));
+    return;
+  case Opcode::Gep:
+    OS << ' ' << valueRef(I.getGepBase());
+    if (Value *Idx = I.getGepIndex())
+      OS << " + " << valueRef(Idx) << " * " << I.getGepScale();
+    if (I.getGepOffset() != 0)
+      OS << " + " << I.getGepOffset();
+    return;
+  case Opcode::ICmp:
+    OS << ' ' << predName(I.getPredicate()) << ' '
+       << valueRef(I.getOperand(0)) << ", " << valueRef(I.getOperand(1));
+    return;
+  case Opcode::Call: {
+    OS << " @" << I.getCallee()->getName() << '(';
+    for (unsigned J = 0, E = I.getNumOperands(); J != E; ++J) {
+      if (J)
+        OS << ", ";
+      OS << valueRef(I.getOperand(J));
+    }
+    OS << ')';
+    return;
+  }
+  case Opcode::Br:
+    OS << ' ' << valueRef(I.getOperand(0)) << ", "
+       << Label(I.getBlockOperand(0)) << ", "
+       << Label(I.getBlockOperand(1));
+    return;
+  case Opcode::Jmp:
+    OS << ' ' << Label(I.getBlockOperand(0));
+    return;
+  case Opcode::Phi: {
+    for (unsigned J = 0, E = I.getNumOperands(); J != E; ++J) {
+      OS << (J ? ", " : " ") << '[' << valueRef(I.getOperand(J)) << ", "
+         << Label(I.getBlockOperand(J)) << ']';
+    }
+    return;
+  }
+  case Opcode::Checkpoint:
+    OS << " (" << checkpointCauseName(I.getCheckpointCause()) << ')';
+    return;
+  default: {
+    for (unsigned J = 0, E = I.getNumOperands(); J != E; ++J)
+      OS << (J ? ", " : " ") << valueRef(I.getOperand(J));
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string wario::printInstruction(const Instruction &I) {
+  std::ostringstream OS;
+  printInst(OS, I);
+  return OS.str();
+}
+
+std::string wario::printFunction(const Function &F) {
+  std::ostringstream OS;
+  OS << "func @" << F.getName() << '(';
+  for (unsigned I = 0, E = F.getNumParams(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << '%' << F.getArg(I)->getName();
+  }
+  OS << ')' << (F.returnsValue() ? " -> i32" : "") << " {\n";
+  BlockLabels Labels = makeLabels(F);
+  for (const BasicBlock *BB : F) {
+    OS << Labels[BB] << ":\n";
+    for (const Instruction *I : *BB) {
+      OS << "  ";
+      printInst(OS, *I, &Labels);
+      OS << '\n';
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string wario::printModule(const Module &M) {
+  std::ostringstream OS;
+  for (const auto &G : M.globals())
+    OS << "global @" << G->getName() << " : " << G->getSizeBytes()
+       << " bytes" << (G->getInit().empty() ? " zeroinit" : "") << '\n';
+  if (!M.globals().empty())
+    OS << '\n';
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration()) {
+      OS << "declare @" << F->getName() << '\n';
+      continue;
+    }
+    OS << printFunction(*F) << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual printing of the WARio IR, for tests and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_IRPRINTER_H
+#define WARIO_IR_IRPRINTER_H
+
+#include <string>
+
+namespace wario {
+
+class Module;
+class Function;
+class Instruction;
+
+/// Renders \p M in a textual form similar to LLVM assembly.
+std::string printModule(const Module &M);
+/// Renders a single function.
+std::string printFunction(const Function &F);
+/// Renders a single instruction (one line, no newline).
+std::string printInstruction(const Instruction &I);
+
+} // namespace wario
+
+#endif // WARIO_IR_IRPRINTER_H

@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference interpreter for the WARio IR.
+///
+/// Used as the semantic oracle in differential tests: the output of every
+/// transformed module — and of the compiled machine code under any power
+/// schedule — must match what this interpreter produces for the original
+/// module under continuous power.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_INTERP_H
+#define WARIO_IR_INTERP_H
+
+#include "ir/MemoryLayout.h"
+
+#include <optional>
+
+namespace wario {
+
+/// Result of interpreting a module.
+struct InterpResult {
+  bool Ok = false;            ///< False on trap (bad memory, div0, fuel).
+  std::string Error;          ///< Trap description when !Ok.
+  int32_t ReturnValue = 0;    ///< Value returned from the entry function.
+  std::vector<int32_t> Output; ///< Words written to the output port.
+  uint64_t StepsExecuted = 0;
+};
+
+/// Executes \p Entry (default: "main") with no arguments.
+///
+/// \p Fuel bounds the number of executed instructions so that a transform
+/// bug that produces an infinite loop fails a test instead of hanging it.
+InterpResult interpretModule(const Module &M,
+                             const std::string &Entry = "main",
+                             uint64_t Fuel = 200'000'000);
+
+} // namespace wario
+
+#endif // WARIO_IR_INTERP_H

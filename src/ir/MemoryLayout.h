@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Address-space layout of the modeled MCU, shared by the IR interpreter,
+/// the back end, and the emulator.
+///
+/// The modeled part is the on-chip byte-addressable non-volatile main
+/// memory (FRAM/MRAM, as on the Ambiq Apollo4 class of devices the paper
+/// targets): globals at the bottom, a full-descending stack at the top,
+/// and a write-only output port outside the RAM range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_MEMORYLAYOUT_H
+#define WARIO_IR_MEMORYLAYOUT_H
+
+#include "ir/Module.h"
+
+#include <unordered_map>
+
+namespace wario {
+
+/// Fixed address-space constants for the modeled device.
+namespace memmap {
+/// First byte of the global data segment.
+inline constexpr uint32_t GlobalBase = 0x00001000;
+/// Initial stack pointer (full descending stack).
+inline constexpr uint32_t StackTop = 0x00100000;
+/// Total bytes of modeled NVM (addresses [0, MemSize)).
+inline constexpr uint32_t MemSize = 0x00100000;
+/// Write-only MMIO output port; writes are captured as program output and
+/// are exempt from WAR analysis (they can never be read back).
+inline constexpr uint32_t OutPort = 0xFFFF0000;
+} // namespace memmap
+
+/// Assigns every global variable of a module a fixed NVM address.
+class MemoryLayout {
+public:
+  explicit MemoryLayout(const Module &M) {
+    uint32_t Addr = memmap::GlobalBase;
+    for (const auto &G : M.globals()) {
+      Addr = (Addr + 3u) & ~3u; // 4-byte alignment.
+      Addresses[G.get()] = Addr;
+      Addr += G->getSizeBytes();
+    }
+    DataEnd = Addr;
+    assert(DataEnd < memmap::StackTop && "global segment overflows memory");
+  }
+
+  uint32_t addressOf(const GlobalVariable *G) const {
+    auto It = Addresses.find(G);
+    assert(It != Addresses.end() && "global not in layout");
+    return It->second;
+  }
+
+  /// One past the last byte of initialized/zeroed global data.
+  uint32_t getDataEnd() const { return DataEnd; }
+
+  /// Copies the initializers of all globals into \p Mem (zero-filling
+  /// variables without an explicit image). \p Mem must cover the data
+  /// segment.
+  void materialize(const Module &M, std::vector<uint8_t> &Mem) const {
+    for (const auto &G : M.globals()) {
+      uint32_t Addr = addressOf(G.get());
+      assert(Addr + G->getSizeBytes() <= Mem.size());
+      const std::vector<uint8_t> &Init = G->getInit();
+      for (uint32_t I = 0; I != G->getSizeBytes(); ++I)
+        Mem[Addr + I] = I < Init.size() ? Init[I] : 0;
+    }
+  }
+
+private:
+  std::unordered_map<const GlobalVariable *, uint32_t> Addresses;
+  uint32_t DataEnd;
+};
+
+} // namespace wario
+
+#endif // WARIO_IR_MEMORYLAYOUT_H

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Module: the whole-program unit the WARio pipeline operates on. Mirrors
+/// the paper's front end, which links all translation units into a single
+/// combined IR before any transformation runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_MODULE_H
+#define WARIO_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <memory>
+
+namespace wario {
+
+/// Owns all functions, global variables, and uniqued integer constants of
+/// one program.
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &getName() const { return Name; }
+
+  // -- Functions ---------------------------------------------------------------
+  Function *createFunction(std::string FnName, unsigned NumParams,
+                           bool ReturnsVal);
+  Function *getFunction(const std::string &FnName) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  // -- Globals ------------------------------------------------------------------
+  GlobalVariable *createGlobal(std::string GlobalName, uint32_t SizeBytes,
+                               std::vector<uint8_t> Init = {});
+  GlobalVariable *getGlobal(const std::string &GlobalName) const;
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  // -- Constants -----------------------------------------------------------------
+  /// Returns the uniqued Constant for \p V.
+  Constant *getConstant(int32_t V);
+
+private:
+  std::string Name;
+  // Destruction order matters: functions reference constants and globals
+  // through instruction use lists, so they must be destroyed first (members
+  // are destroyed in reverse declaration order).
+  std::map<int32_t, std::unique_ptr<Constant>> Constants;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace wario
+
+#endif // WARIO_IR_MODULE_H

@@ -1,0 +1,154 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value hierarchy for the WARio intermediate representation.
+///
+/// The IR models a 32-bit embedded target (ARM Cortex-M class): every SSA
+/// value is a 32-bit integer, and pointers are plain 32-bit addresses.
+/// Memory accesses carry an explicit access size (1, 2 or 4 bytes) instead
+/// of the values being typed. This matches what the WARio transformations
+/// need: they reason about *memory dependencies*, not about types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_VALUE_H
+#define WARIO_IR_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wario {
+
+class Instruction;
+
+/// Base class of everything an instruction can reference as an operand.
+///
+/// Uses hand-rolled LLVM-style RTTI: each subclass has a fixed ValueKind,
+/// and isa<>/cast<>/dyn_cast<> dispatch on it.
+class Value {
+public:
+  enum class ValueKind : uint8_t {
+    Constant,
+    GlobalVariable,
+    Argument,
+    Instruction,
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+  ValueKind getKind() const { return Kind; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// All instructions that use this value as an operand. An instruction
+  /// appears once per use (so it can appear multiple times).
+  const std::vector<Instruction *> &users() const { return Users; }
+  bool hasUsers() const { return !Users.empty(); }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  explicit Value(ValueKind K) : Kind(K) {}
+
+private:
+  friend class Instruction;
+
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I);
+
+  ValueKind Kind;
+  std::string Name;
+  std::vector<Instruction *> Users;
+};
+
+/// LLVM-style RTTI helpers.
+template <typename To> bool isa(const Value *V) {
+  return To::classof(V);
+}
+template <typename To> To *cast(Value *V) {
+  assert(V && isa<To>(V) && "cast to incompatible value kind");
+  return static_cast<To *>(V);
+}
+template <typename To> const To *cast(const Value *V) {
+  assert(V && isa<To>(V) && "cast to incompatible value kind");
+  return static_cast<const To *>(V);
+}
+template <typename To> To *dyn_cast(Value *V) {
+  return V && isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+template <typename To> const To *dyn_cast(const Value *V) {
+  return V && isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// A 32-bit integer constant. Constants are uniqued per Module.
+class Constant : public Value {
+public:
+  explicit Constant(int32_t V) : Value(ValueKind::Constant), Val(V) {}
+
+  int32_t getValue() const { return Val; }
+  uint32_t getZExtValue() const { return static_cast<uint32_t>(Val); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Constant;
+  }
+
+private:
+  int32_t Val;
+};
+
+/// A module-level variable living in non-volatile main memory.
+///
+/// Its value as an SSA operand is its (link-time) address. The initializer
+/// is a raw byte image; zero-initialized variables keep \c Init empty and
+/// use \c SizeBytes.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(std::string Name, uint32_t SizeBytes,
+                 std::vector<uint8_t> Init = {})
+      : Value(ValueKind::GlobalVariable), SizeBytes(SizeBytes),
+        Init(std::move(Init)) {
+    assert(this->Init.empty() || this->Init.size() == SizeBytes);
+    setName(std::move(Name));
+  }
+
+  uint32_t getSizeBytes() const { return SizeBytes; }
+  const std::vector<uint8_t> &getInit() const { return Init; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  uint32_t SizeBytes;
+  std::vector<uint8_t> Init;
+};
+
+class Function;
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Function *Parent, unsigned Index)
+      : Value(ValueKind::Argument), Parent(Parent), Index(Index) {}
+
+  Function *getParent() const { return Parent; }
+  unsigned getIndex() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Argument;
+  }
+
+private:
+  Function *Parent;
+  unsigned Index;
+};
+
+} // namespace wario
+
+#endif // WARIO_IR_VALUE_H

@@ -1,0 +1,26 @@
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace wario;
+
+std::string DiagnosticEngine::formatAll() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc.Line << ':' << D.Loc.Col << ": ";
+    switch (D.Kind) {
+    case DiagKind::Error:
+      OS << "error: ";
+      break;
+    case DiagKind::Warning:
+      OS << "warning: ";
+      break;
+    case DiagKind::Note:
+      OS << "note: ";
+      break;
+    }
+    OS << D.Message << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic reporting shared by the front end, the pass pipeline, and the
+/// emulator. Diagnostics are collected into a DiagnosticEngine so library
+/// code never writes to stderr or terminates the process on user-input
+/// errors; tools decide how to render them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_SUPPORT_DIAGNOSTICS_H
+#define WARIO_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wario {
+
+/// A location in a front-end source buffer. Line and column are 1-based;
+/// a value of 0 means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic: severity, optional location, message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one input.
+///
+/// The engine never prints; callers inspect \c diagnostics() or render them
+/// with \c formatAll(). Errors are sticky: once an error is reported,
+/// \c hasErrors() stays true.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void error(std::string Message) { error(SourceLoc(), std::move(Message)); }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines.
+  std::string formatAll() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace wario
+
+#endif // WARIO_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,242 @@
+#include "transforms/CheckpointInserter.h"
+
+#include "analysis/MemoryDependence.h"
+#include "ir/IRBuilder.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+using namespace wario;
+
+namespace {
+
+/// True for instructions that end an idempotent region: an executed
+/// checkpoint, or a call (the callee's entry checkpoint fires before any
+/// of its stores).
+bool isRegionCut(const Instruction *I) {
+  return I->getOpcode() == Opcode::Checkpoint ||
+         I->getOpcode() == Opcode::Call;
+}
+
+/// Exact instruction-granular check: does every execution path from just
+/// after \p R to \p W pass a region cut? Mid-block branching is impossible
+/// in this IR, so a per-block linear scan composed with block-level BFS is
+/// exact.
+bool warIsCut(const Instruction *R, const Instruction *W) {
+  enum ScanResult { FoundW, Blocked, FellThrough };
+  auto Scan = [&](BasicBlock::const_iterator It,
+                  BasicBlock::const_iterator End) {
+    for (; It != End; ++It) {
+      if (*It == W)
+        return FoundW;
+      if (isRegionCut(*It))
+        return Blocked;
+    }
+    return FellThrough;
+  };
+
+  const BasicBlock *RB = R->getParent();
+  auto StartIt = std::find(RB->begin(), RB->end(), R);
+  assert(StartIt != RB->end());
+  ++StartIt;
+
+  std::vector<const BasicBlock *> Work;
+  std::unordered_set<const BasicBlock *> Visited;
+  switch (Scan(StartIt, RB->end())) {
+  case FoundW:
+    return false;
+  case Blocked:
+    return true;
+  case FellThrough:
+    for (const BasicBlock *S : RB->successors())
+      if (Visited.insert(S).second)
+        Work.push_back(S);
+    break;
+  }
+  while (!Work.empty()) {
+    const BasicBlock *BB = Work.back();
+    Work.pop_back();
+    switch (Scan(BB->begin(), BB->end())) {
+    case FoundW:
+      return false;
+    case Blocked:
+      continue;
+    case FellThrough:
+      for (const BasicBlock *S : BB->successors())
+        if (Visited.insert(S).second)
+          Work.push_back(S);
+      break;
+    }
+  }
+  return true;
+}
+
+/// The program points (each "immediately before instruction X") at which
+/// a checkpoint provably resolves the WAR (R, W).
+///
+/// Every returned point lies on all R->W paths. Blocks are only entered
+/// at their head and only left at their terminator, so:
+///  - when R and W share a block with R first, any point in (R, W] works
+///    for both the fall-through and any wrap-around path;
+///  - when they share a block with W first (loop-carried), any point
+///    after R (the block cannot be left early) and any point from the
+///    block head to W (every re-entry passes it) works;
+///  - when R is in a different block, every R->W path finishes with a
+///    head-of-block(W) -> W segment, so every point up to W in W's block
+///    qualifies. This is what lets one checkpoint resolve a whole cluster
+///    of writes parked at a loop latch.
+std::vector<Instruction *> resolvingPoints(Instruction *R, Instruction *W,
+                                           bool Carried) {
+  std::vector<Instruction *> Points;
+  BasicBlock *RB = R->getParent(), *WB = W->getParent();
+  auto PushRange = [&](BasicBlock::iterator It, BasicBlock::iterator End) {
+    for (; It != End; ++It)
+      if ((*It)->getOpcode() != Opcode::Phi)
+        Points.push_back(*It);
+  };
+  if (RB == WB) {
+    auto RIt = std::find(RB->begin(), RB->end(), R);
+    auto WIt = std::find(RB->begin(), RB->end(), W);
+    assert(RIt != RB->end() && WIt != RB->end());
+    bool RFirst = false;
+    for (auto It = RB->begin(); It != RB->end(); ++It) {
+      if (*It == R) {
+        RFirst = true;
+        break;
+      }
+      if (*It == W)
+        break;
+    }
+    if (RFirst && !Carried) {
+      // The direct fall-through instance: any point in (R, W].
+      PushRange(std::next(RIt), std::next(WIt));
+    } else {
+      // Wrap-around instance (either order): the path leaves the block
+      // past R and re-enters at its head before W.
+      PushRange(std::next(RIt), RB->end());
+      PushRange(RB->begin(), std::next(WIt));
+    }
+    return Points;
+  }
+  auto WIt = std::find(WB->begin(), WB->end(), W);
+  assert(WIt != WB->end());
+  PushRange(WB->begin(), std::next(WIt));
+  return Points;
+}
+
+} // namespace
+
+CheckpointInserterStats
+wario::insertCheckpoints(Function &F, const CheckpointInserterOptions &Opts) {
+  CheckpointInserterStats Stats;
+  if (F.isDeclaration())
+    return Stats;
+
+  AliasAnalysis AA(Opts.Precision);
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  MemoryDependence MD(F, AA, LI);
+
+  std::vector<const MemDep *> Wars = MD.wars();
+  Stats.WarsFound = unsigned(Wars.size());
+
+  struct War {
+    Instruction *R;
+    Instruction *W;
+    bool Carried;
+  };
+  std::vector<War> Unresolved;
+  for (const MemDep *D : Wars) {
+    if (warIsCut(D->Src, D->Dst)) {
+      ++Stats.WarsAlreadyCut;
+      continue;
+    }
+    Unresolved.push_back({D->Src, D->Dst, D->LoopCarried});
+  }
+  if (Unresolved.empty())
+    return Stats;
+
+  IRBuilder IRB(F.getParent());
+  auto InsertBefore = [&](Instruction *X) {
+    IRB.setInsertPoint(X);
+    Instruction *C = IRB.createCheckpoint();
+    C->setCheckpointCause(CheckpointCause::MiddleEndWar);
+    ++Stats.Inserted;
+  };
+
+  if (Opts.Strategy == PlacementStrategy::PerWrite) {
+    std::unordered_set<Instruction *> Done;
+    for (const War &V : Unresolved)
+      if (Done.insert(V.W).second)
+        InsertBefore(V.W);
+    return Stats;
+  }
+
+  // Greedy minimum hitting set. Candidate points are keyed by the
+  // instruction they precede; cost grows with loop depth so the greedy
+  // choice prefers resolving many WARs with one checkpoint outside hot
+  // loops when possible.
+  std::map<unsigned, Instruction *> PointById; // Deterministic iteration.
+  std::unordered_map<Instruction *, std::vector<unsigned>> Covers;
+  for (unsigned Idx = 0; Idx != Unresolved.size(); ++Idx) {
+    const War &V = Unresolved[Idx];
+    for (Instruction *P : resolvingPoints(V.R, V.W, V.Carried)) {
+      PointById[P->getId()] = P;
+      Covers[P].push_back(Idx);
+    }
+  }
+
+  auto CostOf = [&](Instruction *P) -> double {
+    if (!Opts.DepthWeightedCost)
+      return 1.0;
+    unsigned Depth = std::min(LI.getLoopDepth(P->getParent()), 8u);
+    double C = 1.0;
+    for (unsigned I = 0; I != Depth; ++I)
+      C *= 4.0;
+    return C;
+  };
+
+  std::vector<bool> Resolved(Unresolved.size(), false);
+  unsigned Remaining = unsigned(Unresolved.size());
+  while (Remaining != 0) {
+    Instruction *Best = nullptr;
+    double BestScore = -1.0;
+    unsigned BestCount = 0;
+    for (auto &[Id, P] : PointById) {
+      unsigned Count = 0;
+      for (unsigned Idx : Covers[P])
+        if (!Resolved[Idx])
+          ++Count;
+      if (Count == 0)
+        continue;
+      double Score = double(Count) / CostOf(P);
+      if (Score > BestScore) {
+        BestScore = Score;
+        Best = P;
+        BestCount = Count;
+      }
+    }
+    assert(Best && "hitting set failed to cover remaining WARs");
+    (void)BestCount;
+    InsertBefore(Best);
+    for (unsigned Idx : Covers[Best])
+      if (!Resolved[Idx]) {
+        Resolved[Idx] = true;
+        --Remaining;
+      }
+  }
+  return Stats;
+}
+
+CheckpointInserterStats
+wario::insertCheckpoints(Module &M, const CheckpointInserterOptions &Opts) {
+  CheckpointInserterStats Total;
+  for (auto &F : M.functions()) {
+    CheckpointInserterStats S = insertCheckpoints(*F, Opts);
+    Total.WarsFound += S.WarsFound;
+    Total.WarsAlreadyCut += S.WarsAlreadyCut;
+    Total.Inserted += S.Inserted;
+  }
+  return Total;
+}

@@ -1,0 +1,44 @@
+#include "transforms/Cloning.h"
+
+using namespace wario;
+
+Instruction *wario::cloneInstruction(const Instruction *I, Function &F,
+                                     const ValueMapper &VM) {
+  std::vector<Value *> Ops;
+  Ops.reserve(I->getNumOperands());
+  for (unsigned J = 0, E = I->getNumOperands(); J != E; ++J)
+    Ops.push_back(VM.lookup(I->getOperand(J)));
+
+  auto NI = std::make_unique<Instruction>(I->getOpcode(), std::move(Ops));
+  NI->setName(I->getName());
+  switch (I->getOpcode()) {
+  case Opcode::Alloca:
+    NI->setAllocaSize(I->getAllocaSize());
+    break;
+  case Opcode::Load:
+    NI->setAccessSize(I->getAccessSize());
+    NI->setSignedLoad(I->isSignedLoad());
+    break;
+  case Opcode::Store:
+    NI->setAccessSize(I->getAccessSize());
+    break;
+  case Opcode::Gep:
+    NI->setGepScale(I->getGepScale());
+    NI->setGepOffset(I->getGepOffset());
+    break;
+  case Opcode::ICmp:
+    NI->setPredicate(I->getPredicate());
+    break;
+  case Opcode::Call:
+    NI->setCallee(I->getCallee());
+    break;
+  case Opcode::Checkpoint:
+    NI->setCheckpointCause(I->getCheckpointCause());
+    break;
+  default:
+    break;
+  }
+  for (unsigned J = 0, E = I->getNumBlockOperands(); J != E; ++J)
+    NI->addBlockOperand(I->getBlockOperand(J));
+  return F.adopt(std::move(NI));
+}

@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction/block cloning primitives shared by the loop unroller and
+/// the inliner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_TRANSFORMS_CLONING_H
+#define WARIO_TRANSFORMS_CLONING_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+
+namespace wario {
+
+/// Remapping table from original values to their clones. Values absent
+/// from the table map to themselves (constants, globals, out-of-region
+/// definitions).
+class ValueMapper {
+public:
+  void map(const Value *From, Value *To) { Table[From] = To; }
+
+  Value *lookup(Value *V) const {
+    auto It = Table.find(V);
+    return It == Table.end() ? V : It->second;
+  }
+
+  bool contains(const Value *V) const { return Table.count(V) != 0; }
+
+private:
+  std::unordered_map<const Value *, Value *> Table;
+};
+
+/// Creates a detached copy of \p I (same opcode, payload, and name) inside
+/// \p F's arena, with operands remapped through \p VM. Block operands are
+/// copied verbatim; the caller retargets them.
+Instruction *cloneInstruction(const Instruction *I, Function &F,
+                              const ValueMapper &VM);
+
+} // namespace wario
+
+#endif // WARIO_TRANSFORMS_CLONING_H

@@ -1,0 +1,145 @@
+#include "transforms/Inliner.h"
+
+#include "transforms/Cloning.h"
+#include "ir/IRBuilder.h"
+
+using namespace wario;
+
+bool wario::inlineCall(Instruction *Call) {
+  assert(Call->getOpcode() == Opcode::Call && "not a call site");
+  Function *Callee = Call->getCallee();
+  BasicBlock *B = Call->getParent();
+  Function &Caller = *B->getParent();
+  Module *M = Caller.getParent();
+  if (Callee->isDeclaration() || Callee == &Caller)
+    return false;
+
+  // Collect return sites up front; a never-returning callee with a used
+  // return value cannot be inlined with this scheme.
+  std::vector<Instruction *> CalleeRets;
+  for (BasicBlock *BB : *Callee)
+    if (Instruction *T = BB->getTerminator(); T && T->getOpcode() == Opcode::Ret)
+      CalleeRets.push_back(T);
+  if (CalleeRets.empty() && Callee->returnsValue())
+    return false;
+
+  // 1. Split the caller block after the call site.
+  BasicBlock *After = Caller.createBlockAfter(B, B->getName() + ".ret");
+  {
+    std::vector<Instruction *> Trailing;
+    bool Seen = false;
+    for (Instruction *I : *B) {
+      if (Seen)
+        Trailing.push_back(I);
+      if (I == Call)
+        Seen = true;
+    }
+    for (Instruction *I : Trailing) {
+      I->removeFromParent();
+      After->push_back(I);
+    }
+  }
+  // Phi entries in B's old successors now flow from After.
+  for (BasicBlock *S : After->successors())
+    for (Instruction *Phi : S->phis())
+      for (unsigned J = 0, E = Phi->getNumBlockOperands(); J != E; ++J)
+        if (Phi->getBlockOperand(J) == B)
+          Phi->setBlockOperand(J, After);
+
+  // 2. Clone the callee body (two passes: materialize, then remap).
+  ValueMapper VM;
+  for (unsigned I = 0, E = Callee->getNumParams(); I != E; ++I)
+    VM.map(Callee->getArg(I), Call->getOperand(I));
+
+  std::unordered_map<const BasicBlock *, BasicBlock *> BMap;
+  BasicBlock *InsertAfter = B;
+  for (BasicBlock *BB : *Callee) {
+    BasicBlock *NB = Caller.createBlockAfter(
+        InsertAfter, Callee->getName() + "." + BB->getName());
+    BMap[BB] = NB;
+    InsertAfter = NB;
+  }
+
+  ValueMapper Identity;
+  std::vector<Instruction *> Cloned;
+  for (BasicBlock *BB : *Callee) {
+    BasicBlock *NB = BMap[BB];
+    for (Instruction *I : *BB) {
+      Instruction *NI = cloneInstruction(I, Caller, Identity);
+      VM.map(I, NI);
+      Cloned.push_back(NI);
+      if (NI->getOpcode() == Opcode::Alloca) {
+        // Hoist to the caller's entry so static frame layout still sees
+        // every slot exactly once.
+        BasicBlock *Entry = Caller.getEntryBlock();
+        Entry->insert(Entry->begin(), NI);
+      } else {
+        NB->push_back(NI);
+      }
+      for (unsigned J = 0, E = NI->getNumBlockOperands(); J != E; ++J)
+        NI->setBlockOperand(J, BMap.at(NI->getBlockOperand(J)));
+    }
+  }
+  for (Instruction *NI : Cloned)
+    for (unsigned J = 0, E = NI->getNumOperands(); J != E; ++J)
+      NI->setOperand(J, VM.lookup(NI->getOperand(J)));
+
+  // 3. Rewrite cloned returns into jumps to After, collecting values.
+  IRBuilder IRB(M);
+  std::vector<std::pair<Value *, BasicBlock *>> RetVals;
+  for (Instruction *OrigRet : CalleeRets) {
+    auto *NR = cast<Instruction>(VM.lookup(OrigRet));
+    BasicBlock *RB = NR->getParent();
+    if (Callee->returnsValue())
+      RetVals.emplace_back(NR->getOperand(0), RB);
+    Caller.eraseInstruction(NR);
+    IRB.setInsertPoint(RB);
+    IRB.createJmp(After);
+  }
+
+  // 4. Replace the call's value and reroute control.
+  if (Callee->returnsValue() && Call->hasUsers()) {
+    Value *Result = nullptr;
+    if (RetVals.size() == 1) {
+      Result = RetVals.front().first;
+    } else {
+      // Insert the merge phi at the head of After.
+      IRB.setInsertPoint(After->front());
+      Instruction *Phi = IRB.createPhi(Callee->getName() + ".ret");
+      for (auto &[V, RB] : RetVals)
+        IRBuilder::addPhiIncoming(Phi, V, RB);
+      Result = Phi;
+    }
+    Call->replaceAllUsesWith(Result);
+  }
+  Caller.eraseInstruction(Call);
+  IRB.setInsertPoint(B);
+  IRB.createJmp(BMap.at(Callee->getEntryBlock()));
+  return true;
+}
+
+unsigned wario::inlineSmallFunctions(Module &M, unsigned MaxCalleeSize) {
+  unsigned Inlined = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto &F : M.functions()) {
+      if (F->isDeclaration())
+        continue;
+      std::vector<Instruction *> Sites;
+      for (BasicBlock *BB : *F)
+        for (Instruction *I : *BB)
+          if (I->getOpcode() == Opcode::Call &&
+              !I->getCallee()->isDeclaration() &&
+              I->getCallee() != F.get() &&
+              I->getCallee()->countInstructions() <= MaxCalleeSize)
+            Sites.push_back(I);
+      for (Instruction *Site : Sites)
+        if (inlineCall(Site)) {
+          ++Inlined;
+          Changed = true;
+        }
+    }
+  }
+  return Inlined;
+}

@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call-site inlining, the mechanism behind the paper's Expander pass
+/// (Section 3.1.2): every function call forces checkpoints at the callee's
+/// entry and exit, so strategic inlining removes forced checkpoints and
+/// exposes the callee's WARs to the write-clustering passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_TRANSFORMS_INLINER_H
+#define WARIO_TRANSFORMS_INLINER_H
+
+#include "ir/Module.h"
+
+namespace wario {
+
+/// Inlines one call site. Returns false (leaving the IR unchanged) when
+/// the callee is a declaration, the call is directly recursive, or the
+/// callee never returns.
+bool inlineCall(Instruction *Call);
+
+/// Inlines every call site in the module whose callee's body has at most
+/// \p MaxCalleeSize instructions, repeating until a fixed point (directly
+/// recursive calls are never inlined). Returns the number of sites
+/// inlined. Used with a small threshold as the pre-pipeline
+/// "-always-inline"-style sweep from Section 4.6.
+unsigned inlineSmallFunctions(Module &M, unsigned MaxCalleeSize);
+
+} // namespace wario
+
+#endif // WARIO_TRANSFORMS_INLINER_H

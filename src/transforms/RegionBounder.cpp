@@ -1,0 +1,149 @@
+#include "transforms/RegionBounder.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+#include "transforms/Utils.h"
+
+#include <unordered_set>
+
+using namespace wario;
+
+uint64_t wario::estimateCycles(const Instruction &I) {
+  switch (I.getOpcode()) {
+  case Opcode::Load:
+  case Opcode::Store:
+    return 2;
+  case Opcode::UDiv:
+  case Opcode::SDiv:
+  case Opcode::URem:
+  case Opcode::SRem:
+    return 6;
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+  case Opcode::Call:
+    return 3; // Branch plus pipeline refill.
+  case Opcode::Checkpoint:
+    return 40;
+  case Opcode::Select:
+  case Opcode::ICmp:
+  case Opcode::Out:
+    return 2;
+  case Opcode::Phi:
+    return 0; // Lowered to copies accounted at the branches.
+  default:
+    return 1;
+  }
+}
+
+namespace {
+
+bool hasRegionCut(const Loop &L) {
+  for (BasicBlock *BB : L.blocks())
+    for (Instruction *I : *BB)
+      if (I->getOpcode() == Opcode::Checkpoint ||
+          I->getOpcode() == Opcode::Call)
+        return true;
+  return false;
+}
+
+uint64_t bodyCycles(const Loop &L) {
+  uint64_t Sum = 0;
+  for (BasicBlock *BB : L.blocks())
+    for (Instruction *I : *BB)
+      Sum += estimateCycles(*I);
+  return Sum;
+}
+
+/// Threads the register counter through loop \p L.
+void boundOne(Function &F, Loop &L, uint64_t PerIter, uint64_t Budget) {
+  Module *M = F.getParent();
+  BasicBlock *H = L.getHeader();
+  BasicBlock *LT = L.getLatch();
+  assert(LT && "candidate loops have a unique latch");
+  BasicBlock *Pre = ensurePreheader(L);
+
+  // Dedicated back-edge block, then the conditional checkpoint diamond.
+  BasicBlock *NB = splitEdge(LT, H);
+  IRBuilder IRB(M);
+
+  // The counter phi lives at the header; k' = k + PerIter in the latch.
+  IRB.setInsertPoint(H->front());
+  Instruction *K = IRB.createPhi("rb.k");
+
+  IRB.setInsertPoint(LT->getTerminator());
+  Instruction *K2 =
+      IRB.createAdd(K, IRB.getInt(int32_t(PerIter)), "rb.k2");
+  Instruction *Cmp = IRB.createICmp(CmpPred::UGE, K2,
+                                    IRB.getInt(int32_t(Budget)), "rb.due");
+
+  // NB: [jmp H]  =>  [br cmp, CkBB, H]; CkBB: [checkpoint; jmp H].
+  BasicBlock *CkBB = F.createBlockAfter(NB, H->getName() + ".rb");
+  Instruction *OldJmp = NB->getTerminator();
+  assert(OldJmp && OldJmp->getOpcode() == Opcode::Jmp);
+  F.eraseInstruction(OldJmp);
+  IRB.setInsertPoint(NB);
+  IRB.createBr(Cmp, CkBB, H);
+  IRB.setInsertPoint(CkBB);
+  IRB.createCheckpoint()->setCheckpointCause(CheckpointCause::MiddleEndWar);
+  IRB.createJmp(H);
+
+  // Header phis gain the CkBB predecessor, mirroring their NB value.
+  for (Instruction *Phi : H->phis()) {
+    if (Phi == K)
+      continue;
+    Value *V = Phi->getPhiIncomingFor(NB);
+    IRBuilder::addPhiIncoming(Phi, V, CkBB);
+  }
+  // The counter: 0 on entry and after a checkpoint, k' otherwise.
+  IRBuilder::addPhiIncoming(K, M->getConstant(0), Pre);
+  IRBuilder::addPhiIncoming(K, K2, NB);
+  IRBuilder::addPhiIncoming(K, M->getConstant(0), CkBB);
+}
+
+} // namespace
+
+RegionBounderStats wario::boundRegions(Function &F,
+                                       const RegionBounderOptions &Opts) {
+  RegionBounderStats Stats;
+  if (F.isDeclaration())
+    return Stats;
+  std::unordered_set<BasicBlock *> Done;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    DominatorTree DT(F);
+    LoopInfo LI(F, DT);
+    for (Loop *L : LI.loops()) {
+      if (Done.count(L->getHeader()))
+        continue;
+      if (!L->getSubLoops().empty() || !L->getLatch())
+        continue;
+      if (hasRegionCut(*L))
+        continue;
+      Done.insert(L->getHeader());
+      // The IR-level estimate undercounts the final machine code
+      // (instruction selection, spills, phi copies roughly triple it);
+      // scale so the budget is honored in emulated cycles.
+      constexpr uint64_t BackendExpansionFactor = 3;
+      uint64_t PerIter = std::max<uint64_t>(
+          1, bodyCycles(*L) * BackendExpansionFactor);
+      if (PerIter >= Opts.MaxRegionCycles)
+        continue; // One iteration already busts the budget; a register
+                  // checkpoint cannot help a body this large.
+      boundOne(F, *L, PerIter, Opts.MaxRegionCycles);
+      ++Stats.LoopsBounded;
+      Progress = true; // CFG changed; recompute analyses.
+      break;
+    }
+  }
+  return Stats;
+}
+
+RegionBounderStats wario::boundRegions(Module &M,
+                                       const RegionBounderOptions &Opts) {
+  RegionBounderStats Total;
+  for (auto &F : M.functions())
+    Total.LoopsBounded += boundRegions(*F, Opts).LoopsBounded;
+  return Total;
+}

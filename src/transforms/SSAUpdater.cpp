@@ -1,0 +1,73 @@
+#include "transforms/SSAUpdater.h"
+
+using namespace wario;
+
+SSAUpdater::SSAUpdater(Function &F, std::string Name, Value *Default)
+    : F(F), Name(std::move(Name)), Default(Default) {
+  assert(Default && "SSAUpdater needs a default value");
+}
+
+void SSAUpdater::addAvailableValue(BasicBlock *BB, Value *V) {
+  AtExit[BB] = V;
+}
+
+Value *SSAUpdater::getValueAtExit(BasicBlock *BB) {
+  auto It = AtExit.find(BB);
+  if (It != AtExit.end())
+    return It->second;
+  return getValueAtEntry(BB);
+}
+
+Value *SSAUpdater::getValueAtEntry(BasicBlock *BB) {
+  auto It = AtEntry.find(BB);
+  if (It != AtEntry.end())
+    return It->second;
+
+  std::vector<BasicBlock *> Preds = BB->predecessors();
+  if (Preds.empty()) {
+    AtEntry[BB] = Default;
+    return Default;
+  }
+
+  // Braun-style: place a phi placeholder first and memoize it, so cyclic
+  // queries (loops) resolve to the phi instead of recursing forever. Phis
+  // that turn out trivial are cleaned up by simplifyInsertedPhis().
+  IRBuilder IRB(F.getParent());
+  assert(!BB->empty() && "querying a block with no instructions");
+  IRB.setInsertPoint(BB->front());
+  Instruction *Phi = IRB.createPhi(Name);
+  AtEntry[BB] = Phi;
+  InsertedPhis.push_back(Phi);
+  for (BasicBlock *P : Preds)
+    IRBuilder::addPhiIncoming(Phi, getValueAtExit(P), P);
+  return Phi;
+}
+
+void SSAUpdater::simplifyInsertedPhis() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Instruction *&Phi : InsertedPhis) {
+      if (!Phi)
+        continue;
+      Value *Common = nullptr;
+      bool Trivial = true;
+      for (unsigned I = 0, E = Phi->getNumOperands(); I != E; ++I) {
+        Value *V = Phi->getOperand(I);
+        if (V == Phi)
+          continue;
+        if (Common && V != Common) {
+          Trivial = false;
+          break;
+        }
+        Common = V;
+      }
+      if (!Trivial || !Common)
+        continue;
+      Phi->replaceAllUsesWith(Common);
+      F.eraseInstruction(Phi);
+      Phi = nullptr;
+      Changed = true;
+    }
+  }
+}

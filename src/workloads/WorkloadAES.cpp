@@ -1,0 +1,175 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny-AES-style AES-128 ECB encryption. The 16-byte state matrix lives
+/// in NVM and every round transformation (SubBytes, ShiftRows,
+/// MixColumns, AddRoundKey) read-modify-writes it in loops — the other
+/// big Loop Write Clusterer winner in the paper (~70% middle-end
+/// checkpoint reduction).
+///
+/// The S-box is generated at startup from the AES field inverse (the
+/// usual static table would be 256 literals; generating it keeps the
+/// algorithm equivalent and adds a realistic init phase).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *wario::aesSource() {
+  return R"CSRC(
+/* AES-128, ECB, encrypt-only; structure follows kokke/tiny-AES-c. */
+
+unsigned char sbox[256];
+unsigned char round_key[176];
+unsigned char state[16];
+unsigned char plain[256];
+unsigned char cipher[256];
+unsigned int rng_state = 0xAE5AE511;
+
+unsigned int rng_next(void) {
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 17;
+  rng_state ^= rng_state << 5;
+  return rng_state;
+}
+
+unsigned char xtime(unsigned char x) {
+  return (unsigned char)((x << 1) ^ ((x >> 7) * 0x1B));
+}
+
+unsigned char gmul(unsigned char a, unsigned char b) {
+  unsigned char p = 0;
+  for (int i = 0; i < 8; i++) {
+    if (b & 1)
+      p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+/* Build the S-box: multiplicative inverse in GF(2^8), then affine map. */
+void build_sbox(void) {
+  /* p and q run through all non-zero field elements as 3^k and 3^-k. */
+  unsigned char p = 1;
+  unsigned char q = 1;
+  do {
+    p = (unsigned char)(p ^ (p << 1) ^ ((p >> 7) * 0x1B));
+    /* divide q by 3 (multiply by inverse generator) */
+    q ^= (unsigned char)(q << 1);
+    q ^= (unsigned char)(q << 2);
+    q ^= (unsigned char)(q << 4);
+    q ^= (unsigned char)((q >> 7) * 0x09);
+    sbox[p] = (unsigned char)((q ^ (unsigned char)(q << 1) ^
+                               (unsigned char)(q << 2) ^
+                               (unsigned char)(q << 3) ^
+                               (unsigned char)(q << 4) ^
+                               (unsigned char)(q >> 7) ^
+                               (unsigned char)(q >> 6) ^
+                               (unsigned char)(q >> 5) ^
+                               (unsigned char)(q >> 4) ^ 0x63));
+  } while (p != 1);
+  sbox[0] = 0x63;
+}
+
+void key_expansion(unsigned char *key) {
+  for (int i = 0; i < 16; i++)
+    round_key[i] = key[i];
+  for (int i = 4; i < 44; i++) {
+    unsigned char t0 = round_key[(i - 1) * 4 + 0];
+    unsigned char t1 = round_key[(i - 1) * 4 + 1];
+    unsigned char t2 = round_key[(i - 1) * 4 + 2];
+    unsigned char t3 = round_key[(i - 1) * 4 + 3];
+    if ((i & 3) == 0) {
+      /* RotWord + SubWord + Rcon. */
+      unsigned char tmp = t0;
+      t0 = sbox[t1];
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+      unsigned char rcon = 1;
+      int rounds = i / 4 - 1;
+      for (int r = 0; r < rounds; r++)
+        rcon = xtime(rcon);
+      t0 ^= rcon;
+    }
+    round_key[i * 4 + 0] = (unsigned char)(round_key[(i - 4) * 4 + 0] ^ t0);
+    round_key[i * 4 + 1] = (unsigned char)(round_key[(i - 4) * 4 + 1] ^ t1);
+    round_key[i * 4 + 2] = (unsigned char)(round_key[(i - 4) * 4 + 2] ^ t2);
+    round_key[i * 4 + 3] = (unsigned char)(round_key[(i - 4) * 4 + 3] ^ t3);
+  }
+}
+
+void add_round_key(int round) {
+  for (int i = 0; i < 16; i++)
+    state[i] ^= round_key[round * 16 + i];
+}
+
+void sub_bytes(void) {
+  for (int i = 0; i < 16; i++)
+    state[i] = sbox[state[i]];
+}
+
+void shift_rows(void) {
+  /* Row r rotates left by r (state is column-major as in tiny-AES). */
+  unsigned char t = state[1];
+  state[1] = state[5]; state[5] = state[9];
+  state[9] = state[13]; state[13] = t;
+
+  t = state[2]; state[2] = state[10]; state[10] = t;
+  t = state[6]; state[6] = state[14]; state[14] = t;
+
+  t = state[3]; state[3] = state[15]; state[15] = state[11];
+  state[11] = state[7]; state[7] = t;
+}
+
+void mix_columns(void) {
+  for (int c = 0; c < 4; c++) {
+    unsigned char a0 = state[c * 4 + 0];
+    unsigned char a1 = state[c * 4 + 1];
+    unsigned char a2 = state[c * 4 + 2];
+    unsigned char a3 = state[c * 4 + 3];
+    state[c * 4 + 0] = (unsigned char)(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+    state[c * 4 + 1] = (unsigned char)(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+    state[c * 4 + 2] = (unsigned char)(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+    state[c * 4 + 3] = (unsigned char)(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+  }
+}
+
+void encrypt_block(void) {
+  add_round_key(0);
+  for (int round = 1; round < 10; round++) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+int main(void) {
+  unsigned char key[16];
+  build_sbox();
+  for (int i = 0; i < 16; i++)
+    key[i] = (unsigned char)(rng_next() >> 21);
+  key_expansion(key);
+  for (int i = 0; i < 256; i++)
+    plain[i] = (unsigned char)(rng_next() >> 11);
+
+  for (int b = 0; b < 16; b++) {
+    for (int i = 0; i < 16; i++)
+      state[i] = plain[b * 16 + i];
+    encrypt_block();
+    for (int i = 0; i < 16; i++)
+      cipher[b * 16 + i] = state[i];
+  }
+
+  unsigned int mix = 0;
+  for (int i = 0; i < 256; i++)
+    mix = mix * 31 + cipher[i];
+  return (int)(mix & 0x7FFFFFFF);
+}
+)CSRC";
+}

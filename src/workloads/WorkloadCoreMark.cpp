@@ -1,0 +1,189 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CoreMark-like workload with the benchmark's three classic kernels —
+/// linked-list processing (via index-linked parallel arrays, as the
+/// subset has no structs), matrix operations, and a character-driven
+/// state machine — validated by a CRC-16 mix, like EEMBC CoreMark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *wario::coremarkSource() {
+  return R"CSRC(
+/* CoreMark-like mix: list + matrix + state machine + crc16. */
+
+int list_next[64];
+int list_data[64];
+int mat_a[10][10];
+int mat_b[10][10];
+int mat_c[10][10];
+unsigned char input[256];
+unsigned int rng_state = 0xC07E3A7C;
+
+unsigned int rng_next(void) {
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 17;
+  rng_state ^= rng_state << 5;
+  return rng_state;
+}
+
+unsigned int crc16(unsigned int crc, unsigned int data) {
+  for (int i = 0; i < 16; i++) {
+    int bit = (crc & 1) ^ (data & 1);
+    crc >>= 1;
+    data >>= 1;
+    if (bit)
+      crc ^= 0xA001;
+  }
+  return crc;
+}
+
+/* --- Linked list over parallel arrays ------------------------------- */
+
+void list_init(void) {
+  for (int i = 0; i < 64; i++) {
+    list_next[i] = i + 1;
+    list_data[i] = (int)(rng_next() & 0xFFFF);
+  }
+  list_next[63] = -1;
+}
+
+int list_find(int head, int value) {
+  int steps = 0;
+  int cur = head;
+  while (cur >= 0) {
+    if (list_data[cur] == value)
+      return steps;
+    cur = list_next[cur];
+    steps++;
+  }
+  return -steps;
+}
+
+/* Reverse the list, returning the new head (classic pointer chasing). */
+int list_reverse(int head) {
+  int prev = -1;
+  int cur = head;
+  while (cur >= 0) {
+    int nxt = list_next[cur];
+    list_next[cur] = prev;
+    prev = cur;
+    cur = nxt;
+  }
+  return prev;
+}
+
+/* --- Matrix kernels --------------------------------------------------- */
+
+void matrix_init(void) {
+  for (int i = 0; i < 10; i++)
+    for (int j = 0; j < 10; j++) {
+      mat_a[i][j] = (int)(rng_next() & 255) - 128;
+      mat_b[i][j] = (int)(rng_next() & 255) - 128;
+    }
+}
+
+void matrix_mul(void) {
+  for (int i = 0; i < 10; i++)
+    for (int j = 0; j < 10; j++) {
+      int acc = 0;
+      for (int k = 0; k < 10; k++)
+        acc += mat_a[i][k] * mat_b[k][j];
+      mat_c[i][j] = acc;
+    }
+}
+
+void matrix_bitops(void) {
+  for (int i = 0; i < 10; i++)
+    for (int j = 0; j < 10; j++)
+      mat_a[i][j] = (mat_a[i][j] >> 1) ^ mat_c[j][i];
+}
+
+/* --- State machine ------------------------------------------------------ */
+/* Scans "numbers" in the input: states: 0 start, 1 int, 2 hex, 3 junk. */
+
+int sm_counts[4];
+
+void state_machine(void) {
+  for (int i = 0; i < 4; i++)
+    sm_counts[i] = 0;
+  int state = 0;
+  for (int i = 0; i < 256; i++) {
+    unsigned char c = input[i];
+    if (state == 0) {
+      if (c >= '0' && c <= '9')
+        state = 1;
+      else if (c == 'x')
+        state = 2;
+      else
+        state = 3;
+    } else if (state == 1) {
+      if (c >= '0' && c <= '9')
+        state = 1;
+      else if (c == ',')
+        state = 0;
+      else
+        state = 3;
+    } else if (state == 2) {
+      int hex = (c >= '0' && c <= '9') ||
+                (c >= 'a' && c <= 'f');
+      if (hex)
+        state = 2;
+      else if (c == ',')
+        state = 0;
+      else
+        state = 3;
+    } else {
+      if (c == ',')
+        state = 0;
+    }
+    sm_counts[state]++;
+  }
+}
+
+int main(void) {
+  unsigned int crc = 0xFFFF;
+
+  list_init();
+  int head = 0;
+  for (int round = 0; round < 8; round++) {
+    int needle = list_data[(round * 17) & 63];
+    crc = crc16(crc, (unsigned int)list_find(head, needle));
+    head = list_reverse(head);
+    crc = crc16(crc, (unsigned int)head);
+  }
+
+  matrix_init();
+  for (int round = 0; round < 4; round++) {
+    matrix_mul();
+    matrix_bitops();
+    crc = crc16(crc, (unsigned int)mat_c[round][round]);
+  }
+
+  for (int i = 0; i < 256; i++) {
+    unsigned int r = rng_next() & 15;
+    unsigned char c;
+    if (r < 6)
+      c = (unsigned char)('0' + (r & 7));
+    else if (r < 8)
+      c = 'x';
+    else if (r < 10)
+      c = ',';
+    else if (r < 12)
+      c = (unsigned char)('a' + (r & 3));
+    else
+      c = ' ';
+    input[i] = c;
+  }
+  for (int round = 0; round < 4; round++) {
+    state_machine();
+    for (int s = 0; s < 4; s++)
+      crc = crc16(crc, (unsigned int)sm_counts[s]);
+  }
+
+  return (int)(crc & 0x7FFFFFFF);
+}
+)CSRC";
+}

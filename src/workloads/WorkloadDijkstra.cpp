@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiBench-style Dijkstra: repeated single-source shortest paths over a
+/// dense adjacency matrix. Few WAR violations occur (distance relaxations
+/// are guarded by branches), so — as in the paper — no WARio
+/// transformation moves the needle much on this benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *wario::dijkstraSource() {
+  return R"CSRC(
+/* Dijkstra over a 24-node random dense graph, all-pairs style. */
+
+int adj[24][24];
+int dist[24];
+int visited[24];
+unsigned int rng_state = 0xD1357A22;
+
+unsigned int rng_next(void) {
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 17;
+  rng_state ^= rng_state << 5;
+  return rng_state;
+}
+
+void build_graph(void) {
+  for (int i = 0; i < 24; i++) {
+    for (int j = 0; j < 24; j++) {
+      if (i == j) {
+        adj[i][j] = 0;
+      } else {
+        int w = (int)(rng_next() % 97) + 1;
+        if (w > 80)
+          w = 0x0FFFFFFF; /* "no edge" */
+        adj[i][j] = w;
+      }
+    }
+  }
+}
+
+int shortest_from(int src) {
+  for (int i = 0; i < 24; i++) {
+    dist[i] = 0x0FFFFFFF;
+    visited[i] = 0;
+  }
+  dist[src] = 0;
+  for (int iter = 0; iter < 24; iter++) {
+    int u = -1;
+    int best = 0x10000000;
+    for (int i = 0; i < 24; i++) {
+      if (!visited[i] && dist[i] < best) {
+        best = dist[i];
+        u = i;
+      }
+    }
+    if (u < 0)
+      break;
+    visited[u] = 1;
+    for (int v = 0; v < 24; v++) {
+      int alt = dist[u] + adj[u][v];
+      if (alt < dist[v])
+        dist[v] = alt;
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < 24; i++)
+    if (dist[i] < 0x0FFFFFFF)
+      sum += dist[i];
+  return sum;
+}
+
+int main(void) {
+  build_graph();
+  unsigned int mix = 0;
+  for (int src = 0; src < 24; src++) {
+    int s = shortest_from(src);
+    mix = mix * 131 + (unsigned int)s;
+  }
+  return (int)(mix & 0x7FFFFFFF);
+}
+)CSRC";
+}

@@ -1,0 +1,175 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// picojpeg-like decoder kernel: a bit-reader driven Huffman-style
+/// decode of (run, level) coefficient pairs, zig-zag placement,
+/// dequantization, and the separable integer IDCT that dominates
+/// picojpeg's cycle profile — writing decoded 8x8 blocks into a
+/// framebuffer. The in-place row/column IDCT passes carry the WARs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *wario::picojpegSource() {
+  return R"CSRC(
+/* JPEG-flavored block decoder: bitstream -> coefficients -> IDCT. */
+
+unsigned char stream[2048];
+int block[64];
+unsigned char frame[24][64]; /* 24 blocks of 8x8 output pixels. */
+int quant[64];
+int zigzag[64];
+unsigned int rng_state = 0x1DC7BEEF;
+
+int bit_pos = 0;
+
+unsigned int rng_next(void) {
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 17;
+  rng_state ^= rng_state << 5;
+  return rng_state;
+}
+
+int read_bits(int n) {
+  int v = 0;
+  for (int i = 0; i < n; i++) {
+    int byte = bit_pos >> 3;
+    int bit = 7 - (bit_pos & 7);
+    v = (v << 1) | ((stream[byte] >> bit) & 1);
+    bit_pos++;
+  }
+  return v;
+}
+
+void build_tables(void) {
+  /* Zig-zag scan order (computed, not a 64-literal table). */
+  int idx = 0;
+  for (int s = 0; s < 15; s++) {
+    if (s & 1) {
+      int r = s < 8 ? 0 : s - 7;
+      int c = s - r;
+      while (c >= 0 && r < 8) {
+        if (c < 8) {
+          zigzag[idx] = r * 8 + c;
+          idx++;
+        }
+        r++;
+        c--;
+      }
+    } else {
+      int c = s < 8 ? 0 : s - 7;
+      int r = s - c;
+      while (r >= 0 && c < 8) {
+        if (r < 8) {
+          zigzag[idx] = r * 8 + c;
+          idx++;
+        }
+        c++;
+        r--;
+      }
+    }
+  }
+  for (int i = 0; i < 64; i++)
+    quant[i] = 1 + ((i * 7) & 31);
+}
+
+/* Huffman-flavored decode: a unary run length, then a sized level. */
+int decode_block(void) {
+  for (int i = 0; i < 64; i++)
+    block[i] = 0;
+  int pos = 0;
+  int nonzero = 0;
+  while (pos < 64) {
+    int run = 0;
+    while (run < 12 && read_bits(1))
+      run++;
+    pos += run;
+    if (pos >= 64)
+      break;
+    int size = read_bits(3);
+    if (size == 0)
+      break; /* EOB */
+    int level = read_bits(size) - (1 << (size - 1));
+    if (level >= 0)
+      level++;
+    block[zigzag[pos]] = level * quant[pos];
+    nonzero++;
+    pos++;
+  }
+  return nonzero;
+}
+
+/* Separable integer IDCT (butterfly-free teaching form, in place). */
+void idct_rows(void) {
+  for (int r = 0; r < 8; r++) {
+    int t0 = block[r * 8 + 0] + block[r * 8 + 4];
+    int t1 = block[r * 8 + 0] - block[r * 8 + 4];
+    int t2 = block[r * 8 + 2] + (block[r * 8 + 6] >> 1);
+    int t3 = (block[r * 8 + 2] >> 1) - block[r * 8 + 6];
+    int t4 = block[r * 8 + 1] + block[r * 8 + 7];
+    int t5 = block[r * 8 + 3] + block[r * 8 + 5];
+    int t6 = block[r * 8 + 1] - block[r * 8 + 7];
+    int t7 = block[r * 8 + 3] - block[r * 8 + 5];
+    block[r * 8 + 0] = t0 + t2 + t4;
+    block[r * 8 + 1] = t1 + t3 + t5;
+    block[r * 8 + 2] = t1 - t3 + t6;
+    block[r * 8 + 3] = t0 - t2 + t7;
+    block[r * 8 + 4] = t0 - t2 - t7;
+    block[r * 8 + 5] = t1 - t3 - t6;
+    block[r * 8 + 6] = t1 + t3 - t5;
+    block[r * 8 + 7] = t0 + t2 - t4;
+  }
+}
+
+void idct_cols(void) {
+  for (int c = 0; c < 8; c++) {
+    int t0 = block[0 * 8 + c] + block[4 * 8 + c];
+    int t1 = block[0 * 8 + c] - block[4 * 8 + c];
+    int t2 = block[2 * 8 + c] + (block[6 * 8 + c] >> 1);
+    int t3 = (block[2 * 8 + c] >> 1) - block[6 * 8 + c];
+    int t4 = block[1 * 8 + c] + block[7 * 8 + c];
+    int t5 = block[3 * 8 + c] + block[5 * 8 + c];
+    int t6 = block[1 * 8 + c] - block[7 * 8 + c];
+    int t7 = block[3 * 8 + c] - block[5 * 8 + c];
+    block[0 * 8 + c] = (t0 + t2 + t4) >> 3;
+    block[1 * 8 + c] = (t1 + t3 + t5) >> 3;
+    block[2 * 8 + c] = (t1 - t3 + t6) >> 3;
+    block[3 * 8 + c] = (t0 - t2 + t7) >> 3;
+    block[4 * 8 + c] = (t0 - t2 - t7) >> 3;
+    block[5 * 8 + c] = (t1 - t3 - t6) >> 3;
+    block[6 * 8 + c] = (t1 + t3 - t5) >> 3;
+    block[7 * 8 + c] = (t0 + t2 - t4) >> 3;
+  }
+}
+
+void store_block(int b) {
+  for (int i = 0; i < 64; i++) {
+    int v = block[i] + 128;
+    if (v < 0)
+      v = 0;
+    if (v > 255)
+      v = 255;
+    frame[b][i] = (unsigned char)v;
+  }
+}
+
+int main(void) {
+  for (int i = 0; i < 2048; i++)
+    stream[i] = (unsigned char)(rng_next() >> 17);
+  build_tables();
+  int total_nonzero = 0;
+  for (int b = 0; b < 24; b++) {
+    total_nonzero += decode_block();
+    idct_rows();
+    idct_cols();
+    store_block(b);
+  }
+  unsigned int mix = (unsigned int)total_nonzero;
+  for (int b = 0; b < 24; b++)
+    for (int i = 0; i < 64; i++)
+      mix = mix * 31 + frame[b][i];
+  return (int)(mix & 0x7FFFFFFF);
+}
+)CSRC";
+}

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiBench-style SHA-1: the 80-word message schedule and the five-word
+/// digest state live in NVM and are read-modify-written in tight loops —
+/// the dense consecutive-WAR structure that profits most from the Loop
+/// Write Clusterer (paper Section 5.2.2: ~60% middle-end checkpoint
+/// reduction for SHA).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *wario::shaSource() {
+  return R"CSRC(
+/* SHA-1 over a pseudo-random message, block by block. */
+
+unsigned int sha_h[5];
+unsigned int sha_w[80];
+unsigned char message[1024];
+unsigned int rng_state = 0x5EED5EED;
+
+unsigned int rng_next(void) {
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 17;
+  rng_state ^= rng_state << 5;
+  return rng_state;
+}
+
+unsigned int rol(unsigned int x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+void sha_init(void) {
+  sha_h[0] = 0x67452301;
+  sha_h[1] = 0xEFCDAB89;
+  sha_h[2] = 0x98BADCFE;
+  sha_h[3] = 0x10325476;
+  sha_h[4] = 0xC3D2E1F0;
+}
+
+/* Process one 64-byte block starting at message[off]. */
+void sha_transform(int off) {
+  /* Message schedule: load 16 words big-endian... */
+  for (int t = 0; t < 16; t++) {
+    int b = off + t * 4;
+    sha_w[t] = ((unsigned int)message[b] << 24) |
+               ((unsigned int)message[b + 1] << 16) |
+               ((unsigned int)message[b + 2] << 8) |
+               (unsigned int)message[b + 3];
+  }
+  /* ...then expand to 80 (reads then writes on sha_w: WARs). */
+  for (int t = 16; t < 80; t++)
+    sha_w[t] = rol(sha_w[t - 3] ^ sha_w[t - 8] ^ sha_w[t - 14] ^
+                   sha_w[t - 16], 1);
+
+  unsigned int a = sha_h[0];
+  unsigned int b = sha_h[1];
+  unsigned int c = sha_h[2];
+  unsigned int d = sha_h[3];
+  unsigned int e = sha_h[4];
+
+  for (int t = 0; t < 80; t++) {
+    unsigned int f;
+    unsigned int k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    unsigned int tmp = rol(a, 5) + f + e + k + sha_w[t];
+    e = d;
+    d = c;
+    c = rol(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  /* Digest update: read-modify-write of each NVM word (5 WARs). */
+  sha_h[0] += a;
+  sha_h[1] += b;
+  sha_h[2] += c;
+  sha_h[3] += d;
+  sha_h[4] += e;
+}
+
+int main(void) {
+  for (int i = 0; i < 1024; i++)
+    message[i] = (unsigned char)(rng_next() >> 9);
+  sha_init();
+  for (int blk = 0; blk < 16; blk++)
+    sha_transform(blk * 64);
+  unsigned int mix = 0;
+  for (int i = 0; i < 5; i++)
+    mix ^= sha_h[i] >> (i + 1);
+  return (int)(mix & 0x7FFFFFFF);
+}
+)CSRC";
+}

@@ -1,0 +1,22 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C-subset source text of each benchmark (one definition per file).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_WORKLOADS_WORKLOADSOURCES_H
+#define WARIO_WORKLOADS_WORKLOADSOURCES_H
+
+namespace wario {
+
+const char *coremarkSource();
+const char *shaSource();
+const char *crcSource();
+const char *aesSource();
+const char *dijkstraSource();
+const char *picojpegSource();
+
+} // namespace wario
+
+#endif // WARIO_WORKLOADS_WORKLOADSOURCES_H

@@ -1,0 +1,31 @@
+#include "workloads/Workloads.h"
+
+#include "frontend/Frontend.h"
+#include "workloads/WorkloadSources.h"
+
+using namespace wario;
+
+const std::vector<Workload> &wario::allWorkloads() {
+  static const std::vector<Workload> Workloads = {
+      {"coremark", coremarkSource()},
+      {"sha", shaSource()},
+      {"crc", crcSource()},
+      {"aes", aesSource()},
+      {"dijkstra", dijkstraSource()},
+      {"picojpeg", picojpegSource()},
+  };
+  return Workloads;
+}
+
+const Workload &wario::getWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return W;
+  assert(false && "unknown workload name");
+  return allWorkloads().front();
+}
+
+std::unique_ptr<Module> wario::buildWorkloadIR(const Workload &W,
+                                               DiagnosticEngine &Diags) {
+  return compileC(W.Source, W.Name, Diags);
+}

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite of the paper's evaluation (Section 5.1.2), written
+/// in the C subset and compiled by the WARio front end at run time:
+///
+///  - CoreMark-like: list operations, matrix work, and a state machine
+///    with a CRC-16 result mix (EEMBC CoreMark's structure).
+///  - SHA-1 and CRC-32 from MiBench's security/telecomm sets.
+///  - Dijkstra from MiBench's network set.
+///  - Tiny AES-128 (kokke/tiny-AES-c structure).
+///  - picojpeg-like: Huffman-style bit decoding + dequantization +
+///    integer IDCT, the hot kernels of richgel999/picojpeg.
+///
+/// Each program finishes by returning a checksum that depends on every
+/// computed result, so any corruption (WAR or compiler bug) changes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_WORKLOADS_WORKLOADS_H
+#define WARIO_WORKLOADS_WORKLOADS_H
+
+#include "ir/Module.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wario {
+
+struct Workload {
+  std::string Name;
+  const char *Source;
+};
+
+/// All six benchmarks, in the paper's presentation order.
+const std::vector<Workload> &allWorkloads();
+
+/// The named benchmark (assert-fails on unknown names).
+const Workload &getWorkload(const std::string &Name);
+
+/// Compiles a workload to a fresh IR module (each pipeline run mutates
+/// its module, so benchmarks recompile per environment).
+std::unique_ptr<Module> buildWorkloadIR(const Workload &W,
+                                        DiagnosticEngine &Diags);
+
+} // namespace wario
+
+#endif // WARIO_WORKLOADS_WORKLOADS_H

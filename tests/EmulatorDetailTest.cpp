@@ -1,0 +1,357 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fine-grained emulator tests: hand-built machine modules exercising the
+/// checkpoint double buffer, restore semantics, frame slot addressing,
+/// push/pop symmetry, interrupt masking, output capture, the cycle
+/// accounting, and the failure guards. These pin down the emulator
+/// behaviors every experiment depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "emu/Emulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace wario;
+
+namespace {
+
+/// Builder for small hand-written machine functions.
+class MBuilder {
+public:
+  explicit MBuilder(const std::string &Name) {
+    MF.Name = Name;
+    MF.PostRA = true;
+    MF.FrameLowered = true;
+  }
+
+  MBuilder &block(const std::string &Name) {
+    MF.Blocks.push_back({Name, {}});
+    return *this;
+  }
+
+  MInst &emit(MOp Op) {
+    MF.Blocks.back().Insts.push_back({});
+    MInst &I = MF.Blocks.back().Insts.back();
+    I.Op = Op;
+    return I;
+  }
+
+  MBuilder &movImm(int Dst, int64_t Imm) {
+    MInst &I = emit(MOp::MovImm);
+    I.Dst = Dst;
+    I.Imm = Imm;
+    return *this;
+  }
+  MBuilder &add(int Dst, int A, int B) {
+    MInst &I = emit(MOp::Add);
+    I.Dst = Dst;
+    I.Src[0] = A;
+    I.Src[1] = B;
+    return *this;
+  }
+  MBuilder &str(int Src, int AddrReg, int64_t Off = 0) {
+    MInst &I = emit(MOp::Str);
+    I.Src[0] = Src;
+    I.Src[1] = AddrReg;
+    I.Imm = Off;
+    return *this;
+  }
+  MBuilder &ldr(int Dst, int AddrReg, int64_t Off = 0) {
+    MInst &I = emit(MOp::Ldr);
+    I.Dst = Dst;
+    I.Src[0] = AddrReg;
+    I.Imm = Off;
+    return *this;
+  }
+  MBuilder &checkpoint(CheckpointCause C = CheckpointCause::MiddleEndWar) {
+    emit(MOp::Checkpoint).Cause = C;
+    return *this;
+  }
+  MBuilder &setcond(CmpPred P, int Dst, int A, int B) {
+    MInst &I = emit(MOp::SetCond);
+    I.Pred = P;
+    I.Dst = Dst;
+    I.Src[0] = A;
+    I.Src[1] = B;
+    return *this;
+  }
+  MBuilder &cbr(int Cond, int T, int F) {
+    MInst &I = emit(MOp::CBr);
+    I.Src[0] = Cond;
+    I.Target[0] = T;
+    I.Target[1] = F;
+    return *this;
+  }
+  MBuilder &b(int T) {
+    emit(MOp::B).Target[0] = T;
+    return *this;
+  }
+  MBuilder &ret(int ValueReg = -1) {
+    if (ValueReg >= 0 && ValueReg != R0) {
+      MInst &Mv = emit(MOp::Mov);
+      Mv.Dst = R0;
+      Mv.Src[0] = ValueReg;
+    }
+    emit(MOp::Ret);
+    return *this;
+  }
+
+  MModule module() {
+    MModule MM;
+    MM.Name = "hand";
+    MM.DataEnd = 0x1100; // Leave room for a few data words.
+    MM.InitImage.assign(MM.DataEnd, 0);
+    MM.Functions.push_back(std::move(MF));
+    return MM;
+  }
+
+private:
+  MFunction MF;
+};
+
+constexpr uint32_t DataWord = 0x1000;
+
+} // namespace
+
+TEST(EmulatorDetailTest, ReturnsRegisterR0) {
+  MBuilder B("main");
+  B.block("entry").movImm(R0, 1234);
+  B.emit(MOp::Ret);
+  EmulatorResult R = emulate(B.module());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue, 1234);
+}
+
+TEST(EmulatorDetailTest, MemoryRoundTripAndFinalImage) {
+  MBuilder B("main");
+  B.block("entry")
+      .movImm(R1, DataWord)
+      .movImm(R2, 0xBEEF)
+      .str(R2, R1)
+      .ldr(R0, R1);
+  B.emit(MOp::Ret);
+  EmulatorResult R = emulate(B.module());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue, 0xBEEF);
+  EXPECT_EQ(R.readWord(DataWord), 0xBEEFu);
+}
+
+TEST(EmulatorDetailTest, SubWordAccessAndSignExtension) {
+  MBuilder B("main");
+  B.block("entry").movImm(R1, DataWord).movImm(R2, 0x1FF);
+  {
+    MInst &S = B.emit(MOp::Str);
+    S.Src[0] = R2;
+    S.Src[1] = R1;
+    S.Size = 1; // Only the low byte lands.
+  }
+  {
+    MInst &L = B.emit(MOp::Ldr);
+    L.Dst = R0;
+    L.Src[0] = R1;
+    L.Size = 1;
+    L.Signed = true; // 0xFF -> -1.
+  }
+  B.emit(MOp::Ret);
+  EmulatorResult R = emulate(B.module());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValue, -1);
+}
+
+TEST(EmulatorDetailTest, PushPopSymmetry) {
+  MBuilder B("main");
+  B.block("entry").movImm(R4, 11).movImm(R5, 22);
+  B.emit(MOp::Push).RegList = (1u << R4) | (1u << R5);
+  B.movImm(R4, 0).movImm(R5, 0);
+  B.emit(MOp::Pop).RegList = (1u << R4) | (1u << R5);
+  B.add(R0, R4, R5);
+  B.emit(MOp::Ret);
+  EmulatorResult R = emulate(B.module());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue, 33);
+}
+
+TEST(EmulatorDetailTest, CheckpointRestoreResumesAfterCommit) {
+  // Loop: r4 counts to 100 with a checkpoint each round; power fails
+  // every ~500 cycles. Restores must resume mid-loop, not from entry.
+  MBuilder B("main");
+  B.block("entry").movImm(R4, 0).b(1);
+  B.block("loop").checkpoint();
+  B.movImm(R1, 1).add(R4, R4, R1);
+  B.movImm(R2, 100).setcond(CmpPred::ULT, R3, R4, R2).cbr(R3, 1, 2);
+  B.block("exit").ret(R4);
+
+  EmulatorOptions EO;
+  EO.Power = PowerSchedule::fixed(1200);
+  EmulatorResult R = emulate(B.module(), EO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue, 100);
+  EXPECT_GT(R.PowerFailures, 0u);
+  EXPECT_GE(R.CheckpointsExecuted, 100u);
+}
+
+TEST(EmulatorDetailTest, NoCheckpointMeansRestartFromEntry) {
+  // Without any checkpoint, every reboot restarts main; the program
+  // never finishes under a period shorter than its runtime.
+  MBuilder B("main");
+  B.block("entry").movImm(R4, 0).b(1);
+  B.block("loop");
+  B.movImm(R1, 1).add(R4, R4, R1);
+  B.movImm(R2, 5000).setcond(CmpPred::ULT, R3, R4, R2).cbr(R3, 1, 2);
+  B.block("exit").ret(R4);
+
+  EmulatorOptions EO;
+  EO.Power = PowerSchedule::fixed(2000);
+  EO.MaxStalledBoots = 16;
+  EmulatorResult R = emulate(B.module(), EO);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("no forward progress"), std::string::npos);
+}
+
+TEST(EmulatorDetailTest, WarMonitorFlagsReadThenWrite) {
+  MBuilder B("main");
+  B.block("entry").movImm(R1, DataWord).ldr(R2, R1).movImm(R3, 7).str(
+      R3, R1);
+  B.movImm(R0, 0);
+  B.emit(MOp::Ret);
+  EmulatorOptions EO;
+  EO.WarIsFatal = false;
+  EmulatorResult R = emulate(B.module(), EO);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.WarViolations, 1u);
+  ASSERT_FALSE(R.WarReports.empty());
+  EXPECT_NE(R.WarReports[0].find("WAR violation"), std::string::npos);
+}
+
+TEST(EmulatorDetailTest, CheckpointClearsTheRegion) {
+  // read x; CHECKPOINT; write x  => no violation.
+  MBuilder B("main");
+  B.block("entry").movImm(R1, DataWord).ldr(R2, R1).checkpoint();
+  B.movImm(R3, 7).str(R3, R1).movImm(R0, 0);
+  B.emit(MOp::Ret);
+  EmulatorResult R = emulate(B.module());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.WarViolations, 0u);
+}
+
+TEST(EmulatorDetailTest, WriteFirstIsNotAViolation) {
+  MBuilder B("main");
+  B.block("entry").movImm(R1, DataWord).movImm(R3, 7).str(R3, R1).ldr(
+      R2, R1);
+  B.str(R2, R1); // Write after read-after-write of the same spot: the
+                 // first access was a write, so replay is idempotent.
+  B.movImm(R0, 0);
+  B.emit(MOp::Ret);
+  EmulatorResult R = emulate(B.module());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.WarViolations, 0u);
+}
+
+TEST(EmulatorDetailTest, InterruptsRespectPrimask) {
+  // With IntMask held the whole run, no interrupt may fire.
+  MBuilder B("main");
+  B.block("entry");
+  B.emit(MOp::IntMask);
+  B.movImm(R4, 0).b(1);
+  B.block("loop").movImm(R1, 1).add(R4, R4, R1);
+  B.movImm(R2, 2000).setcond(CmpPred::ULT, R3, R4, R2).cbr(R3, 1, 2);
+  B.block("exit").ret(R4);
+  EmulatorOptions EO;
+  EO.InterruptPeriod = 100;
+  EmulatorResult R = emulate(B.module(), EO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.InterruptsTaken, 0u);
+
+  // Same program without the mask takes many.
+  MBuilder B2("main");
+  B2.block("entry").movImm(R4, 0).b(1);
+  B2.block("loop").movImm(R1, 1).add(R4, R4, R1);
+  B2.movImm(R2, 2000).setcond(CmpPred::ULT, R3, R4, R2).cbr(R3, 1, 2);
+  B2.block("exit").ret(R4);
+  EmulatorResult R2 = emulate(B2.module(), EO);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_GT(R2.InterruptsTaken, 0u);
+}
+
+TEST(EmulatorDetailTest, OutInstructionCapturesOutput) {
+  MBuilder B("main");
+  B.block("entry").movImm(R1, 42);
+  B.emit(MOp::Out).Src[0] = R1;
+  B.movImm(R1, 43);
+  B.emit(MOp::Out).Src[0] = R1;
+  B.movImm(R0, 0);
+  B.emit(MOp::Ret);
+  EmulatorResult R = emulate(B.module());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Output, (std::vector<int32_t>{42, 43}));
+}
+
+TEST(EmulatorDetailTest, CycleBudgetGuardsInfiniteLoops) {
+  MBuilder B("main");
+  B.block("entry").b(0);
+  EmulatorOptions EO;
+  EO.MaxCycles = 100'000;
+  EmulatorResult R = emulate(B.module(), EO);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("cycle budget"), std::string::npos);
+}
+
+TEST(EmulatorDetailTest, CheckpointCausesAttributedExactly) {
+  MBuilder B("main");
+  B.block("entry")
+      .checkpoint(CheckpointCause::FunctionEntry)
+      .checkpoint(CheckpointCause::MiddleEndWar)
+      .checkpoint(CheckpointCause::MiddleEndWar)
+      .checkpoint(CheckpointCause::BackendSpill)
+      .checkpoint(CheckpointCause::FunctionExit)
+      .movImm(R0, 0);
+  B.emit(MOp::Ret);
+  EmulatorResult R = emulate(B.module());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Causes.FunctionEntry, 1u);
+  EXPECT_EQ(R.Causes.MiddleEndWar, 2u);
+  EXPECT_EQ(R.Causes.BackendSpill, 1u);
+  EXPECT_EQ(R.Causes.FunctionExit, 1u);
+  EXPECT_EQ(R.CheckpointsExecuted, 5u);
+  EXPECT_EQ(R.RegionSizes.size(), 5u);
+}
+
+TEST(PowerTraceTest, SchedulesAreDeterministicAndSane) {
+  PowerSchedule A1 = harvesterTraceAlpha();
+  PowerSchedule A2 = harvesterTraceAlpha();
+  for (unsigned I = 0; I != 64; ++I)
+    EXPECT_EQ(A1.onDuration(I), A2.onDuration(I));
+  PowerSchedule B = harvesterTraceBeta();
+  for (unsigned I = 0; I != 64; ++I) {
+    EXPECT_GE(A1.onDuration(I), 50'000u);
+    EXPECT_GE(B.onDuration(I), 1'000'000u);
+  }
+  EXPECT_TRUE(PowerSchedule::continuous().isContinuous());
+  EXPECT_EQ(PowerSchedule::fixed(123).onDuration(7), 123u);
+  EXPECT_EQ(PowerSchedule::continuous().onDuration(0), UINT64_MAX);
+}
+
+TEST(MIRTest, SizeModelAndPrinting) {
+  MInst Mov;
+  Mov.Op = MOp::Mov;
+  EXPECT_EQ(Mov.sizeInBytes(), 2u);
+  MInst Big;
+  Big.Op = MOp::MovImm;
+  Big.Imm = 0x12345678;
+  EXPECT_EQ(Big.sizeInBytes(), 8u);
+  MInst Small;
+  Small.Op = MOp::MovImm;
+  Small.Imm = 42;
+  EXPECT_EQ(Small.sizeInBytes(), 4u);
+
+  MBuilder B("main");
+  B.block("entry").movImm(R0, 7);
+  B.emit(MOp::Ret);
+  MModule MM = B.module();
+  std::string Text = printMModule(MM);
+  EXPECT_NE(Text.find("mfunc @main"), std::string::npos);
+  EXPECT_NE(Text.find("movimm r0, #7"), std::string::npos);
+  EXPECT_GT(MM.textSizeBytes(), 0u);
+}

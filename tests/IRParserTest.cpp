@@ -1,0 +1,145 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Round-trip tests for the textual IR: print -> parse -> interpret must
+/// agree with the original on every construct, including whole benchmark
+/// modules after the full middle end has rewritten them.
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/Verifier.h"
+#include "driver/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace wario;
+using namespace wario::test;
+
+namespace {
+
+/// print -> parse -> verify; returns the reparsed module.
+std::unique_ptr<Module> roundTrip(const Module &M) {
+  std::string Text = printModule(M);
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> R = parseModule(Text, Diags);
+  EXPECT_TRUE(R) << Diags.formatAll() << "\n---- text ----\n" << Text;
+  if (!R)
+    return nullptr;
+  std::string Err;
+  EXPECT_TRUE(verifyModule(*R, &Err)) << Err << "\n---- text ----\n"
+                                      << Text;
+  return R;
+}
+
+} // namespace
+
+TEST(IRParserTest, RoundTripsFigure1) {
+  auto M = buildFigure1Module();
+  auto R = roundTrip(*M);
+  ASSERT_TRUE(R);
+  // Note: textual IR carries no initializers, so compare structure, not
+  // execution, for modules with initialized globals.
+  EXPECT_EQ(R->functions().size(), M->functions().size());
+  EXPECT_EQ(R->globals().size(), M->globals().size());
+  Function *F = R->getFunction("main");
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->countInstructions(),
+            M->getFunction("main")->countInstructions());
+}
+
+TEST(IRParserTest, RoundTripExecutesZeroInitPrograms) {
+  // A program whose globals are all zero-initialized executes
+  // identically after a round trip.
+  const char *Src = R"(
+    unsigned int acc[16];
+    int helper(int x) { return x * 3 + 1; }
+    int main(void) {
+      for (int i = 0; i < 64; i++)
+        acc[i & 15] += (unsigned int)helper(i) >> (i & 7);
+      unsigned int s = 0;
+      for (int i = 0; i < 16; i++)
+        s = s * 31 + acc[i];
+      return (int)(s & 0x7FFFFFFF);
+    }
+  )";
+  DiagnosticEngine Diags;
+  auto M = compileC(Src, "rt", Diags);
+  ASSERT_TRUE(M) << Diags.formatAll();
+  InterpResult Ref = interpretModule(*M);
+  ASSERT_TRUE(Ref.Ok);
+
+  auto R = roundTrip(*M);
+  ASSERT_TRUE(R);
+  InterpResult Re = interpretModule(*R);
+  ASSERT_TRUE(Re.Ok) << Re.Error;
+  EXPECT_EQ(Re.ReturnValue, Ref.ReturnValue);
+
+  // Second round trip is a fixed point structurally.
+  auto R2 = roundTrip(*R);
+  ASSERT_TRUE(R2);
+  EXPECT_EQ(printModule(*R2), printModule(*roundTrip(*R2)));
+}
+
+TEST(IRParserTest, PreservesCheckpointCauses) {
+  Module M("m");
+  Function *F = M.createFunction("main", 0, true);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder IRB(&M);
+  IRB.setInsertPoint(BB);
+  IRB.createCheckpoint()->setCheckpointCause(CheckpointCause::BackendSpill);
+  IRB.createCheckpoint()->setCheckpointCause(
+      CheckpointCause::FunctionEntry);
+  IRB.createRet(IRB.getInt(0));
+  auto R = roundTrip(M);
+  ASSERT_TRUE(R);
+  std::vector<CheckpointCause> Causes;
+  for (Instruction *I : *R->getFunction("main")->getEntryBlock())
+    if (I->getOpcode() == Opcode::Checkpoint)
+      Causes.push_back(I->getCheckpointCause());
+  ASSERT_EQ(Causes.size(), 2u);
+  EXPECT_EQ(Causes[0], CheckpointCause::BackendSpill);
+  EXPECT_EQ(Causes[1], CheckpointCause::FunctionEntry);
+}
+
+TEST(IRParserTest, RoundTripsTransformedBenchmarks) {
+  // The heaviest structural test: every benchmark module, after the full
+  // WARio middle end (unrolled loops, clustered writes, select chains,
+  // checkpoints), must survive print -> parse -> verify.
+  for (const Workload &W : allWorkloads()) {
+    DiagnosticEngine Diags;
+    auto M = buildWorkloadIR(W, Diags);
+    ASSERT_TRUE(M) << W.Name;
+    PipelineOptions PO;
+    PO.Env = Environment::WarioComplete;
+    compile(*M, PO); // Leaves the transformed IR in M.
+    auto R = roundTrip(*M);
+    ASSERT_TRUE(R) << W.Name;
+    unsigned A = 0, B = 0;
+    for (auto &F : M->functions())
+      A += F->isDeclaration() ? 0 : F->countInstructions();
+    for (auto &F : R->functions())
+      B += F->isDeclaration() ? 0 : F->countInstructions();
+    EXPECT_EQ(A, B) << W.Name;
+  }
+}
+
+TEST(IRParserTest, ReportsErrors) {
+  DiagnosticEngine D1;
+  EXPECT_FALSE(parseModule("func @f() {\nentry:\n  bogus %x\n}\n", D1));
+  EXPECT_TRUE(D1.hasErrors());
+
+  DiagnosticEngine D2;
+  EXPECT_FALSE(parseModule(
+      "func @f() {\nentry:\n  jmp nowhere\n}\n", D2));
+  EXPECT_TRUE(D2.hasErrors());
+
+  DiagnosticEngine D3;
+  EXPECT_FALSE(parseModule(
+      "func @f() -> i32 {\nentry:\n  ret %undefined.1\n}\n", D3));
+  EXPECT_TRUE(D3.hasErrors());
+}

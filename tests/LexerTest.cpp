@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer-level tests: token classification, literals, comments, operator
+/// maximal munch, and error recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace wario;
+
+namespace {
+
+std::vector<TokKind> kinds(const std::string &Src) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks = tokenize(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.formatAll();
+  std::vector<TokKind> Ks;
+  for (const Token &T : Toks)
+    Ks.push_back(T.Kind);
+  EXPECT_EQ(Ks.back(), TokKind::End);
+  Ks.pop_back();
+  return Ks;
+}
+
+} // namespace
+
+TEST(LexerTest, KeywordsVsIdentifiers) {
+  auto Ks = kinds("int intx for fortune do doom");
+  EXPECT_EQ(Ks, (std::vector<TokKind>{
+                    TokKind::KwInt, TokKind::Identifier, TokKind::KwFor,
+                    TokKind::Identifier, TokKind::KwDo,
+                    TokKind::Identifier}));
+}
+
+TEST(LexerTest, MaximalMunchOperators) {
+  auto Ks = kinds("a <<= b >> c >= d > e <= f << g");
+  EXPECT_EQ(Ks, (std::vector<TokKind>{
+                    TokKind::Identifier, TokKind::ShlAssign,
+                    TokKind::Identifier, TokKind::Shr, TokKind::Identifier,
+                    TokKind::Ge, TokKind::Identifier, TokKind::Gt,
+                    TokKind::Identifier, TokKind::Le, TokKind::Identifier,
+                    TokKind::Shl, TokKind::Identifier}));
+  EXPECT_EQ(kinds("a+++b"), (std::vector<TokKind>{
+                                TokKind::Identifier, TokKind::PlusPlus,
+                                TokKind::Plus, TokKind::Identifier}));
+  EXPECT_EQ(kinds("a&&&b"), (std::vector<TokKind>{
+                                TokKind::Identifier, TokKind::AmpAmp,
+                                TokKind::Amp, TokKind::Identifier}));
+}
+
+TEST(LexerTest, NumericLiterals) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks = tokenize("0 42 0x1F 0XFF 1u 2U 3l 4UL", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  std::vector<uint64_t> Vals;
+  for (const Token &T : Toks)
+    if (T.Kind == TokKind::IntLiteral)
+      Vals.push_back(T.IntValue);
+  EXPECT_EQ(Vals, (std::vector<uint64_t>{0, 42, 0x1F, 0xFF, 1, 2, 3, 4}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Ks = kinds("a // line comment with * and /\nb /* block\n"
+                  "spanning */ c");
+  EXPECT_EQ(Ks, (std::vector<TokKind>{TokKind::Identifier,
+                                      TokKind::Identifier,
+                                      TokKind::Identifier}));
+}
+
+TEST(LexerTest, SourceLocationsTrackLinesAndColumns) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks = tokenize("ab\n  cd", Diags);
+  ASSERT_GE(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, ErrorsOnBadInput) {
+  DiagnosticEngine D1;
+  tokenize("a $ b", D1);
+  EXPECT_TRUE(D1.hasErrors());
+  EXPECT_NE(D1.formatAll().find("unexpected character"),
+            std::string::npos);
+
+  DiagnosticEngine D2;
+  tokenize("a /* never closed", D2);
+  EXPECT_TRUE(D2.hasErrors());
+  EXPECT_NE(D2.formatAll().find("unterminated block comment"),
+            std::string::npos);
+
+  DiagnosticEngine D3;
+  tokenize("0x", D3);
+  EXPECT_TRUE(D3.hasErrors());
+
+  DiagnosticEngine D4;
+  tokenize("99999999999999999999", D4);
+  EXPECT_TRUE(D4.hasErrors());
+  EXPECT_NE(D4.formatAll().find("32 bits"), std::string::npos);
+}
+
+TEST(LexerTest, CharEscapes) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks =
+      tokenize(R"('a' '\n' '\t' '\r' '\0' '\\' '\'')", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.formatAll();
+  std::vector<uint64_t> Vals;
+  for (const Token &T : Toks)
+    if (T.Kind == TokKind::IntLiteral)
+      Vals.push_back(T.IntValue);
+  EXPECT_EQ(Vals, (std::vector<uint64_t>{'a', '\n', '\t', '\r', 0, '\\',
+                                         '\''}));
+}
+
+TEST(DiagnosticsTest, FormatAndStickiness) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning({3, 1}, "looks odd");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({5, 9}, "broken");
+  D.note({5, 9}, "because of this");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string S = D.formatAll();
+  EXPECT_NE(S.find("3:1: warning: looks odd"), std::string::npos);
+  EXPECT_NE(S.find("5:9: error: broken"), std::string::npos);
+  EXPECT_NE(S.find("note: because of this"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+}

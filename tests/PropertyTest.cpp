@@ -1,0 +1,224 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based tests over randomly generated, well-defined C-subset
+/// programs:
+///
+///  1. Differential correctness: the IR interpreter, the uninstrumented
+///     build, and every instrumented environment agree on the result.
+///  2. Intermittent safety: under arbitrary fixed power periods and the
+///     harvester traces, instrumented builds still agree and execute
+///     with zero WAR violations.
+///  3. Static soundness: after checkpoint insertion, no WAR dependence
+///     in the IR remains uncut (checked with an independent path
+///     scanner, not the inserter's own logic).
+///  4. Pass-pipeline invariants: the verifier holds after every stage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+
+#include "analysis/MemoryDependence.h"
+#include "analysis/Verifier.h"
+#include "driver/Pipeline.h"
+#include "emu/Emulator.h"
+#include "frontend/Frontend.h"
+#include "ir/IRPrinter.h"
+#include "ir/Interp.h"
+#include "transforms/LoopWriteClusterer.h"
+#include "transforms/Mem2Reg.h"
+#include "transforms/Utils.h"
+#include "transforms/WriteClusterer.h"
+
+#include <gtest/gtest.h>
+
+using namespace wario;
+using namespace wario::test;
+
+namespace {
+
+std::unique_ptr<Module> compileSeed(uint32_t Seed) {
+  RandomProgramGenerator Gen(Seed);
+  std::string Source = Gen.generate();
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = compileC(Source, "fuzz", Diags);
+  EXPECT_TRUE(M) << "seed " << Seed << " failed to compile:\n"
+                 << Diags.formatAll() << "\n---- source ----\n"
+                 << Source;
+  return M;
+}
+
+/// Independent checker: every WAR dependence must have a Checkpoint or
+/// Call on every read->write path (instruction-level BFS, written
+/// separately from the inserter's warIsCut).
+bool allWarsCut(Function &F, std::string *Offender) {
+  AliasAnalysis AA(AliasPrecision::Precise);
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  MemoryDependence MD(F, AA, LI);
+
+  for (const MemDep *D : MD.wars()) {
+    // BFS over (block, position) states from just after the read.
+    struct State {
+      const BasicBlock *BB;
+      bool FromTop;
+    };
+    std::vector<State> Work;
+    std::set<const BasicBlock *> VisitedTop;
+    auto Scan = [&](const BasicBlock *BB, const Instruction *After,
+                    bool &ReachedWrite) {
+      bool Started = After == nullptr;
+      for (const Instruction *I : *BB) {
+        if (!Started) {
+          if (I == After)
+            Started = true;
+          continue;
+        }
+        if (I == D->Dst) {
+          ReachedWrite = true;
+          return true; // Stop: found the write uncut on this path.
+        }
+        if (I->getOpcode() == Opcode::Checkpoint ||
+            I->getOpcode() == Opcode::Call)
+          return true; // Cut: stop exploring this path.
+      }
+      return false; // Fell through to successors.
+    };
+
+    bool Reached = false;
+    if (!Scan(D->Src->getParent(), D->Src, Reached)) {
+      for (BasicBlock *S : D->Src->getParent()->successors())
+        if (VisitedTop.insert(S).second)
+          Work.push_back({S, true});
+    }
+    while (!Work.empty() && !Reached) {
+      State St = Work.back();
+      Work.pop_back();
+      if (!Scan(St.BB, nullptr, Reached)) {
+        for (BasicBlock *S : St.BB->successors())
+          if (VisitedTop.insert(S).second)
+            Work.push_back({S, true});
+      }
+    }
+    if (Reached) {
+      if (Offender)
+        *Offender = "uncut WAR: read '" + printInstruction(*D->Src) +
+                    "' -> write '" + printInstruction(*D->Dst) +
+                    "' in @" + F.getName();
+      return false;
+    }
+  }
+  return true;
+}
+
+class FuzzSuite : public ::testing::TestWithParam<uint32_t> {};
+
+} // namespace
+
+TEST_P(FuzzSuite, InterpreterAndAllEnvironmentsAgree) {
+  uint32_t Seed = GetParam();
+  auto Oracle = compileSeed(Seed);
+  ASSERT_TRUE(Oracle);
+  InterpResult Ref = interpretModule(*Oracle);
+  ASSERT_TRUE(Ref.Ok) << "seed " << Seed << ": " << Ref.Error;
+
+  for (Environment Env : allEnvironments()) {
+    auto M = compileSeed(Seed);
+    PipelineOptions PO;
+    PO.Env = Env;
+    MModule MM = compile(*M, PO);
+    EmulatorOptions EO;
+    EO.CollectRegionSizes = false;
+    if (Env == Environment::PlainC)
+      EO.WarIsFatal = false;
+    EmulatorResult R = emulate(MM, EO);
+    ASSERT_TRUE(R.Ok) << "seed " << Seed << " @ " << environmentName(Env)
+                      << ": " << R.Error;
+    EXPECT_EQ(R.ReturnValue, Ref.ReturnValue)
+        << "seed " << Seed << " @ " << environmentName(Env);
+    if (Env != Environment::PlainC) {
+      EXPECT_EQ(R.WarViolations, 0u)
+          << "seed " << Seed << " @ " << environmentName(Env);
+    }
+  }
+}
+
+TEST_P(FuzzSuite, SurvivesRandomPowerSchedules) {
+  uint32_t Seed = GetParam();
+  auto Oracle = compileSeed(Seed);
+  ASSERT_TRUE(Oracle);
+  InterpResult Ref = interpretModule(*Oracle);
+  ASSERT_TRUE(Ref.Ok);
+
+  // Derive pseudo-random periods from the seed itself.
+  uint64_t Periods[3] = {2500 + (Seed * 137) % 5000,
+                         9000 + (Seed * 7919) % 20000, 60'000};
+  for (Environment Env :
+       {Environment::Ratchet, Environment::WarioComplete}) {
+    auto M = compileSeed(Seed);
+    PipelineOptions PO;
+    PO.Env = Env;
+    MModule MM = compile(*M, PO);
+    for (uint64_t P : Periods) {
+      EmulatorOptions EO;
+      EO.CollectRegionSizes = false;
+      EO.Power = PowerSchedule::fixed(P);
+      EmulatorResult R = emulate(MM, EO);
+      ASSERT_TRUE(R.Ok) << "seed " << Seed << " period " << P << " @ "
+                        << environmentName(Env) << ": " << R.Error;
+      EXPECT_EQ(R.ReturnValue, Ref.ReturnValue)
+          << "seed " << Seed << " period " << P;
+      EXPECT_EQ(R.WarViolations, 0u) << "seed " << Seed;
+    }
+  }
+}
+
+TEST_P(FuzzSuite, NoUncutWarSurvivesInsertion) {
+  uint32_t Seed = GetParam();
+  auto M = compileSeed(Seed);
+  ASSERT_TRUE(M);
+  // Run the full WARio middle end.
+  PipelineOptions PO;
+  PO.Env = Environment::WarioComplete;
+  compile(*M, PO); // Module keeps the transformed IR.
+  std::string Offender;
+  for (auto &F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    EXPECT_TRUE(allWarsCut(*F, &Offender)) << "seed " << Seed << ": "
+                                           << Offender;
+  }
+}
+
+TEST_P(FuzzSuite, PassesPreserveVerification) {
+  uint32_t Seed = GetParam();
+  auto M = compileSeed(Seed);
+  ASSERT_TRUE(M);
+  std::string Err;
+  ASSERT_TRUE(verifyModule(*M, &Err)) << "seed " << Seed << "\n" << Err;
+
+  promoteAllocasToSSA(*M);
+  ASSERT_TRUE(verifyModule(*M, &Err))
+      << "seed " << Seed << " after mem2reg\n" << Err;
+  cleanupModule(*M);
+  ASSERT_TRUE(verifyModule(*M, &Err))
+      << "seed " << Seed << " after cleanup\n" << Err;
+
+  LoopWriteClustererOptions LWC;
+  runLoopWriteClusterer(*M, LWC);
+  ASSERT_TRUE(verifyModule(*M, &Err))
+      << "seed " << Seed << " after loop write clusterer\n" << Err;
+  cleanupModule(*M);
+
+  AliasAnalysis AA(AliasPrecision::Precise);
+  runWriteClusterer(*M, AA);
+  ASSERT_TRUE(verifyModule(*M, &Err))
+      << "seed " << Seed << " after write clusterer\n" << Err;
+
+  insertCheckpoints(*M, {});
+  ASSERT_TRUE(verifyModule(*M, &Err))
+      << "seed " << Seed << " after checkpoint insertion\n" << Err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSuite,
+                         ::testing::Range(1u, 61u));

@@ -1,0 +1,295 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random C-subset program generator for differential
+/// testing: every generated program is well-defined (bounded loops,
+/// in-bounds array indexing, guarded division) so the interpreter, every
+/// compiled environment, and every power schedule must agree on its
+/// result exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_TESTS_RANDOMPROGRAM_H
+#define WARIO_TESTS_RANDOMPROGRAM_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wario::test {
+
+class RandomProgramGenerator {
+public:
+  explicit RandomProgramGenerator(uint32_t Seed) : State(Seed ? Seed : 1) {}
+
+  /// Generates one complete program whose main() returns a checksum of
+  /// every global it touched.
+  std::string generate() {
+    Out.clear();
+    Globals.clear();
+    Arrays.clear();
+    Helpers = 0;
+
+    unsigned NumScalars = 2 + range(3);
+    for (unsigned I = 0; I != NumScalars; ++I) {
+      std::string Name = "g" + std::to_string(I);
+      Globals.push_back(Name);
+      line("unsigned int " + Name + " = " + std::to_string(range(1000)) +
+           ";");
+    }
+    unsigned NumArrays = 1 + range(2);
+    for (unsigned I = 0; I != NumArrays; ++I) {
+      std::string Name = "arr" + std::to_string(I);
+      unsigned Len = 1u << (3 + range(3)); // 8, 16, or 32.
+      Arrays.push_back({Name, Len});
+      line("unsigned int " + Name + "[" + std::to_string(Len) + "];");
+    }
+    line("");
+
+    // Helper functions, declared before main so calls resolve.
+    unsigned NumHelpers = range(3);
+    for (unsigned I = 0; I != NumHelpers; ++I)
+      emitHelper(I);
+    Helpers = NumHelpers;
+
+    emitMain();
+    return Out;
+  }
+
+private:
+  // --- Randomness ------------------------------------------------------------
+  uint32_t next() {
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State;
+  }
+  unsigned range(unsigned N) { return N ? next() % N : 0; }
+  bool chance(unsigned Pct) { return range(100) < Pct; }
+
+  // --- Emission ----------------------------------------------------------------
+  void line(const std::string &S) {
+    for (unsigned I = 0; I != Indent; ++I)
+      Out += "  ";
+    Out += S;
+    Out += "\n";
+  }
+
+  struct Array {
+    std::string Name;
+    unsigned Len;
+  };
+
+  /// A random readable operand: a literal, global, local, or array cell.
+  std::string operand(const std::vector<std::string> &Locals) {
+    switch (range(4)) {
+    case 0:
+      return std::to_string(range(512));
+    case 1:
+      return Globals[range(unsigned(Globals.size()))];
+    case 2:
+      if (!Locals.empty())
+        return Locals[range(unsigned(Locals.size()))];
+      return Globals[range(unsigned(Globals.size()))];
+    default: {
+      const Array &A = Arrays[range(unsigned(Arrays.size()))];
+      return A.Name + "[" + indexExpr(Locals, A.Len) + "]";
+    }
+    }
+  }
+
+  /// An in-bounds index: (expr & (len-1)) with len a power of two.
+  std::string indexExpr(const std::vector<std::string> &Locals,
+                        unsigned Len) {
+    return "(" + operandScalar(Locals) + " & " + std::to_string(Len - 1) +
+           ")";
+  }
+
+  /// An operand guaranteed not to recurse into arrays (for indices).
+  std::string operandScalar(const std::vector<std::string> &Locals) {
+    if (!Locals.empty() && chance(60))
+      return Locals[range(unsigned(Locals.size()))];
+    if (chance(50))
+      return Globals[range(unsigned(Globals.size()))];
+    return std::to_string(range(64));
+  }
+
+  /// A well-defined expression of bounded depth.
+  std::string expr(const std::vector<std::string> &Locals, unsigned Depth) {
+    if (Depth == 0 || chance(35))
+      return operand(Locals);
+    std::string A = expr(Locals, Depth - 1);
+    std::string B = expr(Locals, Depth - 1);
+    switch (range(9)) {
+    case 0: return "(" + A + " + " + B + ")";
+    case 1: return "(" + A + " - " + B + ")";
+    case 2: return "(" + A + " * " + B + ")";
+    case 3: return "(" + A + " ^ " + B + ")";
+    case 4: return "(" + A + " | " + B + ")";
+    case 5: return "(" + A + " & " + B + ")";
+    case 6: return "(" + A + " << " + std::to_string(1 + range(7)) + ")";
+    case 7: return "(" + A + " >> " + std::to_string(1 + range(7)) + ")";
+    default:
+      // Guarded division: divisor in [1, 8].
+      return "(" + A + " / ((" + B + " & 7) + 1))";
+    }
+  }
+
+  /// A boolean condition.
+  std::string cond(const std::vector<std::string> &Locals) {
+    static const char *Rel[] = {"<", ">", "<=", ">=", "==", "!="};
+    std::string C = "(" + operand(Locals) + " " + Rel[range(6)] + " " +
+                    operand(Locals) + ")";
+    if (chance(25))
+      C = "(" + C + (chance(50) ? " && " : " || ") + "(" +
+          operand(Locals) + " " + Rel[range(6)] + " " + operand(Locals) +
+          "))";
+    return C;
+  }
+
+  /// A random lvalue target (global, assignable local, or array cell).
+  /// Loop induction variables are readable but never assigned, so every
+  /// generated loop terminates.
+  std::string lvalue(const std::vector<std::string> &Locals) {
+    unsigned Pick = range(3);
+    if (Pick == 0 && !Mutable.empty())
+      return Mutable[range(unsigned(Mutable.size()))];
+    (void)Locals;
+    if (Pick <= 1) {
+      const Array &A = Arrays[range(unsigned(Arrays.size()))];
+      return A.Name + "[" + indexExpr(Locals, A.Len) + "]";
+    }
+    return Globals[range(unsigned(Globals.size()))];
+  }
+
+  void emitAssignment(const std::vector<std::string> &Locals) {
+    static const char *Ops[] = {"=", "+=", "-=", "^=", "|=", "&="};
+    line(lvalue(Locals) + " " + Ops[range(6)] + " " + expr(Locals, 2) +
+         ";");
+  }
+
+  /// \p Mult is the product of the enclosing loops' trip counts; the
+  /// generator keeps the program's total dynamic work bounded so the
+  /// differential tests stay fast.
+  void emitStatements(std::vector<std::string> &Locals, unsigned Depth,
+                      bool InLoop, unsigned Budget, uint64_t Mult = 1) {
+    constexpr uint64_t WorkCap = 60'000;
+    for (unsigned S = 0; S != Budget; ++S) {
+      unsigned Kind = range(10);
+      if (Kind >= 4 && Kind < 6 && Mult * 4 > WorkCap)
+        Kind = 0; // No room for another loop level.
+      if (Kind == 8 && Mult * HelperCost > WorkCap)
+        Kind = 0; // A call here would blow the work budget.
+      if (Kind < 4) {
+        emitAssignment(Locals);
+      } else if (Kind < 6 && Depth > 0) {
+        // Bounded counted loop with a fresh induction variable.
+        std::string IV = "i" + std::to_string(Depth) + "_" +
+                         std::to_string(S);
+        unsigned MaxTrip =
+            unsigned(std::min<uint64_t>(12, WorkCap / (Mult * 2)));
+        unsigned Trip = 2 + range(MaxTrip > 2 ? MaxTrip - 2 : 1);
+        line("for (int " + IV + " = 0; " + IV + " < " +
+             std::to_string(Trip) + "; " + IV + "++) {");
+        ++Indent;
+        size_t Scope = Locals.size();
+        size_t MScope = Mutable.size();
+        Locals.push_back(IV); // Readable, not assignable.
+        emitStatements(Locals, Depth - 1, true, 1 + range(3),
+                       Mult * Trip);
+        Locals.resize(Scope); // The body's declarations go out of scope.
+        Mutable.resize(MScope);
+        --Indent;
+        line("}");
+      } else if (Kind < 8) {
+        line("if " + cond(Locals) + " {");
+        ++Indent;
+        size_t Scope = Locals.size();
+        size_t MScope = Mutable.size();
+        emitStatements(Locals, Depth ? Depth - 1 : 0, InLoop,
+                       1 + range(2), Mult);
+        Locals.resize(Scope);
+        Mutable.resize(MScope);
+        --Indent;
+        if (chance(40)) {
+          line("} else {");
+          ++Indent;
+          emitStatements(Locals, Depth ? Depth - 1 : 0, InLoop,
+                         1 + range(2), Mult);
+          Locals.resize(Scope);
+          Mutable.resize(MScope);
+          --Indent;
+        }
+        line("}");
+      } else if (Kind == 8 && Helpers > 0) {
+        std::string Call = "helper" + std::to_string(range(Helpers)) +
+                           "(" + operandScalar(Locals) + ")";
+        if (chance(50))
+          line(lvalue(Locals) + " ^= " + Call + ";");
+        else
+          line(Call + ";");
+      } else if (InLoop && chance(30)) {
+        line("if " + cond(Locals) + " " +
+             (chance(50) ? "break;" : "continue;"));
+      } else {
+        // Fresh local with an initializer.
+        std::string Name = "t" + std::to_string(Depth) + "_" +
+                           std::to_string(S) + "_" +
+                           std::to_string(range(1000));
+        line("unsigned int " + Name + " = " + expr(Locals, 2) + ";");
+        Locals.push_back(Name);
+        Mutable.push_back(Name);
+      }
+    }
+  }
+
+  void emitHelper(unsigned Idx) {
+    line("unsigned int helper" + std::to_string(Idx) +
+         "(unsigned int p0) {");
+    ++Indent;
+    std::vector<std::string> Locals{"p0"};
+    Mutable.assign({"p0"});
+    emitStatements(Locals, 1, false, 2 + range(3));
+    line("return " + expr(Locals, 2) + ";");
+    --Indent;
+    line("}");
+    line("");
+  }
+
+  void emitMain() {
+    line("int main(void) {");
+    ++Indent;
+    std::vector<std::string> Locals;
+    Mutable.clear();
+    emitStatements(Locals, 2, false, 5 + range(6));
+    // Checksum all state so every mutation is observable.
+    line("unsigned int sum = 0;");
+    for (const std::string &G : Globals)
+      line("sum = sum * 31 + " + G + ";");
+    for (const Array &A : Arrays) {
+      std::string IV = "k_" + A.Name;
+      line("for (int " + IV + " = 0; " + IV + " < " +
+           std::to_string(A.Len) + "; " + IV + "++)");
+      line("  sum = sum * 31 + " + A.Name + "[" + IV + "];");
+    }
+    line("return (int)(sum & 0x7FFFFFFF);");
+    --Indent;
+    line("}");
+  }
+
+  /// Worst-case dynamic cost charged per helper call.
+  static constexpr uint64_t HelperCost = 200;
+
+  uint32_t State;
+  std::string Out;
+  std::vector<std::string> Mutable; ///< Assignable locals in scope.
+  std::vector<std::string> Globals;
+  std::vector<Array> Arrays;
+  unsigned Helpers = 0;
+  unsigned Indent = 0;
+};
+
+} // namespace wario::test
+
+#endif // WARIO_TESTS_RANDOMPROGRAM_H

@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for building small IR modules in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_TESTS_TESTUTIL_H
+#define WARIO_TESTS_TESTUTIL_H
+
+#include "ir/IRBuilder.h"
+#include "ir/Interp.h"
+
+#include <memory>
+
+namespace wario::test {
+
+/// Builds `main` with: two globals a=4, b=2; body increments both via
+/// load/add/store (the Figure 1 motivating snippet), then returns a+b.
+inline std::unique_ptr<Module> buildFigure1Module() {
+  auto M = std::make_unique<Module>("fig1");
+  GlobalVariable *A = M->createGlobal("a", 4, {4, 0, 0, 0});
+  GlobalVariable *B = M->createGlobal("b", 4, {2, 0, 0, 0});
+  Function *Main = M->createFunction("main", 0, /*ReturnsVal=*/true);
+  BasicBlock *Entry = Main->createBlock("entry");
+  IRBuilder IRB(M.get());
+  IRB.setInsertPoint(Entry);
+  Instruction *LA = IRB.createLoad(A, 4, false, "la");
+  Instruction *IncA = IRB.createAdd(LA, IRB.getInt(1), "inca");
+  IRB.createStore(IncA, A);
+  Instruction *LB = IRB.createLoad(B, 4, false, "lb");
+  Instruction *IncB = IRB.createAdd(LB, IRB.getInt(1), "incb");
+  IRB.createStore(IncB, B);
+  Instruction *Sum = IRB.createAdd(IncA, IncB, "sum");
+  IRB.createRet(Sum);
+  return M;
+}
+
+/// Builds `main` containing a counted loop `for (i = 0; i < N; ++i)
+/// sum += table[i];` over a global table, returning sum. Exercises phis,
+/// geps, and a loop-carried WAR on the accumulator global.
+inline std::unique_ptr<Module> buildSumLoopModule(int N) {
+  auto M = std::make_unique<Module>("sumloop");
+  std::vector<uint8_t> Init;
+  for (int I = 0; I < N; ++I) {
+    int32_t V = I * 3 + 1;
+    for (int B = 0; B < 4; ++B)
+      Init.push_back(uint8_t(uint32_t(V) >> (8 * B)));
+  }
+  GlobalVariable *Table = M->createGlobal("table", uint32_t(N) * 4, Init);
+  GlobalVariable *Sum = M->createGlobal("sum", 4);
+
+  Function *Main = M->createFunction("main", 0, true);
+  BasicBlock *Entry = Main->createBlock("entry");
+  BasicBlock *Loop = Main->createBlock("loop");
+  BasicBlock *Exit = Main->createBlock("exit");
+
+  IRBuilder IRB(M.get());
+  IRB.setInsertPoint(Entry);
+  IRB.createJmp(Loop);
+
+  IRB.setInsertPoint(Loop);
+  Instruction *I = IRB.createPhi("i");
+  Instruction *Elem = IRB.createGep(Table, I, 4, 0, "elem");
+  Instruction *V = IRB.createLoad(Elem, 4, false, "v");
+  Instruction *S = IRB.createLoad(Sum, 4, false, "s");
+  Instruction *NewS = IRB.createAdd(S, V, "news");
+  IRB.createStore(NewS, Sum);
+  Instruction *Next = IRB.createAdd(I, IRB.getInt(1), "next");
+  Instruction *Cmp = IRB.createICmp(CmpPred::SLT, Next, IRB.getInt(N));
+  IRB.createBr(Cmp, Loop, Exit);
+  IRBuilder::addPhiIncoming(I, IRB.getInt(0), Entry);
+  IRBuilder::addPhiIncoming(I, Next, Loop);
+
+  IRB.setInsertPoint(Exit);
+  Instruction *Final = IRB.createLoad(Sum, 4, false, "final");
+  IRB.createRet(Final);
+  return M;
+}
+
+} // namespace wario::test
+
+#endif // WARIO_TESTS_TESTUTIL_H
