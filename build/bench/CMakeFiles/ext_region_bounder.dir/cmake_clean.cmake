@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_region_bounder.dir/ext_region_bounder.cpp.o"
+  "CMakeFiles/ext_region_bounder.dir/ext_region_bounder.cpp.o.d"
+  "ext_region_bounder"
+  "ext_region_bounder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_region_bounder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

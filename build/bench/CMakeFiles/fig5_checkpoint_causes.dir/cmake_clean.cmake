@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_checkpoint_causes.dir/fig5_checkpoint_causes.cpp.o"
+  "CMakeFiles/fig5_checkpoint_causes.dir/fig5_checkpoint_causes.cpp.o.d"
+  "fig5_checkpoint_causes"
+  "fig5_checkpoint_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_checkpoint_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

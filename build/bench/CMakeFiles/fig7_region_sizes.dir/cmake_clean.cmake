@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_region_sizes.dir/fig7_region_sizes.cpp.o"
+  "CMakeFiles/fig7_region_sizes.dir/fig7_region_sizes.cpp.o.d"
+  "fig7_region_sizes"
+  "fig7_region_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_region_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_checkpoint_delta.dir/table1_checkpoint_delta.cpp.o"
+  "CMakeFiles/table1_checkpoint_delta.dir/table1_checkpoint_delta.cpp.o.d"
+  "table1_checkpoint_delta"
+  "table1_checkpoint_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_checkpoint_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

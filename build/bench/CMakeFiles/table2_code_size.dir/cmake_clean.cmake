@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_code_size.dir/table2_code_size.cpp.o"
+  "CMakeFiles/table2_code_size.dir/table2_code_size.cpp.o.d"
+  "table2_code_size"
+  "table2_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

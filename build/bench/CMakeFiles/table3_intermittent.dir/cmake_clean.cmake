@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_intermittent.dir/table3_intermittent.cpp.o"
+  "CMakeFiles/table3_intermittent.dir/table3_intermittent.cpp.o.d"
+  "table3_intermittent"
+  "table3_intermittent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_intermittent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

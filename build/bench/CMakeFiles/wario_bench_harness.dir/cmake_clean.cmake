@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libwario_bench_harness.a"
+  "../lib/libwario_bench_harness.pdb"
+  "CMakeFiles/wario_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/wario_bench_harness.dir/Harness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwario_bench_harness.a"
+)

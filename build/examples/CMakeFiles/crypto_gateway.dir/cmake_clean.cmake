@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_gateway.dir/crypto_gateway.cpp.o"
+  "CMakeFiles/crypto_gateway.dir/crypto_gateway.cpp.o.d"
+  "crypto_gateway"
+  "crypto_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/war_detective.dir/war_detective.cpp.o"
+  "CMakeFiles/war_detective.dir/war_detective.cpp.o.d"
+  "war_detective"
+  "war_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/war_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

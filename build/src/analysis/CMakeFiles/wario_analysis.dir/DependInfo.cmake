@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AliasAnalysis.cpp" "src/analysis/CMakeFiles/wario_analysis.dir/AliasAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/wario_analysis.dir/AliasAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/wario_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/wario_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/analysis/CMakeFiles/wario_analysis.dir/LoopInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/wario_analysis.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/MemoryDependence.cpp" "src/analysis/CMakeFiles/wario_analysis.dir/MemoryDependence.cpp.o" "gcc" "src/analysis/CMakeFiles/wario_analysis.dir/MemoryDependence.cpp.o.d"
+  "/root/repo/src/analysis/Verifier.cpp" "src/analysis/CMakeFiles/wario_analysis.dir/Verifier.cpp.o" "gcc" "src/analysis/CMakeFiles/wario_analysis.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/wario_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wario_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_analysis.dir/AliasAnalysis.cpp.o"
+  "CMakeFiles/wario_analysis.dir/AliasAnalysis.cpp.o.d"
+  "CMakeFiles/wario_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/wario_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/wario_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/wario_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/wario_analysis.dir/MemoryDependence.cpp.o"
+  "CMakeFiles/wario_analysis.dir/MemoryDependence.cpp.o.d"
+  "CMakeFiles/wario_analysis.dir/Verifier.cpp.o"
+  "CMakeFiles/wario_analysis.dir/Verifier.cpp.o.d"
+  "libwario_analysis.a"
+  "libwario_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/Backend.cpp" "src/backend/CMakeFiles/wario_backend.dir/Backend.cpp.o" "gcc" "src/backend/CMakeFiles/wario_backend.dir/Backend.cpp.o.d"
+  "/root/repo/src/backend/Frame.cpp" "src/backend/CMakeFiles/wario_backend.dir/Frame.cpp.o" "gcc" "src/backend/CMakeFiles/wario_backend.dir/Frame.cpp.o.d"
+  "/root/repo/src/backend/ISel.cpp" "src/backend/CMakeFiles/wario_backend.dir/ISel.cpp.o" "gcc" "src/backend/CMakeFiles/wario_backend.dir/ISel.cpp.o.d"
+  "/root/repo/src/backend/MIR.cpp" "src/backend/CMakeFiles/wario_backend.dir/MIR.cpp.o" "gcc" "src/backend/CMakeFiles/wario_backend.dir/MIR.cpp.o.d"
+  "/root/repo/src/backend/MachineCFG.cpp" "src/backend/CMakeFiles/wario_backend.dir/MachineCFG.cpp.o" "gcc" "src/backend/CMakeFiles/wario_backend.dir/MachineCFG.cpp.o.d"
+  "/root/repo/src/backend/RegAlloc.cpp" "src/backend/CMakeFiles/wario_backend.dir/RegAlloc.cpp.o" "gcc" "src/backend/CMakeFiles/wario_backend.dir/RegAlloc.cpp.o.d"
+  "/root/repo/src/backend/SpillCheckpoint.cpp" "src/backend/CMakeFiles/wario_backend.dir/SpillCheckpoint.cpp.o" "gcc" "src/backend/CMakeFiles/wario_backend.dir/SpillCheckpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/wario_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wario_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_backend.dir/Backend.cpp.o"
+  "CMakeFiles/wario_backend.dir/Backend.cpp.o.d"
+  "CMakeFiles/wario_backend.dir/Frame.cpp.o"
+  "CMakeFiles/wario_backend.dir/Frame.cpp.o.d"
+  "CMakeFiles/wario_backend.dir/ISel.cpp.o"
+  "CMakeFiles/wario_backend.dir/ISel.cpp.o.d"
+  "CMakeFiles/wario_backend.dir/MIR.cpp.o"
+  "CMakeFiles/wario_backend.dir/MIR.cpp.o.d"
+  "CMakeFiles/wario_backend.dir/MachineCFG.cpp.o"
+  "CMakeFiles/wario_backend.dir/MachineCFG.cpp.o.d"
+  "CMakeFiles/wario_backend.dir/RegAlloc.cpp.o"
+  "CMakeFiles/wario_backend.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/wario_backend.dir/SpillCheckpoint.cpp.o"
+  "CMakeFiles/wario_backend.dir/SpillCheckpoint.cpp.o.d"
+  "libwario_backend.a"
+  "libwario_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

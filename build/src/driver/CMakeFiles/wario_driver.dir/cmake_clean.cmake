@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/wario_driver.dir/Pipeline.cpp.o.d"
+  "libwario_driver.a"
+  "libwario_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_emu.dir/Emulator.cpp.o"
+  "CMakeFiles/wario_emu.dir/Emulator.cpp.o.d"
+  "CMakeFiles/wario_emu.dir/PowerTrace.cpp.o"
+  "CMakeFiles/wario_emu.dir/PowerTrace.cpp.o.d"
+  "libwario_emu.a"
+  "libwario_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

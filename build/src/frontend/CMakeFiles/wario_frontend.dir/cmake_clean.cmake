@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_frontend.dir/CodeGen.cpp.o"
+  "CMakeFiles/wario_frontend.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/wario_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/wario_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/wario_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/wario_frontend.dir/Parser.cpp.o.d"
+  "libwario_frontend.a"
+  "libwario_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

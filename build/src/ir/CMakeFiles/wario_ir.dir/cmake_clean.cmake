@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_ir.dir/IR.cpp.o"
+  "CMakeFiles/wario_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/wario_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/wario_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/wario_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/wario_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/wario_ir.dir/Interp.cpp.o"
+  "CMakeFiles/wario_ir.dir/Interp.cpp.o.d"
+  "libwario_ir.a"
+  "libwario_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwario_ir.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/wario_support.dir/Diagnostics.cpp.o.d"
+  "libwario_support.a"
+  "libwario_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

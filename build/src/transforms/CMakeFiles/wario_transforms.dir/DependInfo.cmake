@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/CheckpointInserter.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/CheckpointInserter.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/CheckpointInserter.cpp.o.d"
+  "/root/repo/src/transforms/Cloning.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/Cloning.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/Cloning.cpp.o.d"
+  "/root/repo/src/transforms/Expander.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/Expander.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/Expander.cpp.o.d"
+  "/root/repo/src/transforms/Inliner.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/Inliner.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/Inliner.cpp.o.d"
+  "/root/repo/src/transforms/LoopUnroller.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/LoopUnroller.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/LoopUnroller.cpp.o.d"
+  "/root/repo/src/transforms/LoopWriteClusterer.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/LoopWriteClusterer.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/LoopWriteClusterer.cpp.o.d"
+  "/root/repo/src/transforms/Mem2Reg.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/Mem2Reg.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/Mem2Reg.cpp.o.d"
+  "/root/repo/src/transforms/RegionBounder.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/RegionBounder.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/RegionBounder.cpp.o.d"
+  "/root/repo/src/transforms/SSAUpdater.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/SSAUpdater.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/SSAUpdater.cpp.o.d"
+  "/root/repo/src/transforms/Utils.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/Utils.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/Utils.cpp.o.d"
+  "/root/repo/src/transforms/WriteClusterer.cpp" "src/transforms/CMakeFiles/wario_transforms.dir/WriteClusterer.cpp.o" "gcc" "src/transforms/CMakeFiles/wario_transforms.dir/WriteClusterer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wario_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wario_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wario_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_transforms.dir/CheckpointInserter.cpp.o"
+  "CMakeFiles/wario_transforms.dir/CheckpointInserter.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/Cloning.cpp.o"
+  "CMakeFiles/wario_transforms.dir/Cloning.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/Expander.cpp.o"
+  "CMakeFiles/wario_transforms.dir/Expander.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/Inliner.cpp.o"
+  "CMakeFiles/wario_transforms.dir/Inliner.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/LoopUnroller.cpp.o"
+  "CMakeFiles/wario_transforms.dir/LoopUnroller.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/LoopWriteClusterer.cpp.o"
+  "CMakeFiles/wario_transforms.dir/LoopWriteClusterer.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/Mem2Reg.cpp.o"
+  "CMakeFiles/wario_transforms.dir/Mem2Reg.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/RegionBounder.cpp.o"
+  "CMakeFiles/wario_transforms.dir/RegionBounder.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/SSAUpdater.cpp.o"
+  "CMakeFiles/wario_transforms.dir/SSAUpdater.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/Utils.cpp.o"
+  "CMakeFiles/wario_transforms.dir/Utils.cpp.o.d"
+  "CMakeFiles/wario_transforms.dir/WriteClusterer.cpp.o"
+  "CMakeFiles/wario_transforms.dir/WriteClusterer.cpp.o.d"
+  "libwario_transforms.a"
+  "libwario_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/WorkloadAES.cpp" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadAES.cpp.o" "gcc" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadAES.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadCRC.cpp" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadCRC.cpp.o" "gcc" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadCRC.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadCoreMark.cpp" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadCoreMark.cpp.o" "gcc" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadCoreMark.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadDijkstra.cpp" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadDijkstra.cpp.o" "gcc" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadDijkstra.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadPicojpeg.cpp" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadPicojpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadPicojpeg.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadSHA.cpp" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadSHA.cpp.o" "gcc" "src/workloads/CMakeFiles/wario_workloads.dir/WorkloadSHA.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/wario_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/wario_workloads.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/wario_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wario_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wario_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

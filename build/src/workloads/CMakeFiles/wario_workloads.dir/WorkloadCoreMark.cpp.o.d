@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/wario_workloads.dir/WorkloadCoreMark.cpp.o: \
+ /root/repo/src/workloads/WorkloadCoreMark.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/wario_workloads.dir/WorkloadDijkstra.cpp.o: \
+ /root/repo/src/workloads/WorkloadDijkstra.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

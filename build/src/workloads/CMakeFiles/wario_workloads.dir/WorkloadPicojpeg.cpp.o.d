@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/wario_workloads.dir/WorkloadPicojpeg.cpp.o: \
+ /root/repo/src/workloads/WorkloadPicojpeg.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

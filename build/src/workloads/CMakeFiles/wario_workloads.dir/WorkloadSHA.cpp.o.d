@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/wario_workloads.dir/WorkloadSHA.cpp.o: \
+ /root/repo/src/workloads/WorkloadSHA.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wario_workloads.dir/WorkloadAES.cpp.o"
+  "CMakeFiles/wario_workloads.dir/WorkloadAES.cpp.o.d"
+  "CMakeFiles/wario_workloads.dir/WorkloadCRC.cpp.o"
+  "CMakeFiles/wario_workloads.dir/WorkloadCRC.cpp.o.d"
+  "CMakeFiles/wario_workloads.dir/WorkloadCoreMark.cpp.o"
+  "CMakeFiles/wario_workloads.dir/WorkloadCoreMark.cpp.o.d"
+  "CMakeFiles/wario_workloads.dir/WorkloadDijkstra.cpp.o"
+  "CMakeFiles/wario_workloads.dir/WorkloadDijkstra.cpp.o.d"
+  "CMakeFiles/wario_workloads.dir/WorkloadPicojpeg.cpp.o"
+  "CMakeFiles/wario_workloads.dir/WorkloadPicojpeg.cpp.o.d"
+  "CMakeFiles/wario_workloads.dir/WorkloadSHA.cpp.o"
+  "CMakeFiles/wario_workloads.dir/WorkloadSHA.cpp.o.d"
+  "CMakeFiles/wario_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/wario_workloads.dir/Workloads.cpp.o.d"
+  "libwario_workloads.a"
+  "libwario_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wario_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

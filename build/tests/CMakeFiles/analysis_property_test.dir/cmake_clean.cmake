@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_property_test.dir/AnalysisPropertyTest.cpp.o"
+  "CMakeFiles/analysis_property_test.dir/AnalysisPropertyTest.cpp.o.d"
+  "analysis_property_test"
+  "analysis_property_test.pdb"
+  "analysis_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulator_detail_test.dir/EmulatorDetailTest.cpp.o"
+  "CMakeFiles/emulator_detail_test.dir/EmulatorDetailTest.cpp.o.d"
+  "emulator_detail_test"
+  "emulator_detail_test.pdb"
+  "emulator_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulator_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

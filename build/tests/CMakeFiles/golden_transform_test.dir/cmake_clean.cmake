@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_transform_test.dir/GoldenTransformTest.cpp.o"
+  "CMakeFiles/golden_transform_test.dir/GoldenTransformTest.cpp.o.d"
+  "golden_transform_test"
+  "golden_transform_test.pdb"
+  "golden_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

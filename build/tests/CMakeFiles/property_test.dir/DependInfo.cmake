@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/property_test.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/PropertyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/wario_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/wario_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/wario_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/wario_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/wario_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/wario_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wario_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/wario_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wario_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

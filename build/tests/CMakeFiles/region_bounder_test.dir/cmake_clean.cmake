@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_bounder_test.dir/RegionBounderTest.cpp.o"
+  "CMakeFiles/region_bounder_test.dir/RegionBounderTest.cpp.o.d"
+  "region_bounder_test"
+  "region_bounder_test.pdb"
+  "region_bounder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_bounder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

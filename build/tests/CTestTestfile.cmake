@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/region_bounder_test[1]_include.cmake")
+include("/root/repo/build/tests/emulator_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_transform_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
