@@ -1,13 +1,23 @@
 #include "Harness.h"
 
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
 #include <cstdlib>
 
 using namespace wario;
 using namespace wario::bench;
 
-RunResult wario::bench::runOne(const Workload &W, Environment Env,
-                               const EmulatorOptions &EOpts,
-                               unsigned UnrollFactor) {
+MatrixCell wario::bench::cell(const std::string &Workload, Environment Env,
+                              unsigned UnrollFactor) {
+  MatrixCell C;
+  C.Workload = Workload;
+  C.PO.Env = Env;
+  C.PO.UnrollFactor = UnrollFactor;
+  return C;
+}
+
+RunResult wario::bench::runOne(const Workload &W, const MatrixCell &Cell) {
   DiagnosticEngine Diags;
   std::unique_ptr<Module> M = buildWorkloadIR(W, Diags);
   if (!M) {
@@ -16,39 +26,116 @@ RunResult wario::bench::runOne(const Workload &W, Environment Env,
     std::exit(1);
   }
   RunResult R;
-  PipelineOptions PO;
-  PO.Env = Env;
-  PO.UnrollFactor = UnrollFactor;
-  MModule MM = compile(*M, PO, &R.Pipeline);
+  MModule MM = compile(*M, Cell.PO, &R.Pipeline);
   R.TextBytes = MM.textSizeBytes();
 
-  EmulatorOptions EO = EOpts;
-  if (Env == Environment::PlainC)
+  EmulatorOptions EO = Cell.EO;
+  if (Cell.PO.Env == Environment::PlainC)
     EO.WarIsFatal = false;
   R.Emu = emulate(MM, EO);
   if (!R.Emu.Ok) {
     std::fprintf(stderr, "emulation failure on %s @ %s: %s\n",
-                 W.Name.c_str(), environmentName(Env),
+                 W.Name.c_str(), environmentName(Cell.PO.Env),
                  R.Emu.Error.c_str());
     std::exit(1);
   }
-  if (Env != Environment::PlainC && R.Emu.WarViolations != 0) {
+  if (Cell.PO.Env != Environment::PlainC && R.Emu.WarViolations != 0) {
     std::fprintf(stderr, "WAR violations on %s @ %s\n", W.Name.c_str(),
-                 environmentName(Env));
+                 environmentName(Cell.PO.Env));
     std::exit(1);
   }
   return R;
 }
 
+RunResult wario::bench::runOne(const Workload &W, Environment Env,
+                               const EmulatorOptions &EOpts,
+                               unsigned UnrollFactor) {
+  MatrixCell C = cell(W.Name, Env, UnrollFactor);
+  C.EO = EOpts;
+  return runOne(W, C);
+}
+
+/// A cache slot: filled exactly once by the thread that claimed it;
+/// other threads (and later runMatrix calls) block on Ready.
+struct ResultCache::Entry {
+  std::mutex M;
+  std::condition_variable CV;
+  bool Ready = false;
+  RunResult R;
+
+  void publish(RunResult Result) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      R = std::move(Result);
+      Ready = true;
+    }
+    CV.notify_all();
+  }
+  const RunResult &get() {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [this] { return Ready; });
+    return R;
+  }
+};
+
+// Out of line: Entry must be complete where the map is destroyed.
+ResultCache::ResultCache() = default;
+ResultCache::~ResultCache() = default;
+
+std::vector<const RunResult *>
+ResultCache::runMatrix(const std::vector<MatrixCell> &Cells) {
+  // Claim phase: one Entry per unique key; remember which cells this
+  // call must compute itself.
+  struct Claimed {
+    Entry *E;
+    const MatrixCell *Cell;
+  };
+  std::vector<Entry *> Slots(Cells.size());
+  std::vector<Claimed> Mine;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      const MatrixCell &C = Cells[I];
+      Key K{C.Workload, C.PO.Env, C.PO.UnrollFactor, C.Tag};
+      auto [It, Inserted] = Map.try_emplace(std::move(K));
+      if (Inserted) {
+        It->second = std::make_unique<Entry>();
+        Mine.push_back({It->second.get(), &C});
+      }
+      Slots[I] = It->second.get();
+    }
+  }
+
+  // Sweep phase: every claimed cell is an independent compile+emulate,
+  // so a flat parallelFor balances them; runOne touches no shared state.
+  parallelFor(Mine.size(), [&](size_t I) {
+    const MatrixCell &C = *Mine[I].Cell;
+    Mine[I].E->publish(runOne(getWorkload(C.Workload), C));
+  });
+
+  std::vector<const RunResult *> Out(Cells.size());
+  for (size_t I = 0; I != Cells.size(); ++I)
+    Out[I] = &Slots[I]->get();
+  return Out;
+}
+
+const RunResult &ResultCache::run(const MatrixCell &Cell) {
+  return *runMatrix({Cell}).front();
+}
+
+ResultCache &wario::bench::globalCache() {
+  static ResultCache Cache;
+  return Cache;
+}
+
+std::vector<const RunResult *>
+wario::bench::runMatrix(const std::vector<MatrixCell> &Cells) {
+  return globalCache().runMatrix(Cells);
+}
+
 const RunResult &wario::bench::cachedRun(const std::string &Name,
                                          Environment Env) {
-  static std::map<std::pair<std::string, Environment>, RunResult> Cache;
-  auto Key = std::make_pair(Name, Env);
-  auto It = Cache.find(Key);
-  if (It != Cache.end())
-    return It->second;
-  RunResult R = runOne(getWorkload(Name), Env);
-  return Cache.emplace(Key, std::move(R)).first->second;
+  return globalCache().run(cell(Name, Env));
 }
 
 MModule wario::bench::compileOnly(const Workload &W, Environment Env,

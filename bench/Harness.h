@@ -2,8 +2,11 @@
 ///
 /// \file
 /// Shared harness for the experiment regenerators: compiles each
-/// (workload, environment) pair, runs the emulator, caches results, and
-/// provides the table formatting used across all paper figures/tables.
+/// (workload, environment, unroll-factor) cell, runs the emulator, and
+/// caches results behind one deduplicating, thread-safe store so every
+/// Fig/Table regenerator shares a single parallel sweep (runMatrix).
+/// Also provides the table formatting used across all paper
+/// figures/tables.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +19,8 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,15 +33,71 @@ struct RunResult {
   unsigned TextBytes = 0;
 };
 
-/// Compiles \p W for \p Env (optionally overriding the unroll factor) and
-/// runs it to completion under \p EOpts. Aborts the process with a
-/// message on any failure — experiment regenerators have no use for
-/// partial data.
+/// One cell of the experiment matrix: a workload compiled under a full
+/// pipeline configuration and emulated under a power/interrupt
+/// configuration.
+///
+/// The result cache keys on (Workload, PO.Env, PO.UnrollFactor, Tag).
+/// Cells that vary any *other* pipeline or emulator field (ablation
+/// flags, power schedules, ...) must carry a distinct Tag, or they will
+/// dedup against the default-configured cell.
+struct MatrixCell {
+  std::string Workload;
+  PipelineOptions PO;
+  EmulatorOptions EO;
+  std::string Tag;
+};
+
+/// Convenience: the default cell for (workload, environment, unroll).
+MatrixCell cell(const std::string &Workload, Environment Env,
+                unsigned UnrollFactor = 8);
+
+/// Deduplicating, mutex-guarded store of run results. runMatrix computes
+/// all missing cells concurrently (parallelFor over defaultJobs()
+/// workers — override the width with WARIO_JOBS); cells already present,
+/// or duplicated within one call, are computed exactly once. Returned
+/// pointers stay valid for the cache's lifetime.
+class ResultCache {
+public:
+  ResultCache();
+  ~ResultCache();
+  ResultCache(const ResultCache &) = delete;
+  ResultCache &operator=(const ResultCache &) = delete;
+
+  /// Computes every not-yet-cached cell in parallel and returns the
+  /// results in cell order.
+  std::vector<const RunResult *> runMatrix(const std::vector<MatrixCell> &Cells);
+
+  /// Single-cell lookup-or-compute.
+  const RunResult &run(const MatrixCell &Cell);
+
+private:
+  struct Entry;
+  using Key = std::tuple<std::string, Environment, unsigned, std::string>;
+
+  std::mutex Mutex;
+  std::map<Key, std::unique_ptr<Entry>> Map;
+};
+
+/// The process-lifetime cache shared by all regenerators.
+ResultCache &globalCache();
+
+/// Prewarms the global cache for \p Cells in one parallel sweep and
+/// returns the results in cell order.
+std::vector<const RunResult *> runMatrix(const std::vector<MatrixCell> &Cells);
+
+/// Compiles \p W under \p Cell.PO and runs it to completion under
+/// \p Cell.EO. Aborts the process with a message on any failure —
+/// experiment regenerators have no use for partial data.
+RunResult runOne(const Workload &W, const MatrixCell &Cell);
+
+/// Back-compat convenience used by older regenerator code.
 RunResult runOne(const Workload &W, Environment Env,
                  const EmulatorOptions &EOpts = {},
                  unsigned UnrollFactor = 8);
 
-/// Process-lifetime cache of continuous-power runs.
+/// Process-lifetime cache of continuous-power runs (a view over
+/// globalCache()).
 const RunResult &cachedRun(const std::string &Workload, Environment Env);
 
 /// Compiles only (no emulation); for code-size measurements.

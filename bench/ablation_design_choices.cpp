@@ -20,20 +20,26 @@ using namespace wario::bench;
 
 namespace {
 
-uint64_t runCycles(const Workload &W, const PipelineOptions &PO) {
-  DiagnosticEngine Diags;
-  std::unique_ptr<Module> M = buildWorkloadIR(W, Diags);
-  if (!M)
-    std::exit(1);
-  MModule MM = compile(*M, PO);
-  EmulatorOptions EO;
-  EO.CollectRegionSizes = false;
-  EmulatorResult R = emulate(MM, EO);
-  if (!R.Ok) {
-    std::fprintf(stderr, "ablation run failed: %s\n", R.Error.c_str());
-    std::exit(1);
-  }
-  return R.TotalCycles;
+/// The four ablation cells of one workload. Ablation flags are not part
+/// of the default cache key, so each variant carries its tag.
+std::vector<MatrixCell> ablationCells(const std::string &Name) {
+  MatrixCell Base = cell(Name, Environment::WarioComplete);
+  Base.EO.CollectRegionSizes = false;
+  Base.Tag = "ablation-base";
+
+  MatrixCell PerWrite = Base;
+  PerWrite.PO.MiddleEndHittingSet = false;
+  PerWrite.Tag = "perwrite-me";
+
+  MatrixCell Uniform = Base;
+  Uniform.PO.DepthWeightedCost = false;
+  Uniform.Tag = "uniform-cost";
+
+  MatrixCell Conserv = Base;
+  Conserv.PO.ForceConservativeAA = true;
+  Conserv.Tag = "conserv-aa";
+
+  return {Base, PerWrite, Uniform, Conserv};
 }
 
 } // namespace
@@ -44,24 +50,20 @@ int main() {
   printRow("benchmark",
            {"wario", "perwrite-me", "uniform-cost", "conserv-aa"}, 14, 14);
 
+  // Prewarm all 4 variants of every workload in one parallel sweep.
+  std::vector<MatrixCell> Cells;
+  for (const Workload &W : allWorkloads())
+    for (const MatrixCell &C : ablationCells(W.Name))
+      Cells.push_back(C);
+  runMatrix(Cells);
+
   double Sum[4] = {0, 0, 0, 0};
   for (const Workload &W : allWorkloads()) {
-    PipelineOptions Base;
-    Base.Env = Environment::WarioComplete;
-
-    PipelineOptions PerWrite = Base;
-    PerWrite.MiddleEndHittingSet = false;
-
-    PipelineOptions Uniform = Base;
-    Uniform.DepthWeightedCost = false;
-
-    PipelineOptions Conserv = Base;
-    Conserv.ForceConservativeAA = true;
-
-    uint64_t C0 = runCycles(W, Base);
-    uint64_t C1 = runCycles(W, PerWrite);
-    uint64_t C2 = runCycles(W, Uniform);
-    uint64_t C3 = runCycles(W, Conserv);
+    std::vector<MatrixCell> WC = ablationCells(W.Name);
+    uint64_t C0 = globalCache().run(WC[0]).Emu.TotalCycles;
+    uint64_t C1 = globalCache().run(WC[1]).Emu.TotalCycles;
+    uint64_t C2 = globalCache().run(WC[2]).Emu.TotalCycles;
+    uint64_t C3 = globalCache().run(WC[3]).Emu.TotalCycles;
     Sum[0] += double(C0);
     Sum[1] += double(C1) / double(C0);
     Sum[2] += double(C2) / double(C0);

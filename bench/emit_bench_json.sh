@@ -1,0 +1,23 @@
+#!/bin/sh
+# Snapshots the emulator microbenchmark into a BENCH_<tag>.json at the
+# repo root, for the performance trajectory across PRs.
+#
+#   usage: bench/emit_bench_json.sh [build-dir] [tag]
+#
+# Defaults: build-dir = build, tag = pr1. Also runnable via the
+# `bench_json` CMake target (cmake --build build --target bench_json).
+set -eu
+
+ROOT=$(dirname "$0")/..
+BUILD=${1:-"$ROOT/build"}
+TAG=${2:-pr1}
+BIN="$BUILD/bench/micro_emulator"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD -j)" >&2
+  exit 1
+fi
+
+OUT="$ROOT/BENCH_${TAG}.json"
+"$BIN" --benchmark_format=json --benchmark_min_time=0.2 > "$OUT"
+echo "wrote $OUT"

@@ -18,6 +18,15 @@ int main() {
               "1.00 = uninstrumented C)\n\n");
 
   std::vector<Environment> Envs = allEnvironments();
+
+  // One parallel sweep over the whole matrix; the loops below then read
+  // from the shared cache.
+  std::vector<MatrixCell> Cells;
+  for (const Workload &W : allWorkloads())
+    for (Environment E : Envs)
+      Cells.push_back(cell(W.Name, E));
+  runMatrix(Cells);
+
   std::vector<std::string> Heads;
   for (Environment E : Envs)
     Heads.push_back(shortEnvName(E));

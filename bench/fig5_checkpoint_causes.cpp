@@ -24,6 +24,15 @@ int main() {
       Environment::WarioComplete, Environment::WarioExpander,
   };
 
+  // Prewarm the whole (workload, environment) matrix in parallel.
+  std::vector<MatrixCell> Cells;
+  for (const Workload &W : allWorkloads()) {
+    for (Environment E : Envs)
+      Cells.push_back(cell(W.Name, E));
+    Cells.push_back(cell(W.Name, Environment::Ratchet));
+  }
+  runMatrix(Cells);
+
   for (const Workload &W : allWorkloads()) {
     double Base =
         double(cachedRun(W.Name, Environment::RPDG).Emu.CheckpointsExecuted);

@@ -45,6 +45,13 @@ int main() {
   const std::vector<Environment> Envs = {
       Environment::Ratchet, Environment::RPDG, Environment::WarioComplete};
 
+  // Prewarm the matrix in one parallel sweep.
+  std::vector<MatrixCell> Cells;
+  for (const Workload &W : allWorkloads())
+    for (Environment E : Envs)
+      Cells.push_back(cell(W.Name, E));
+  runMatrix(Cells);
+
   for (const Workload &W : allWorkloads()) {
     std::printf("%s\n", W.Name.c_str());
     printRow("  environment", {"median", "mean", "p75", "max"}, 24, 12);

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the emulator hot path, built to
+/// quantify the pre-decoded flat-dispatch rewrite (dense instruction
+/// array, pre-resolved branch targets, epoch-stamped WAR tracking)
+/// against pathological regressions. The headline counter is emulated
+/// instructions per second; bench/emit_bench_json.sh snapshots it (and
+/// the other counters) into a BENCH_*.json for the perf trajectory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace wario;
+using namespace wario::bench;
+
+namespace {
+
+/// One compiled workload per emulator-bound benchmark, built once.
+const MModule &compiledWorkload(const std::string &Name, Environment Env) {
+  static std::map<std::pair<std::string, Environment>, MModule> Cache;
+  auto Key = std::make_pair(Name, Env);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  DiagnosticEngine Diags;
+  auto M = buildWorkloadIR(getWorkload(Name), Diags);
+  if (!M) {
+    std::fprintf(stderr, "frontend failure on %s\n", Name.c_str());
+    std::exit(1);
+  }
+  PipelineOptions PO;
+  PO.Env = Env;
+  return Cache.emplace(Key, compile(*M, PO)).first->second;
+}
+
+void runEmulatorBench(benchmark::State &State, const std::string &Name,
+                      Environment Env, const EmulatorOptions &EO) {
+  const MModule &MM = compiledWorkload(Name, Env);
+  uint64_t Instructions = 0, Cycles = 0;
+  for (auto _ : State) {
+    EmulatorResult R = emulate(MM, EO);
+    if (!R.Ok) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    Instructions += R.InstructionsExecuted;
+    Cycles += R.TotalCycles;
+    benchmark::DoNotOptimize(R.ReturnValue);
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      double(Instructions), benchmark::Counter::kIsRate);
+  State.counters["emu_cycles/s"] =
+      benchmark::Counter(double(Cycles), benchmark::Counter::kIsRate);
+}
+
+EmulatorOptions continuousNoRegions() {
+  EmulatorOptions EO;
+  EO.CollectRegionSizes = false;
+  return EO;
+}
+
+void BM_EmulatorContinuous_CRC(benchmark::State &State) {
+  runEmulatorBench(State, "crc", Environment::WarioComplete,
+                   continuousNoRegions());
+}
+BENCHMARK(BM_EmulatorContinuous_CRC);
+
+void BM_EmulatorContinuous_SHA(benchmark::State &State) {
+  runEmulatorBench(State, "sha", Environment::WarioComplete,
+                   continuousNoRegions());
+}
+BENCHMARK(BM_EmulatorContinuous_SHA);
+
+void BM_EmulatorContinuous_AES(benchmark::State &State) {
+  runEmulatorBench(State, "aes", Environment::WarioComplete,
+                   continuousNoRegions());
+}
+BENCHMARK(BM_EmulatorContinuous_AES);
+
+/// PlainC has no checkpoints: the longest regions, so the WAR monitor's
+/// first-access tracking dominates — the epoch-array's best case.
+void BM_EmulatorPlainC_CRC(benchmark::State &State) {
+  EmulatorOptions EO = continuousNoRegions();
+  EO.WarIsFatal = false;
+  runEmulatorBench(State, "crc", Environment::PlainC, EO);
+}
+BENCHMARK(BM_EmulatorPlainC_CRC);
+
+/// Frequent power failures exercise reboot/restore and region resets.
+void BM_EmulatorIntermittent_CRC(benchmark::State &State) {
+  EmulatorOptions EO = continuousNoRegions();
+  EO.Power = PowerSchedule::fixed(100'000);
+  runEmulatorBench(State, "crc", Environment::WarioComplete, EO);
+}
+BENCHMARK(BM_EmulatorIntermittent_CRC);
+
+/// Interrupts exercise checkpoint commit + exception stacking.
+void BM_EmulatorInterrupts_CRC(benchmark::State &State) {
+  EmulatorOptions EO = continuousNoRegions();
+  EO.InterruptPeriod = 10'000;
+  runEmulatorBench(State, "crc", Environment::WarioComplete, EO);
+}
+BENCHMARK(BM_EmulatorInterrupts_CRC);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -50,13 +50,14 @@ MemoryDependence::MemoryDependence(const Function &F, const AliasAnalysis &AA,
     Instruction *I;
     const BasicBlock *BB;
     unsigned Pos;
+    bool IsLoad; ///< Hoisted out of the O(N^2) pair loop below.
   };
   std::vector<Access> Accesses;
   for (const BasicBlock *BB : F) {
     unsigned Pos = 0;
     for (Instruction *I : *BB) {
       if (I->isMemoryAccess())
-        Accesses.push_back({I, BB, Pos});
+        Accesses.push_back({I, BB, Pos, I->getOpcode() == Opcode::Load});
       ++Pos;
     }
   }
@@ -87,17 +88,17 @@ MemoryDependence::MemoryDependence(const Function &F, const AliasAnalysis &AA,
   // (different iterations: cross-iteration aliasing). Both matter — e.g.
   // `w[t] = f(w[t+3])` has no direct WAR (disjoint within an iteration)
   // but a real carried WAR three iterations later.
+  // AA memoizes each symmetric (address, size) pair verdict, so the
+  // second half of this ordered-pair sweep costs hash lookups only.
   for (const Access &A : Accesses) {
     for (const Access &B : Accesses) {
       if (A.I == B.I)
         continue;
-      bool AIsLoad = A.I->getOpcode() == Opcode::Load;
-      bool BIsLoad = B.I->getOpcode() == Opcode::Load;
-      if (AIsLoad && BIsLoad)
+      if (A.IsLoad && B.IsLoad)
         continue;
-      DepKind Kind = AIsLoad   ? DepKind::WAR
-                     : BIsLoad ? DepKind::RAW
-                               : DepKind::WAW;
+      DepKind Kind = A.IsLoad   ? DepKind::WAR
+                     : B.IsLoad ? DepKind::RAW
+                                : DepKind::WAW;
       if (DirectFollow(A, B)) {
         AliasResult AR = AA.alias(A.I, B.I, /*CrossIteration=*/false);
         if (AR != AliasResult::NoAlias)

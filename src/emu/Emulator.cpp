@@ -6,7 +6,6 @@
 
 #include <bit>
 #include <sstream>
-#include <unordered_map>
 
 using namespace wario;
 
@@ -22,28 +21,106 @@ constexpr uint32_t CkptBuf1 = CkptBase + 0x60;
 constexpr uint32_t CkptEnd = CkptBase + 0x100;
 constexpr uint32_t CodeAddrBit = 0x80000000u;
 constexpr uint32_t LrSentinel = 0xFFFFFFFEu;
+constexpr uint32_t BadTarget = 0xFFFFFFFFu;
 
-/// A position in the flattened code image.
+/// A position in the flattened code image (kept alongside the decoded
+/// program for diagnostics: WAR reports name the function and block).
 struct CodeRef {
   const MFunction *F;
   int Block;
   int Index;
 };
 
+/// ALU opcode for a binary MOp (replaces the per-step MOp->Opcode map).
+Opcode aluOpcode(MOp Op) {
+  switch (Op) {
+  case MOp::Add: return Opcode::Add;
+  case MOp::Sub: return Opcode::Sub;
+  case MOp::Mul: return Opcode::Mul;
+  case MOp::And: return Opcode::And;
+  case MOp::Orr: return Opcode::Or;
+  case MOp::Eor: return Opcode::Xor;
+  case MOp::Lsl: return Opcode::Shl;
+  case MOp::Lsr: return Opcode::LShr;
+  case MOp::Asr: return Opcode::AShr;
+  default: return Opcode::Add; // Unused for non-ALU ops.
+  }
+}
+
+/// One pre-decoded instruction: every per-step map lookup of the naive
+/// interpreter (function entry, block start, MOp->Opcode) is resolved
+/// into this dense form once, before execution starts. Branch and call
+/// targets are absolute indices into the decoded program.
+struct DecodedInst {
+  MOp Op;
+  Opcode Alu;         ///< Pre-mapped ALU opcode for binary ops.
+  uint8_t Size;
+  bool Signed;
+  uint8_t MovCost;    ///< Pre-computed MovImm cycle cost (1 or 2).
+  CmpPred Pred;
+  CheckpointCause Cause;
+  int16_t Dst;
+  int16_t Src[3];
+  int32_t Slot;
+  uint16_t RegList;
+  uint32_t Imm;       ///< Truncated immediate (all uses are 32-bit).
+  uint32_t Target[2]; ///< Branch targets / Bl callee entry, pre-resolved.
+  const MFunction *F; ///< Owning function (frame-slot addressing).
+};
+
 class Machine {
 public:
   Machine(const MModule &M, const EmulatorOptions &Opts)
-      : M(M), Opts(Opts), Mem(memmap::MemSize, 0) {
+      : M(M), Opts(Opts), Mem(memmap::MemSize, 0),
+        AccessEpoch(memmap::MemSize, 0), AccessKind(memmap::MemSize, 0) {
     assert(!M.InitImage.empty() || M.DataEnd == 0);
     std::copy(M.InitImage.begin(), M.InitImage.end(), Mem.begin());
-    // Flatten code and record block entry addresses.
-    for (const MFunction &F : M.Functions) {
-      FuncEntry[&F] = uint32_t(Code.size());
-      std::vector<uint32_t> &Starts = BlockStart[&F];
+
+    // Pass 1: flatten code, recording function entries and block starts.
+    FuncEntry.reserve(M.Functions.size());
+    std::vector<std::vector<uint32_t>> BlockStart(M.Functions.size());
+    for (size_t FI = 0; FI != M.Functions.size(); ++FI) {
+      const MFunction &F = M.Functions[FI];
+      FuncEntry.push_back(uint32_t(Code.size()));
       for (int B = 0; B != int(F.Blocks.size()); ++B) {
-        Starts.push_back(uint32_t(Code.size()));
+        BlockStart[FI].push_back(uint32_t(Code.size()));
         for (int I = 0; I != int(F.Blocks[B].Insts.size()); ++I)
           Code.push_back({&F, B, I});
+      }
+    }
+
+    // Pass 2: decode into the dense program with resolved targets.
+    Prog.reserve(Code.size());
+    for (size_t FI = 0; FI != M.Functions.size(); ++FI) {
+      const MFunction &F = M.Functions[FI];
+      for (const MBasicBlock &BB : F.Blocks) {
+        for (const MInst &I : BB.Insts) {
+          DecodedInst D;
+          D.Op = I.Op;
+          D.Alu = aluOpcode(I.Op);
+          D.Size = I.Size;
+          D.Signed = I.Signed;
+          D.MovCost = (uint64_t(I.Imm) & 0xFFFF0000u) ? 2 : 1;
+          D.Pred = I.Pred;
+          D.Cause = I.Cause;
+          D.Dst = int16_t(I.Dst);
+          for (int S = 0; S != 3; ++S)
+            D.Src[S] = int16_t(I.Src[S]);
+          D.Slot = I.Slot;
+          D.RegList = I.RegList;
+          D.Imm = uint32_t(I.Imm);
+          D.Target[0] = D.Target[1] = BadTarget;
+          if (I.Op == MOp::B || I.Op == MOp::CBr) {
+            for (int T = 0; T != 2; ++T)
+              if (I.Target[T] >= 0)
+                D.Target[T] = BlockStart[FI][unsigned(I.Target[T])];
+          } else if (I.Op == MOp::Bl) {
+            if (I.CalleeIdx >= 0 && I.CalleeIdx < int(M.Functions.size()))
+              D.Target[0] = FuncEntry[unsigned(I.CalleeIdx)];
+          }
+          D.F = &F;
+          Prog.push_back(D);
+        }
       }
     }
   }
@@ -55,8 +132,9 @@ public:
       R.Error = "entry function '" + Entry + "' not found";
       return R;
     }
+    MainEntry = FuncEntry[unsigned(Main - M.Functions.data())];
 
-    coldStart(Main);
+    coldStart();
     unsigned StalledBoots = 0;
 
     while (true) {
@@ -82,7 +160,7 @@ public:
         } else {
           StalledBoots = 0;
         }
-        reboot(Main);
+        reboot();
         continue;
       }
 
@@ -140,18 +218,28 @@ private:
     return true;
   }
 
+  /// Starts a fresh idempotent region: previous first-access records are
+  /// invalidated by bumping the epoch instead of clearing a map, so a
+  /// region reset is O(1).
+  void clearFirstAccess() {
+    if (++Epoch == 0) { // Epoch wrapped: lazily-stale entries are invalid.
+      std::fill(AccessEpoch.begin(), AccessEpoch.end(), 0u);
+      Epoch = 1;
+    }
+  }
+
   void recordAccess(uint32_t Addr, unsigned Size, Access Kind) {
     if (!monitored(Addr))
       return;
     bool CountedThisAccess = false;
     for (unsigned I = 0; I != Size; ++I) {
       uint32_t A = Addr + I;
-      auto It = FirstAccess.find(A);
-      if (It == FirstAccess.end()) {
-        FirstAccess.emplace(A, Kind);
+      if (AccessEpoch[A] != Epoch) {
+        AccessEpoch[A] = Epoch;
+        AccessKind[A] = uint8_t(Kind);
         continue;
       }
-      if (Kind == Access::Write && It->second == Access::Read) {
+      if (Kind == Access::Write && Access(AccessKind[A]) == Access::Read) {
         // One violation per offending store, not per overlapping byte.
         if (!CountedThisAccess)
           ++Res.WarViolations;
@@ -168,7 +256,7 @@ private:
           fail(Res.WarReports.empty() ? "WAR violation"
                                       : Res.WarReports.back());
         // Record as write so each spot reports once.
-        It->second = Access::Write;
+        AccessKind[A] = uint8_t(Access::Write);
       }
     }
   }
@@ -217,15 +305,15 @@ private:
   }
 
   // --- Power / checkpoints -------------------------------------------------------
-  void coldStart(const MFunction *Main) {
+  void coldStart() {
     for (uint32_t &R : Regs)
       R = 0;
     Regs[SP] = memmap::StackTop;
     Regs[LR] = LrSentinel;
-    Pc = CodeAddrBit | FuncEntry.at(Main);
+    Pc = CodeAddrBit | MainEntry;
     Primask = false;
     Pending = false;
-    FirstAccess.clear();
+    clearFirstAccess();
     RegionStartCycles = Res.TotalCycles;
     ActiveSinceBoot = 0;
     ProgressThisBoot = false;
@@ -233,7 +321,7 @@ private:
     CyclesSinceIrq = 0; // The interrupt timer restarts on power-up.
   }
 
-  void reboot(const MFunction *Main) {
+  void reboot() {
     // Volatile state is lost; PRIMASK resets; NVM persists.
     ActiveSinceBoot = 0;
     ProgressThisBoot = false;
@@ -251,8 +339,8 @@ private:
         R = 0;
       Regs[SP] = memmap::StackTop;
       Regs[LR] = LrSentinel;
-      Pc = CodeAddrBit | FuncEntry.at(Main);
-      FirstAccess.clear();
+      Pc = CodeAddrBit | MainEntry;
+      clearFirstAccess();
       RegionStartCycles = Res.TotalCycles;
       return;
     }
@@ -262,7 +350,7 @@ private:
     Pc = rawLoad(Buf + 4 * 15);
     spend(cycles::Restore);
     // Re-execution starts a fresh idempotent region attempt.
-    FirstAccess.clear();
+    clearFirstAccess();
     RegionStartCycles = Res.TotalCycles;
   }
 
@@ -285,7 +373,7 @@ private:
     if (Opts.CollectRegionSizes)
       Res.RegionSizes.push_back(Res.TotalCycles - RegionStartCycles);
     RegionStartCycles = Res.TotalCycles;
-    FirstAccess.clear();
+    clearFirstAccess();
     ProgressThisBoot = true;
   }
 
@@ -313,25 +401,20 @@ private:
   // --- Execution --------------------------------------------------------------------
   const CodeRef &Cur() const { return Code[Pc & ~CodeAddrBit]; }
 
-  void jumpToBlock(const MFunction *F, int Block) {
-    Pc = CodeAddrBit | BlockStart.at(F)[unsigned(Block)];
-  }
-
   uint32_t slotAddress(const MFunction *F, int Slot) const {
     assert(F->FrameLowered && Slot >= 0 && Slot < int(F->Slots.size()));
     return Regs[SP] + uint32_t(F->Slots[unsigned(Slot)].Offset);
   }
 
   void step() {
-    const CodeRef CR = Cur();
-    const MInst &I = CR.F->Blocks[CR.Block].Insts[unsigned(CR.Index)];
+    const DecodedInst &I = Prog[Pc & ~CodeAddrBit];
     ++Res.InstructionsExecuted;
     uint32_t NextPc = Pc + 1;
 
     switch (I.Op) {
     case MOp::MovImm:
-      reg(I.Dst) = uint32_t(I.Imm);
-      spend((uint64_t(I.Imm) & 0xFFFF0000u) ? 2 : 1);
+      reg(I.Dst) = I.Imm;
+      spend(I.MovCost);
       break;
     case MOp::MovGlobal:
       fail("unlinked MovGlobal reached the emulator");
@@ -342,18 +425,10 @@ private:
       break;
     case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::And:
     case MOp::Orr: case MOp::Eor: case MOp::Lsl: case MOp::Lsr:
-    case MOp::Asr: {
-      static const std::unordered_map<MOp, Opcode> Map = {
-          {MOp::Add, Opcode::Add}, {MOp::Sub, Opcode::Sub},
-          {MOp::Mul, Opcode::Mul}, {MOp::And, Opcode::And},
-          {MOp::Orr, Opcode::Or},  {MOp::Eor, Opcode::Xor},
-          {MOp::Lsl, Opcode::Shl}, {MOp::Lsr, Opcode::LShr},
-          {MOp::Asr, Opcode::AShr}};
-      reg(I.Dst) = *constEvalBinary(Map.at(I.Op), reg(I.Src[0]),
-                                    reg(I.Src[1]));
+    case MOp::Asr:
+      reg(I.Dst) = *constEvalBinary(I.Alu, reg(I.Src[0]), reg(I.Src[1]));
       spend(1);
       break;
-    }
     case MOp::UDiv:
     case MOp::SDiv: {
       auto V = constEvalBinary(I.Op == MOp::UDiv ? Opcode::UDiv
@@ -368,7 +443,7 @@ private:
       break;
     }
     case MOp::AddImm:
-      reg(I.Dst) = reg(I.Src[0]) + uint32_t(I.Imm);
+      reg(I.Dst) = reg(I.Src[0]) + I.Imm;
       spend(1);
       break;
     case MOp::SetCond:
@@ -381,49 +456,41 @@ private:
       spend(2);
       break;
     case MOp::Ldr:
-      reg(I.Dst) = loadMem(reg(I.Src[0]) + uint32_t(I.Imm), I.Size,
-                           I.Signed);
+      reg(I.Dst) = loadMem(reg(I.Src[0]) + I.Imm, I.Size, I.Signed);
       spend(2);
       break;
     case MOp::Str:
-      storeMem(reg(I.Src[1]) + uint32_t(I.Imm), I.Size, reg(I.Src[0]));
+      storeMem(reg(I.Src[1]) + I.Imm, I.Size, reg(I.Src[0]));
       spend(2);
       break;
     case MOp::LdrSlot:
-      reg(I.Dst) = loadMem(slotAddress(CR.F, I.Slot), 4, false);
+      reg(I.Dst) = loadMem(slotAddress(I.F, I.Slot), 4, false);
       spend(2);
       break;
     case MOp::StrSlot:
-      storeMem(slotAddress(CR.F, I.Slot), 4, reg(I.Src[0]));
+      storeMem(slotAddress(I.F, I.Slot), 4, reg(I.Src[0]));
       spend(2);
       break;
     case MOp::FrameAddr:
-      reg(I.Dst) = slotAddress(CR.F, I.Slot);
+      reg(I.Dst) = slotAddress(I.F, I.Slot);
       spend(1);
       break;
-    case MOp::Bl: {
-      if (I.CalleeIdx < 0 || I.CalleeIdx >= int(M.Functions.size())) {
+    case MOp::Bl:
+      if (I.Target[0] == BadTarget) {
         fail("call through an unlinked or bad function index");
         return;
       }
-      const MFunction *Callee = &M.Functions[unsigned(I.CalleeIdx)];
       Regs[LR] = NextPc;
-      Pc = CodeAddrBit | FuncEntry.at(Callee);
+      Pc = CodeAddrBit | I.Target[0];
       spend(1 + cycles::PipelineRefill);
       return;
-    }
     case MOp::B:
-      jumpToBlock(CR.F, I.Target[0]);
+      Pc = CodeAddrBit | I.Target[0];
       spend(1 + cycles::PipelineRefill);
       return;
     case MOp::CBr:
-      if (reg(I.Src[0]) != 0) {
-        jumpToBlock(CR.F, I.Target[0]);
-        spend(1 + cycles::PipelineRefill);
-      } else {
-        jumpToBlock(CR.F, I.Target[1]);
-        spend(1 + cycles::PipelineRefill);
-      }
+      Pc = CodeAddrBit | I.Target[reg(I.Src[0]) != 0 ? 0 : 1];
+      spend(1 + cycles::PipelineRefill);
       return;
     case MOp::Ret:
       if (Regs[LR] == LrSentinel) {
@@ -463,7 +530,7 @@ private:
       break;
     }
     case MOp::SpAdjust:
-      Regs[SP] += uint32_t(int32_t(I.Imm));
+      Regs[SP] += I.Imm;
       spend(1);
       break;
     case MOp::Checkpoint:
@@ -497,9 +564,10 @@ private:
   const MModule &M;
   EmulatorOptions Opts;
   std::vector<uint8_t> Mem;
-  std::vector<CodeRef> Code;
-  std::unordered_map<const MFunction *, uint32_t> FuncEntry;
-  std::unordered_map<const MFunction *, std::vector<uint32_t>> BlockStart;
+  std::vector<CodeRef> Code;       ///< Diagnostics only (WAR reports).
+  std::vector<DecodedInst> Prog;   ///< Dense execution representation.
+  std::vector<uint32_t> FuncEntry; ///< Entry code index per function.
+  uint32_t MainEntry = 0;
 
   uint32_t Regs[NumPRegs] = {};
   uint32_t Pc = 0;
@@ -509,7 +577,12 @@ private:
   bool Failed = false;
   std::string ErrorMsg;
 
-  std::unordered_map<uint32_t, Access> FirstAccess;
+  /// First-access tracking for the WAR monitor: a byte's record is live
+  /// when its epoch stamp matches the current region epoch.
+  std::vector<uint32_t> AccessEpoch;
+  std::vector<uint8_t> AccessKind;
+  uint32_t Epoch = 0;
+
   uint64_t RegionStartCycles = 0;
   uint64_t ActiveSinceBoot = 0;
   uint64_t CyclesSinceIrq = 0;

@@ -1,0 +1,102 @@
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace wario;
+
+unsigned wario::defaultJobs() {
+  if (const char *Env = std::getenv("WARIO_JOBS")) {
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && V > 0)
+      return unsigned(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Jobs) : NumJobs(Jobs ? Jobs : defaultJobs()) {
+  // One job: the caller drains the queue itself in wait(); spawning a
+  // single worker would only add scheduling noise.
+  for (unsigned I = 1; I < NumJobs; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  TaskReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Tasks.push(std::move(Task));
+  }
+  TaskReady.notify_one();
+}
+
+bool ThreadPool::runOneTask(std::unique_lock<std::mutex> &Lock) {
+  if (Tasks.empty())
+    return false;
+  std::function<void()> Task = std::move(Tasks.front());
+  Tasks.pop();
+  ++Running;
+  Lock.unlock();
+  Task();
+  Lock.lock();
+  --Running;
+  if (Tasks.empty() && Running == 0)
+    AllDone.notify_all();
+  return true;
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    if (runOneTask(Lock))
+      continue;
+    if (Stopping)
+      return;
+    TaskReady.wait(Lock);
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    if (runOneTask(Lock))
+      continue;
+    if (Running == 0)
+      return;
+    AllDone.wait(Lock);
+  }
+}
+
+void wario::parallelFor(size_t N, const std::function<void(size_t)> &Body,
+                        unsigned Jobs) {
+  if (N == 0)
+    return;
+  unsigned J = Jobs ? Jobs : defaultJobs();
+  if (J <= 1 || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Drain = [&] {
+    for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
+      Body(I);
+  };
+  ThreadPool Pool(std::min<size_t>(J, N));
+  for (unsigned W = 1; W < Pool.jobCount(); ++W)
+    Pool.submit(Drain);
+  Drain(); // The caller is worker 0.
+  Pool.wait();
+}

@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal concurrency layer for the experiment harness: a fixed-size
+/// ThreadPool, a chunk-free parallelFor, and job-count sizing from
+/// std::thread::hardware_concurrency with a WARIO_JOBS environment
+/// override. Deliberately work-stealing-free: experiment cells are
+/// coarse (one full compile + emulation each), so an atomic grab
+/// counter balances load with no queue machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_SUPPORT_THREADPOOL_H
+#define WARIO_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wario {
+
+/// Number of worker threads to use: the WARIO_JOBS environment variable
+/// when set to a positive integer, otherwise hardware_concurrency
+/// (minimum 1).
+unsigned defaultJobs();
+
+/// A fixed-size pool of worker threads draining one FIFO task queue.
+/// Tasks must not throw. The destructor drains outstanding work.
+class ThreadPool {
+public:
+  /// Spawns \p Jobs workers (0 = defaultJobs()). A pool of one job runs
+  /// every task on the caller's thread at wait() time — no thread is
+  /// spawned, which keeps WARIO_JOBS=1 runs exactly sequential.
+  explicit ThreadPool(unsigned Jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned jobCount() const { return NumJobs; }
+
+  /// Enqueues one task.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished. The calling thread
+  /// helps execute queued tasks instead of idling.
+  void wait();
+
+private:
+  bool runOneTask(std::unique_lock<std::mutex> &Lock);
+  void workerLoop();
+
+  unsigned NumJobs;
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable TaskReady;
+  std::condition_variable AllDone;
+  std::queue<std::function<void()>> Tasks;
+  size_t Running = 0;
+  bool Stopping = false;
+};
+
+/// Runs Body(0) .. Body(N-1) across \p Jobs threads (0 = defaultJobs()).
+/// Iterations are claimed one at a time through an atomic counter, so
+/// coarse, unevenly-sized iterations still balance. Blocks until all
+/// iterations complete. With one job (or N <= 1) everything runs on the
+/// calling thread in index order.
+void parallelFor(size_t N, const std::function<void(size_t)> &Body,
+                 unsigned Jobs = 0);
+
+} // namespace wario
+
+#endif // WARIO_SUPPORT_THREADPOOL_H

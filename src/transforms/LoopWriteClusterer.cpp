@@ -23,8 +23,12 @@ struct Analyses {
   LoopInfo LI;
   MemoryDependence MD;
 
+  /// The comma trick drops AA's memoized results before MD re-queries:
+  /// the rewrite that forced this rebuild may have deleted Values whose
+  /// pointers (the cache keys) a later allocation could reuse.
   Analyses(Function &F, const AliasAnalysis &AA)
-      : DT(F), PDT(F, /*Post=*/true), LI(F, DT), MD(F, AA, LI) {}
+      : DT(F), PDT(F, /*Post=*/true), LI(F, DT),
+        MD(F, (AA.invalidate(), AA), LI) {}
 };
 
 /// Paper Algorithm 1, IsCandidate: innermost, unique latch, call-free

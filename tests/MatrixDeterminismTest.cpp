@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determinism regression test for the parallel experiment harness:
+/// runMatrix() must produce byte-identical RunResults for every cell
+/// regardless of the worker count (WARIO_JOBS=1 vs WARIO_JOBS=8). Each
+/// cell's compile+emulate is a pure function of its spec, so any
+/// divergence means shared mutable state leaked into the sweep.
+///
+/// Tagged with the `tsan` CTest label so it can be singled out under a
+/// WARIO_SANITIZE=thread build: ctest -L tsan.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace wario;
+using namespace wario::bench;
+
+namespace {
+
+/// Serializes every observable field of a RunResult (including the final
+/// memory image) so comparison is byte-for-byte.
+std::string snapshot(const RunResult &R) {
+  std::ostringstream OS;
+  OS << "ok=" << R.Emu.Ok << " ret=" << R.Emu.ReturnValue
+     << " cycles=" << R.Emu.TotalCycles
+     << " insts=" << R.Emu.InstructionsExecuted
+     << " ckpts=" << R.Emu.CheckpointsExecuted
+     << " me=" << R.Emu.Causes.MiddleEndWar
+     << " be=" << R.Emu.Causes.BackendSpill
+     << " fe=" << R.Emu.Causes.FunctionEntry
+     << " fx=" << R.Emu.Causes.FunctionExit
+     << " pf=" << R.Emu.PowerFailures << " irq=" << R.Emu.InterruptsTaken
+     << " war=" << R.Emu.WarViolations << " text=" << R.TextBytes;
+  OS << " out=[";
+  for (int32_t V : R.Emu.Output)
+    OS << V << ",";
+  OS << "] regions=[";
+  for (uint64_t S : R.Emu.RegionSizes)
+    OS << S << ",";
+  OS << "]";
+  // FNV-1a over the final memory image (1 MiB: hash, don't dump).
+  uint64_t H = 1469598103934665603ull;
+  for (uint8_t B : R.Emu.FinalMemory)
+    H = (H ^ B) * 1099511628211ull;
+  OS << " memhash=" << H;
+  return OS.str();
+}
+
+std::vector<MatrixCell> testMatrix() {
+  std::vector<MatrixCell> Cells;
+  // A slice of the paper's matrix: enough cells to keep 8 workers busy,
+  // few enough to stay test-speed. Includes a duplicate cell (dedup), an
+  // unroll variant (key component), and a tagged power-schedule cell.
+  for (const char *W : {"crc", "sha", "dijkstra"})
+    for (Environment E : {Environment::PlainC, Environment::Ratchet,
+                          Environment::WarioComplete})
+      Cells.push_back(cell(W, E));
+  Cells.push_back(cell("crc", Environment::WarioComplete)); // Duplicate.
+  Cells.push_back(cell("crc", Environment::WarioComplete, 2));
+  MatrixCell Power = cell("crc", Environment::WarioExpander);
+  Power.EO.Power = PowerSchedule::fixed(100'000);
+  Power.EO.CollectRegionSizes = false;
+  Power.Tag = "fixed-100k";
+  Cells.push_back(Power);
+  return Cells;
+}
+
+std::vector<std::string> sweepWithJobs(const char *Jobs) {
+  setenv("WARIO_JOBS", Jobs, /*overwrite=*/1);
+  ResultCache Cache; // Fresh cache: forces a full recompute.
+  std::vector<const RunResult *> Results = Cache.runMatrix(testMatrix());
+  std::vector<std::string> Snaps;
+  for (const RunResult *R : Results)
+    Snaps.push_back(snapshot(*R));
+  unsetenv("WARIO_JOBS");
+  return Snaps;
+}
+
+TEST(MatrixDeterminism, SequentialAndParallelSweepsAgree) {
+  std::vector<std::string> Seq = sweepWithJobs("1");
+  std::vector<std::string> Par = sweepWithJobs("8");
+  ASSERT_EQ(Seq.size(), Par.size());
+  for (size_t I = 0; I != Seq.size(); ++I)
+    EXPECT_EQ(Seq[I], Par[I]) << "cell #" << I << " diverged between "
+                              << "WARIO_JOBS=1 and WARIO_JOBS=8";
+}
+
+TEST(MatrixDeterminism, DuplicateCellsShareOneResult) {
+  setenv("WARIO_JOBS", "4", 1);
+  ResultCache Cache;
+  std::vector<MatrixCell> Cells = {cell("crc", Environment::WarioComplete),
+                                   cell("crc", Environment::WarioComplete)};
+  std::vector<const RunResult *> R = Cache.runMatrix(Cells);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0], R[1]) << "identical cells must dedup to one result";
+  unsetenv("WARIO_JOBS");
+}
+
+TEST(MatrixDeterminism, CacheReturnsStablePointers) {
+  setenv("WARIO_JOBS", "2", 1);
+  ResultCache Cache;
+  const RunResult *First =
+      Cache.runMatrix({cell("crc", Environment::PlainC)}).front();
+  // A second, larger sweep must not invalidate earlier results.
+  Cache.runMatrix(testMatrix());
+  const RunResult *Again =
+      Cache.runMatrix({cell("crc", Environment::PlainC)}).front();
+  EXPECT_EQ(First, Again);
+  unsetenv("WARIO_JOBS");
+}
+
+} // namespace
