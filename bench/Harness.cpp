@@ -1,12 +1,114 @@
 #include "Harness.h"
 
+#include "ir/Cloning.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
 
 using namespace wario;
 using namespace wario::bench;
+
+//===----------------------------------------------------------------------===//
+// --timing accumulator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Process-wide stage accounting: seconds actually spent computing each
+/// stage and how often each staged store answered from cache. Printed to
+/// stderr on exit when --timing was passed (stdout stays byte-identical).
+struct HarnessTiming {
+  std::mutex M;
+  double Seconds[6] = {0, 0, 0, 0, 0, 0}; // frontend..emulate, clone.
+  unsigned Runs[6] = {0, 0, 0, 0, 0, 0};
+  unsigned Hits[4] = {0, 0, 0, 0}; // front, mid, compile, run stores.
+  bool Enabled = false;
+};
+
+enum Stage { StFrontend, StFrontHalf, StMiddleEnd, StBackend, StEmulate,
+             StClone };
+enum Store { CaFront, CaMid, CaCompile, CaRun };
+
+HarnessTiming &timing() {
+  static HarnessTiming T;
+  return T;
+}
+
+void addStage(Stage S, double Seconds) {
+  HarnessTiming &T = timing();
+  std::lock_guard<std::mutex> Lock(T.M);
+  T.Seconds[S] += Seconds;
+  T.Runs[S] += 1;
+}
+
+void addHits(Store S, unsigned N) {
+  if (!N)
+    return;
+  HarnessTiming &T = timing();
+  std::lock_guard<std::mutex> Lock(T.M);
+  T.Hits[S] += N;
+}
+
+/// Times a scope and books it under one stage.
+class ScopeTimer {
+public:
+  explicit ScopeTimer(Stage S)
+      : S(S), Start(std::chrono::steady_clock::now()) {}
+  ~ScopeTimer() { addStage(S, seconds()); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+private:
+  Stage S;
+  std::chrono::steady_clock::time_point Start;
+};
+
+void printTimingSummary() {
+  HarnessTiming &T = timing();
+  std::lock_guard<std::mutex> Lock(T.M);
+  static const char *StageNames[6] = {"frontend",  "front half",
+                                      "middle end", "backend",
+                                      "emulate",    "clone"};
+  static const int HitStore[6] = {CaFront, CaFront, CaMid, CaCompile,
+                                  CaRun, -1};
+  double Total = 0;
+  std::fprintf(stderr, "\n-- wario --timing: per-stage wall clock "
+                       "(computed once, reused from cache) --\n");
+  std::fprintf(stderr, "%-12s %8s %8s %10s\n", "stage", "runs", "hits",
+               "seconds");
+  for (int S = 0; S != 6; ++S) {
+    char Hits[16] = "-";
+    if (HitStore[S] >= 0)
+      std::snprintf(Hits, sizeof(Hits), "%u", T.Hits[HitStore[S]]);
+    std::fprintf(stderr, "%-12s %8u %8s %10.3f\n", StageNames[S],
+                 T.Runs[S], Hits, T.Seconds[S]);
+    Total += T.Seconds[S];
+  }
+  std::fprintf(stderr, "%-12s %8s %8s %10.3f\n", "total", "", "", Total);
+}
+
+} // namespace
+
+void wario::bench::initHarness(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--timing") == 0) {
+      timing().Enabled = true;
+      std::atexit(printTimingSummary);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cells and the uncached reference path
+//===----------------------------------------------------------------------===//
 
 MatrixCell wario::bench::cell(const std::string &Workload, Environment Env,
                               unsigned UnrollFactor) {
@@ -17,7 +119,9 @@ MatrixCell wario::bench::cell(const std::string &Workload, Environment Env,
   return C;
 }
 
-RunResult wario::bench::runOne(const Workload &W, const MatrixCell &Cell) {
+namespace {
+
+std::unique_ptr<Module> buildIRorDie(const Workload &W) {
   DiagnosticEngine Diags;
   std::unique_ptr<Module> M = buildWorkloadIR(W, Diags);
   if (!M) {
@@ -25,25 +129,40 @@ RunResult wario::bench::runOne(const Workload &W, const MatrixCell &Cell) {
                  Diags.formatAll().c_str());
     std::exit(1);
   }
+  return M;
+}
+
+/// Emulates a compiled cell and enforces the harness's hard failure
+/// policy (shared by the cached and uncached paths).
+EmulatorResult emulateOrDie(const MModule &MM, const std::string &Workload,
+                            const PipelineOptions &PO,
+                            const EmulatorOptions &EOpts) {
+  EmulatorOptions EO = EOpts;
+  if (PO.Env == Environment::PlainC)
+    EO.WarIsFatal = false;
+  EmulatorResult R = emulate(MM, EO);
+  if (!R.Ok) {
+    std::fprintf(stderr, "emulation failure on %s @ %s: %s\n",
+                 Workload.c_str(), environmentName(PO.Env),
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  if (PO.Env != Environment::PlainC && R.WarViolations != 0) {
+    std::fprintf(stderr, "WAR violations on %s @ %s\n", Workload.c_str(),
+                 environmentName(PO.Env));
+    std::exit(1);
+  }
+  return R;
+}
+
+} // namespace
+
+RunResult wario::bench::runOne(const Workload &W, const MatrixCell &Cell) {
+  std::unique_ptr<Module> M = buildIRorDie(W);
   RunResult R;
   MModule MM = compile(*M, Cell.PO, &R.Pipeline);
   R.TextBytes = MM.textSizeBytes();
-
-  EmulatorOptions EO = Cell.EO;
-  if (Cell.PO.Env == Environment::PlainC)
-    EO.WarIsFatal = false;
-  R.Emu = emulate(MM, EO);
-  if (!R.Emu.Ok) {
-    std::fprintf(stderr, "emulation failure on %s @ %s: %s\n",
-                 W.Name.c_str(), environmentName(Cell.PO.Env),
-                 R.Emu.Error.c_str());
-    std::exit(1);
-  }
-  if (Cell.PO.Env != Environment::PlainC && R.Emu.WarViolations != 0) {
-    std::fprintf(stderr, "WAR violations on %s @ %s\n", W.Name.c_str(),
-                 environmentName(Cell.PO.Env));
-    std::exit(1);
-  }
+  R.Emu = emulateOrDie(MM, W.Name, Cell.PO, Cell.EO);
   return R;
 }
 
@@ -55,72 +174,214 @@ RunResult wario::bench::runOne(const Workload &W, Environment Env,
   return runOne(W, C);
 }
 
+//===----------------------------------------------------------------------===//
+// The staged store
+//===----------------------------------------------------------------------===//
+
+namespace {
+
 /// A cache slot: filled exactly once by the thread that claimed it;
-/// other threads (and later runMatrix calls) block on Ready.
-struct ResultCache::Entry {
+/// other threads (and later lookups) block on Ready.
+template <typename V> struct Slot {
   std::mutex M;
   std::condition_variable CV;
   bool Ready = false;
-  RunResult R;
+  V Val;
 
-  void publish(RunResult Result) {
+  void publish(V Value) {
     {
       std::lock_guard<std::mutex> Lock(M);
-      R = std::move(Result);
+      Val = std::move(Value);
       Ready = true;
     }
     CV.notify_all();
   }
-  const RunResult &get() {
+  const V &get() {
     std::unique_lock<std::mutex> Lock(M);
     CV.wait(Lock, [this] { return Ready; });
+    return Val;
+  }
+};
+
+/// Frontend + front-half artifact: one per workload. The module is the
+/// pristine post-front-half IR; every pipeline configuration clones it.
+struct FrontArtifact {
+  std::unique_ptr<Module> M;
+  PipelineStats Stats;
+};
+
+/// Post-middle-end artifact: one per (workload, middle-end config). The
+/// module is read-only from here on — the back end takes it const — so
+/// configurations differing only in back-end flags share it directly.
+struct MidArtifact {
+  std::unique_ptr<Module> M;
+  PipelineStats Stats;
+};
+
+/// Keys are the option values themselves (defaulted lexicographic
+/// ordering over every field): any option difference is a key difference.
+struct MidKey {
+  std::string Workload;
+  MiddleEndConfig MC;
+  auto operator<=>(const MidKey &) const = default;
+};
+
+struct CompileKey {
+  std::string Workload;
+  PipelineOptions PO;
+  auto operator<=>(const CompileKey &) const = default;
+};
+
+struct RunKey {
+  std::string Workload;
+  PipelineOptions PO;
+  EmulatorOptions EO;
+  auto operator<=>(const RunKey &) const = default;
+};
+
+} // namespace
+
+struct ResultCache::Impl {
+  std::mutex Mutex; // Guards the four maps (not the slots' contents).
+  std::map<std::string, std::unique_ptr<Slot<FrontArtifact>>> Front;
+  std::map<MidKey, std::unique_ptr<Slot<MidArtifact>>> Mid;
+  std::map<CompileKey, std::unique_ptr<Slot<CompileResult>>> Compile;
+  std::map<RunKey, std::unique_ptr<Slot<RunResult>>> Run;
+
+  /// Claims or finds the slot for \p K in \p Map. Returns the slot and
+  /// whether this caller must compute it.
+  template <typename M, typename K>
+  auto claim(M &Map, const K &Key, Store Counter)
+      -> std::pair<typename M::mapped_type::element_type *, bool> {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto [It, Inserted] = Map.try_emplace(Key);
+    if (Inserted)
+      It->second =
+          std::make_unique<typename M::mapped_type::element_type>();
+    else
+      addHits(Counter, 1);
+    return {It->second.get(), Inserted};
+  }
+
+  const FrontArtifact &frontFor(const std::string &Workload) {
+    auto [S, Mine] = claim(Front, Workload, CaFront);
+    if (Mine) {
+      FrontArtifact A;
+      {
+        ScopeTimer T(StFrontend);
+        A.M = buildIRorDie(getWorkload(Workload));
+        A.Stats.FrontendSeconds = T.seconds();
+      }
+      runFrontHalf(*A.M, A.Stats);
+      addStage(StFrontHalf, A.Stats.FrontHalfSeconds);
+      S->publish(std::move(A));
+    }
+    return S->get();
+  }
+
+  const MidArtifact &midFor(const std::string &Workload,
+                            const PipelineOptions &PO) {
+    auto [S, Mine] = claim(Mid, MidKey{Workload, middleEndConfig(PO)},
+                           CaMid);
+    if (Mine) {
+      const FrontArtifact &F = frontFor(Workload);
+      MidArtifact A;
+      {
+        ScopeTimer T(StClone);
+        A.M = cloneModule(*F.M);
+      }
+      A.Stats = F.Stats;
+      runMiddleEnd(*A.M, PO, A.Stats);
+      addStage(StMiddleEnd, A.Stats.MiddleEndSeconds);
+      // Warm the lazy CFG caches now: the back end reads this module
+      // const, possibly from several threads at once, and
+      // predecessors() would otherwise mutate under them.
+      for (const auto &Fn : A.M->functions())
+        Fn->ensureCFG();
+      S->publish(std::move(A));
+    }
+    return S->get();
+  }
+
+  const CompileResult &compileFor(const std::string &Workload,
+                                  const PipelineOptions &PO) {
+    auto [S, Mine] = claim(Compile, CompileKey{Workload, PO}, CaCompile);
+    if (Mine) {
+      const MidArtifact &Mid = midFor(Workload, PO);
+      CompileResult R;
+      R.Pipeline = Mid.Stats;
+      R.MM = runBackendStage(*Mid.M, PO, R.Pipeline);
+      addStage(StBackend, R.Pipeline.BackendSeconds);
+      R.TextBytes = R.MM.textSizeBytes();
+      S->publish(std::move(R));
+    }
+    return S->get();
+  }
+
+  RunResult computeRun(const MatrixCell &C) {
+    const CompileResult &CR = compileFor(C.Workload, C.PO);
+    RunResult R;
+    R.Pipeline = CR.Pipeline;
+    R.TextBytes = CR.TextBytes;
+    ScopeTimer T(StEmulate);
+    R.Emu = emulateOrDie(CR.MM, C.Workload, C.PO, C.EO);
+    R.Pipeline.EmulateSeconds = T.seconds();
     return R;
   }
 };
 
-// Out of line: Entry must be complete where the map is destroyed.
-ResultCache::ResultCache() = default;
+// Out of line: Impl must be complete where the maps are destroyed.
+ResultCache::ResultCache() : I(std::make_unique<Impl>()) {}
 ResultCache::~ResultCache() = default;
 
 std::vector<const RunResult *>
 ResultCache::runMatrix(const std::vector<MatrixCell> &Cells) {
-  // Claim phase: one Entry per unique key; remember which cells this
-  // call must compute itself.
+  // Claim phase: one slot per unique key; remember which cells this call
+  // must compute itself.
   struct Claimed {
-    Entry *E;
+    Slot<RunResult> *S;
     const MatrixCell *Cell;
   };
-  std::vector<Entry *> Slots(Cells.size());
+  std::vector<Slot<RunResult> *> Slots(Cells.size());
   std::vector<Claimed> Mine;
+  unsigned Hits = 0;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    for (size_t I = 0; I != Cells.size(); ++I) {
-      const MatrixCell &C = Cells[I];
-      Key K{C.Workload, C.PO.Env, C.PO.UnrollFactor, C.Tag};
-      auto [It, Inserted] = Map.try_emplace(std::move(K));
+    std::lock_guard<std::mutex> Lock(I->Mutex);
+    for (size_t J = 0; J != Cells.size(); ++J) {
+      const MatrixCell &C = Cells[J];
+      RunKey K{C.Workload, C.PO, C.EO};
+      auto [It, Inserted] = I->Run.try_emplace(std::move(K));
       if (Inserted) {
-        It->second = std::make_unique<Entry>();
+        It->second = std::make_unique<Slot<RunResult>>();
         Mine.push_back({It->second.get(), &C});
+      } else {
+        ++Hits;
       }
-      Slots[I] = It->second.get();
+      Slots[J] = It->second.get();
     }
   }
+  addHits(CaRun, Hits);
 
-  // Sweep phase: every claimed cell is an independent compile+emulate,
-  // so a flat parallelFor balances them; runOne touches no shared state.
-  parallelFor(Mine.size(), [&](size_t I) {
-    const MatrixCell &C = *Mine[I].Cell;
-    Mine[I].E->publish(runOne(getWorkload(C.Workload), C));
+  // Sweep phase: claimed cells are computed in parallel. Cells sharing a
+  // not-yet-built compile artifact serialize on its slot (it is built
+  // exactly once); everything else proceeds independently.
+  parallelFor(Mine.size(), [&](size_t J) {
+    Mine[J].S->publish(I->computeRun(*Mine[J].Cell));
   });
 
   std::vector<const RunResult *> Out(Cells.size());
-  for (size_t I = 0; I != Cells.size(); ++I)
-    Out[I] = &Slots[I]->get();
+  for (size_t J = 0; J != Cells.size(); ++J)
+    Out[J] = &Slots[J]->get();
   return Out;
 }
 
 const RunResult &ResultCache::run(const MatrixCell &Cell) {
   return *runMatrix({Cell}).front();
+}
+
+const CompileResult &ResultCache::compileCell(const std::string &Workload,
+                                              const PipelineOptions &PO) {
+  return I->compileFor(Workload, PO);
 }
 
 ResultCache &wario::bench::globalCache() {
@@ -141,18 +402,16 @@ const RunResult &wario::bench::cachedRun(const std::string &Name,
 MModule wario::bench::compileOnly(const Workload &W, Environment Env,
                                   PipelineStats *Stats,
                                   unsigned UnrollFactor) {
-  DiagnosticEngine Diags;
-  std::unique_ptr<Module> M = buildWorkloadIR(W, Diags);
-  if (!M) {
-    std::fprintf(stderr, "frontend failure on %s:\n%s\n", W.Name.c_str(),
-                 Diags.formatAll().c_str());
-    std::exit(1);
-  }
+  std::unique_ptr<Module> M = buildIRorDie(W);
   PipelineOptions PO;
   PO.Env = Env;
   PO.UnrollFactor = UnrollFactor;
   return compile(*M, PO, Stats);
 }
+
+//===----------------------------------------------------------------------===//
+// Formatting
+//===----------------------------------------------------------------------===//
 
 void wario::bench::printRow(const std::string &Head,
                             const std::vector<std::string> &Vals,

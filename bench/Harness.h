@@ -5,8 +5,25 @@
 /// (workload, environment, unroll-factor) cell, runs the emulator, and
 /// caches results behind one deduplicating, thread-safe store so every
 /// Fig/Table regenerator shares a single parallel sweep (runMatrix).
+///
+/// The store is *staged*: compilation artifacts are cached per pipeline
+/// stage (frontend + front half per workload, middle end per middle-end
+/// configuration, machine module per full pipeline configuration) and
+/// emulation results per (compiled module, emulator configuration). Cells
+/// that differ only in power schedule or interrupt period therefore reuse
+/// the compiled machine module and only re-emulate; cells that differ
+/// only in back-end flags reuse the middle-end IR; and every cell of one
+/// workload shares a single frontend + front-half run via cloneModule().
+///
+/// Every cache key is derived from the actual PipelineOptions /
+/// EmulatorOptions field values. (An earlier revision keyed on
+/// (workload, env, unroll) plus a caller-provided string tag; forgetting
+/// the tag silently deduped distinct cells against the default
+/// configuration. Option-derived keys make that collision impossible.)
+///
 /// Also provides the table formatting used across all paper
-/// figures/tables.
+/// figures/tables, and a --timing flag (initHarness) that prints a
+/// per-stage wall-clock summary to stderr on exit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,9 +35,7 @@
 #include "workloads/Workloads.h"
 
 #include <cstdio>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,30 +48,35 @@ struct RunResult {
   unsigned TextBytes = 0;
 };
 
+/// A compiled cell before emulation: what the compile-level cache stores.
+/// Cells differing only in emulator options share one CompileResult.
+struct CompileResult {
+  MModule MM;
+  PipelineStats Pipeline;
+  unsigned TextBytes = 0;
+};
+
 /// One cell of the experiment matrix: a workload compiled under a full
 /// pipeline configuration and emulated under a power/interrupt
-/// configuration.
-///
-/// The result cache keys on (Workload, PO.Env, PO.UnrollFactor, Tag).
-/// Cells that vary any *other* pipeline or emulator field (ablation
-/// flags, power schedules, ...) must carry a distinct Tag, or they will
-/// dedup against the default-configured cell.
+/// configuration. The cache keys on every field of PO and EO — two cells
+/// that differ in *any* option never share a result entry.
 struct MatrixCell {
   std::string Workload;
   PipelineOptions PO;
   EmulatorOptions EO;
-  std::string Tag;
 };
 
 /// Convenience: the default cell for (workload, environment, unroll).
 MatrixCell cell(const std::string &Workload, Environment Env,
                 unsigned UnrollFactor = 8);
 
-/// Deduplicating, mutex-guarded store of run results. runMatrix computes
-/// all missing cells concurrently (parallelFor over defaultJobs()
-/// workers — override the width with WARIO_JOBS); cells already present,
-/// or duplicated within one call, are computed exactly once. Returned
-/// pointers stay valid for the cache's lifetime.
+/// Deduplicating, mutex-guarded, staged store of compilation artifacts
+/// and run results. runMatrix computes all missing cells concurrently
+/// (parallelFor over defaultJobs() workers — override the width with
+/// WARIO_JOBS); cells already present, or duplicated within one call, are
+/// computed exactly once, and cells sharing a stage artifact compute that
+/// stage exactly once. Returned pointers stay valid for the cache's
+/// lifetime.
 class ResultCache {
 public:
   ResultCache();
@@ -71,12 +91,14 @@ public:
   /// Single-cell lookup-or-compute.
   const RunResult &run(const MatrixCell &Cell);
 
-private:
-  struct Entry;
-  using Key = std::tuple<std::string, Environment, unsigned, std::string>;
+  /// Compile-level lookup-or-compute (no emulation); for code-size
+  /// measurements and the cold/warm-cache microbenchmarks.
+  const CompileResult &compileCell(const std::string &Workload,
+                                   const PipelineOptions &PO);
 
-  std::mutex Mutex;
-  std::map<Key, std::unique_ptr<Entry>> Map;
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
 };
 
 /// The process-lifetime cache shared by all regenerators.
@@ -87,8 +109,9 @@ ResultCache &globalCache();
 std::vector<const RunResult *> runMatrix(const std::vector<MatrixCell> &Cells);
 
 /// Compiles \p W under \p Cell.PO and runs it to completion under
-/// \p Cell.EO. Aborts the process with a message on any failure —
-/// experiment regenerators have no use for partial data.
+/// \p Cell.EO, bypassing every cache (one fresh frontend-to-emulator
+/// pass). Aborts the process with a message on any failure — experiment
+/// regenerators have no use for partial data.
 RunResult runOne(const Workload &W, const MatrixCell &Cell);
 
 /// Back-compat convenience used by older regenerator code.
@@ -104,6 +127,11 @@ const RunResult &cachedRun(const std::string &Workload, Environment Env);
 MModule compileOnly(const Workload &W, Environment Env,
                     PipelineStats *Stats = nullptr,
                     unsigned UnrollFactor = 8);
+
+/// Regenerator entry hook: parses harness flags. `--timing` prints a
+/// per-stage wall-clock and cache-hit summary to stderr when the process
+/// exits (stdout stays byte-identical either way).
+void initHarness(int argc, char **argv);
 
 /// Prints an aligned row: first column \p Width0 wide, then each value
 /// right-aligned to \p Width.

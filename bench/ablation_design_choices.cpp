@@ -20,31 +20,29 @@ using namespace wario::bench;
 
 namespace {
 
-/// The four ablation cells of one workload. Ablation flags are not part
-/// of the default cache key, so each variant carries its tag.
+/// The four ablation cells of one workload. The cache keys on every
+/// PipelineOptions field, so flipping an ablation flag is enough to get a
+/// distinct cell.
 std::vector<MatrixCell> ablationCells(const std::string &Name) {
   MatrixCell Base = cell(Name, Environment::WarioComplete);
   Base.EO.CollectRegionSizes = false;
-  Base.Tag = "ablation-base";
 
   MatrixCell PerWrite = Base;
   PerWrite.PO.MiddleEndHittingSet = false;
-  PerWrite.Tag = "perwrite-me";
 
   MatrixCell Uniform = Base;
   Uniform.PO.DepthWeightedCost = false;
-  Uniform.Tag = "uniform-cost";
 
   MatrixCell Conserv = Base;
   Conserv.PO.ForceConservativeAA = true;
-  Conserv.Tag = "conserv-aa";
 
   return {Base, PerWrite, Uniform, Conserv};
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initHarness(argc, argv);
   std::printf("Ablations of WARio design choices (total cycles; lower "
               "is better)\n\n");
   printRow("benchmark",

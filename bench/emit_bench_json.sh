@@ -1,23 +1,70 @@
 #!/bin/sh
-# Snapshots the emulator microbenchmark into a BENCH_<tag>.json at the
-# repo root, for the performance trajectory across PRs.
+# Snapshots the performance trajectory into a BENCH_<tag>.json at the
+# repo root:
+#   - the emulator microbenchmarks (micro_emulator),
+#   - the staged-pipeline + cache microbenchmarks (micro_compiler),
+#   - the end-to-end single-threaded wall time of the fig4 + table3
+#     regenerators (the PR-2 acceptance metric; WARIO_JOBS=1 so the
+#     number measures artifact reuse, not parallelism).
 #
 #   usage: bench/emit_bench_json.sh [build-dir] [tag]
 #
-# Defaults: build-dir = build, tag = pr1. Also runnable via the
+# Defaults: build-dir = build, tag = pr2. Also runnable via the
 # `bench_json` CMake target (cmake --build build --target bench_json).
 set -eu
 
 ROOT=$(dirname "$0")/..
 BUILD=${1:-"$ROOT/build"}
-TAG=${2:-pr1}
-BIN="$BUILD/bench/micro_emulator"
+TAG=${2:-pr2}
 
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not built (cmake --build $BUILD -j)" >&2
-  exit 1
-fi
+for bin in micro_emulator micro_compiler fig4_execution_time \
+           table3_intermittent; do
+  if [ ! -x "$BUILD/bench/$bin" ]; then
+    echo "error: $BUILD/bench/$bin not built (cmake --build $BUILD -j)" >&2
+    exit 1
+  fi
+done
+
+EMU_JSON=$(mktemp)
+COMP_JSON=$(mktemp)
+trap 'rm -f "$EMU_JSON" "$COMP_JSON"' EXIT
+
+"$BUILD/bench/micro_emulator" --benchmark_format=json \
+  --benchmark_min_time=0.2 > "$EMU_JSON"
+"$BUILD/bench/micro_compiler" --benchmark_format=json \
+  --benchmark_min_time=0.2 > "$COMP_JSON"
+
+# Best-of-5 end-to-end wall time (cold process each run; min is the
+# least load-noise-sensitive wall-clock statistic).
+E2E=$(python3 - "$BUILD" <<'EOF'
+import subprocess, sys, time, os
+build = sys.argv[1]
+env = dict(os.environ, WARIO_JOBS="1")
+times = []
+for _ in range(5):
+    t0 = time.monotonic()
+    for b in ("fig4_execution_time", "table3_intermittent"):
+        subprocess.run([os.path.join(build, "bench", b)], env=env,
+                       stdout=subprocess.DEVNULL, check=True)
+    times.append(time.monotonic() - t0)
+print(f"{min(times):.3f}")
+EOF
+)
 
 OUT="$ROOT/BENCH_${TAG}.json"
-"$BIN" --benchmark_format=json --benchmark_min_time=0.2 > "$OUT"
-echo "wrote $OUT"
+python3 - "$EMU_JSON" "$COMP_JSON" "$E2E" "$OUT" <<'EOF'
+import json, sys
+emu, comp = (json.load(open(p)) for p in sys.argv[1:3])
+merged = emu
+merged["benchmarks"] += comp["benchmarks"]
+merged["benchmarks"].append({
+    "name": "fig4_table3_single_thread",
+    "run_type": "aggregate",
+    "aggregate_name": "min",
+    "iterations": 5,
+    "real_time": float(sys.argv[3]) * 1e9,
+    "time_unit": "ns",
+})
+json.dump(merged, open(sys.argv[4], "w"), indent=1)
+print(f"wrote {sys.argv[4]} (fig4+table3 single-thread: {sys.argv[3]}s)")
+EOF

@@ -27,19 +27,19 @@ uint64_t maxRegion(const EmulatorResult &R) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initHarness(argc, argv);
   std::printf("Extension: Region Bounder (paper Section 6 future work)\n"
               "WARio vs WARio + 20k-cycle region cap\n\n");
   printRow("benchmark",
            {"max-region", "capped", "on-time@8MHz", "time cost"}, 14, 18);
 
-  // Prewarm base + bounded builds in one parallel sweep (BoundRegions is
-  // not part of the default cache key, hence the tag).
+  // Prewarm base + bounded builds in one parallel sweep (BoundRegions and
+  // MaxRegionCycles are part of the cache key like every other option).
   auto BoundedCell = [](const std::string &Name) {
     MatrixCell C = cell(Name, Environment::WarioComplete);
     C.PO.BoundRegions = true;
     C.PO.MaxRegionCycles = 20'000;
-    C.Tag = "bounded-20k";
     return C;
   };
   std::vector<MatrixCell> Cells;

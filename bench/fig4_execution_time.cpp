@@ -13,7 +13,8 @@
 using namespace wario;
 using namespace wario::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initHarness(argc, argv);
   std::printf("Figure 4: normalized execution time (lower is better; "
               "1.00 = uninstrumented C)\n\n");
 

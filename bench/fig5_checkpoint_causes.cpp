@@ -13,7 +13,8 @@
 using namespace wario;
 using namespace wario::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initHarness(argc, argv);
   std::printf("Figure 5: executed checkpoints by cause, %% of R-PDG "
               "total (per benchmark)\n\n");
 

@@ -14,7 +14,8 @@
 using namespace wario;
 using namespace wario::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initHarness(argc, argv);
   std::printf("Figure 6: loop write clusterer unroll factor sweep "
               "(WARio complete)\n\n");
   const std::vector<unsigned> Factors = {1, 2, 4, 6, 8, 10, 15, 20, 25,

@@ -39,7 +39,8 @@ Summary summarize(std::vector<uint64_t> V) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  initHarness(argc, argv);
   std::printf("Figure 7: idempotent region sizes in clock cycles "
               "(between executed checkpoints)\n\n");
   const std::vector<Environment> Envs = {

@@ -10,6 +10,8 @@
 
 #include "Harness.h"
 
+#include "ir/Cloning.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace wario;
@@ -87,6 +89,122 @@ void BM_EmulatorIntermittent(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_EmulatorIntermittent);
+
+// ---- Staged pipeline (the units the experiment cache stores) ---------------
+
+/// Front-half output of "sha", built once and cloned per iteration so
+/// each stage benchmark sees pristine input.
+const Module &shaFrontHalf() {
+  static std::unique_ptr<Module> M = [] {
+    DiagnosticEngine Diags;
+    std::unique_ptr<Module> M = buildWorkloadIR(getWorkload("sha"), Diags);
+    PipelineStats S;
+    runFrontHalf(*M, S);
+    return M;
+  }();
+  return *M;
+}
+
+void BM_StageFrontHalf(benchmark::State &State) {
+  const Workload &W = getWorkload("sha");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto M = buildWorkloadIR(W, Diags);
+    PipelineStats S;
+    runFrontHalf(*M, S);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_StageFrontHalf);
+
+void BM_StageCloneModule(benchmark::State &State) {
+  const Module &M = shaFrontHalf();
+  for (auto _ : State) {
+    auto C = cloneModule(M);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_StageCloneModule);
+
+void BM_StageMiddleEndWario(benchmark::State &State) {
+  const Module &M = shaFrontHalf();
+  PipelineOptions PO;
+  PO.Env = Environment::WarioComplete;
+  for (auto _ : State) {
+    auto C = cloneModule(M);
+    PipelineStats S;
+    runMiddleEnd(*C, PO, S);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_StageMiddleEndWario);
+
+void BM_StageBackend(benchmark::State &State) {
+  auto C = cloneModule(shaFrontHalf());
+  PipelineOptions PO;
+  PO.Env = Environment::WarioComplete;
+  PipelineStats S;
+  runMiddleEnd(*C, PO, S);
+  for (auto _ : State) {
+    PipelineStats SB;
+    MModule MM = runBackendStage(*C, PO, SB);
+    benchmark::DoNotOptimize(MM.textSizeBytes());
+  }
+}
+BENCHMARK(BM_StageBackend);
+
+// ---- Cache effectiveness ---------------------------------------------------
+
+/// Cold: every iteration compiles all eight environments of one workload
+/// from scratch (what each regenerator paid before the staged cache).
+void BM_MatrixColumnColdCache(benchmark::State &State) {
+  const Workload &W = getWorkload("sha");
+  for (auto _ : State) {
+    for (Environment Env : allEnvironments()) {
+      DiagnosticEngine Diags;
+      auto M = buildWorkloadIR(W, Diags);
+      PipelineOptions PO;
+      PO.Env = Env;
+      MModule MM = compile(*M, PO);
+      benchmark::DoNotOptimize(MM.textSizeBytes());
+    }
+  }
+}
+BENCHMARK(BM_MatrixColumnColdCache)->Unit(benchmark::kMillisecond);
+
+/// Warm: the same eight compiles through a shared ResultCache — one
+/// frontend + front half, cloned per environment; R-PDG and epilog-only
+/// share a middle end. The gap to ColdCache is the staged cache's win on
+/// compile work alone.
+void BM_MatrixColumnWarmCache(benchmark::State &State) {
+  for (auto _ : State) {
+    ResultCache Cache; // Fresh per iteration: measures one full fill.
+    for (Environment Env : allEnvironments()) {
+      PipelineOptions PO;
+      PO.Env = Env;
+      benchmark::DoNotOptimize(Cache.compileCell("sha", PO).TextBytes);
+    }
+  }
+}
+BENCHMARK(BM_MatrixColumnWarmCache)->Unit(benchmark::kMillisecond);
+
+/// Steady state: the cache already holds the column; lookups only.
+void BM_MatrixColumnCacheHit(benchmark::State &State) {
+  ResultCache Cache;
+  for (Environment Env : allEnvironments()) {
+    PipelineOptions PO;
+    PO.Env = Env;
+    Cache.compileCell("sha", PO);
+  }
+  for (auto _ : State) {
+    for (Environment Env : allEnvironments()) {
+      PipelineOptions PO;
+      PO.Env = Env;
+      benchmark::DoNotOptimize(Cache.compileCell("sha", PO).TextBytes);
+    }
+  }
+}
+BENCHMARK(BM_MatrixColumnCacheHit);
 
 } // namespace
 

@@ -11,7 +11,8 @@
 using namespace wario;
 using namespace wario::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initHarness(argc, argv);
   std::printf("Table 1: executed checkpoints vs Ratchet\n\n");
   printRow("benchmark", {"WARio", "WARio+Expander", "(paper WARio)"}, 14,
            16);

@@ -11,7 +11,8 @@
 using namespace wario;
 using namespace wario::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  initHarness(argc, argv);
   std::printf("Table 2: code-size increase vs uninstrumented C "
               "(modeled Thumb-2 encoding)\n\n");
   printRow("benchmark",

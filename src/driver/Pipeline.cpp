@@ -7,7 +7,29 @@
 #include "transforms/Utils.h"
 #include "transforms/WriteClusterer.h"
 
+#include <chrono>
+
 using namespace wario;
+
+namespace {
+
+/// Adds the scope's wall-clock duration to a PipelineStats stage field.
+class StageTimer {
+public:
+  explicit StageTimer(double &Sink)
+      : Sink(Sink), Start(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    Sink += std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  }
+
+private:
+  double &Sink;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace
 
 const char *wario::environmentName(Environment E) {
   switch (E) {
@@ -34,83 +56,115 @@ std::vector<Environment> wario::allEnvironments() {
           Environment::WarioExpander};
 }
 
-MModule wario::compile(Module &M, const PipelineOptions &Opts,
-                       PipelineStats *Stats) {
-  PipelineStats Local;
-  PipelineStats &S = Stats ? *Stats : Local;
+MiddleEndConfig wario::middleEndConfig(const PipelineOptions &Opts) {
   Environment E = Opts.Env;
+  MiddleEndConfig C;
+  C.Instrumented = E != Environment::PlainC;
+  if (!C.Instrumented)
+    return C; // All other knobs are never read for plain C.
+  C.ConservativeAA =
+      E == Environment::Ratchet || Opts.ForceConservativeAA;
+  C.LoopCluster = E == Environment::LoopWriteClustererOnly ||
+                  E == Environment::WarioComplete ||
+                  E == Environment::WarioExpander;
+  C.Expand = E == Environment::WarioExpander;
+  C.Cluster = E == Environment::WriteClustererOnly ||
+              E == Environment::WarioComplete ||
+              E == Environment::WarioExpander;
+  C.UnrollFactor = C.LoopCluster ? Opts.UnrollFactor : 0;
+  C.HittingSet = Opts.MiddleEndHittingSet;
+  C.DepthWeightedCost = Opts.DepthWeightedCost;
+  C.BoundRegions = Opts.BoundRegions;
+  C.MaxRegionCycles = Opts.BoundRegions ? Opts.MaxRegionCycles : 0;
+  return C;
+}
 
-  // --- Shared "-O3" front half: basic inlining (the opt -always-inline
-  // -inline prepass of Section 4.6), scalar promotion, and cleanup.
-  S.InlinedPrepass = inlineSmallFunctions(M, /*MaxCalleeSize=*/24);
-  S.AllocasPromoted = promoteAllocasToSSA(M);
-  cleanupModule(M);
-
+BackendOptions wario::backendConfig(const PipelineOptions &Opts) {
+  Environment E = Opts.Env;
   bool Instrumented = E != Environment::PlainC;
-  if (!Instrumented) {
-    unrollStandardLoops(M);
-    cleanupModule(M);
-  }
-  AliasPrecision Precision =
-      (E == Environment::Ratchet || Opts.ForceConservativeAA)
-          ? AliasPrecision::Conservative
-          : AliasPrecision::Precise;
-
-  // --- Middle end (Figure 2 order: Loop Write Clusterer, Expander,
-  // Write Clusterer, PDG Checkpoint Inserter).
-  if (Instrumented) {
-    bool LoopCluster = E == Environment::LoopWriteClustererOnly ||
-                       E == Environment::WarioComplete ||
-                       E == Environment::WarioExpander;
-    bool Expand = E == Environment::WarioExpander;
-    bool Cluster = E == Environment::WriteClustererOnly ||
-                   E == Environment::WarioComplete ||
-                   E == Environment::WarioExpander;
-
-    if (LoopCluster) {
-      LoopWriteClustererOptions LWC;
-      LWC.UnrollFactor = Opts.UnrollFactor;
-      LWC.Precision = Precision;
-      S.LoopClusterer = runLoopWriteClusterer(M, LWC);
-      cleanupModule(M);
-    }
-    // The user-specified optimization level (-O3's unroller) runs after
-    // the Loop Write Clusterer and before the Expander (Section 4.6).
-    unrollStandardLoops(M);
-    cleanupModule(M);
-    if (Expand) {
-      S.Expander = runExpander(M);
-      S.AllocasPromoted += promoteAllocasToSSA(M);
-      cleanupModule(M);
-    }
-    if (Cluster) {
-      AliasAnalysis AA(Precision);
-      S.StoresSunk = runWriteClusterer(M, AA);
-    }
-    CheckpointInserterOptions CI;
-    CI.Precision = Precision;
-    CI.Strategy = Opts.MiddleEndHittingSet ? PlacementStrategy::HittingSet
-                                           : PlacementStrategy::PerWrite;
-    CI.DepthWeightedCost = Opts.DepthWeightedCost;
-    S.MiddleEnd = insertCheckpoints(M, CI);
-
-    if (Opts.BoundRegions) {
-      RegionBounderOptions RB;
-      RB.MaxRegionCycles = Opts.MaxRegionCycles;
-      S.RegionsBounded = boundRegions(M, RB).LoopsBounded;
-    }
-  }
-
-  // --- Back end.
-  BackendOptions BO;
-  BO.InsertCheckpoints = Instrumented;
   bool LegacyBackend =
       E == Environment::Ratchet || E == Environment::RPDG;
+  BackendOptions BO;
+  BO.InsertCheckpoints = Instrumented;
   BO.StackSlotSharing = LegacyBackend;
   BO.HittingSetSpill = Instrumented && !LegacyBackend &&
                        E != Environment::EpilogOnly;
   BO.EpilogOptimizer = E == Environment::EpilogOnly ||
                        E == Environment::WarioComplete ||
                        E == Environment::WarioExpander;
-  return runBackend(M, BO, &S.Backend);
+  return BO;
+}
+
+void wario::runFrontHalf(Module &M, PipelineStats &S) {
+  // Shared "-O3" front half: basic inlining (the opt -always-inline
+  // -inline prepass of Section 4.6), scalar promotion, and cleanup.
+  StageTimer T(S.FrontHalfSeconds);
+  S.InlinedPrepass = inlineSmallFunctions(M, /*MaxCalleeSize=*/24);
+  S.AllocasPromoted = promoteAllocasToSSA(M);
+  cleanupModule(M);
+}
+
+void wario::runMiddleEnd(Module &M, const PipelineOptions &Opts,
+                         PipelineStats &S) {
+  StageTimer T(S.MiddleEndSeconds);
+  MiddleEndConfig C = middleEndConfig(Opts);
+
+  if (!C.Instrumented) {
+    unrollStandardLoops(M);
+    cleanupModule(M);
+    return;
+  }
+  AliasPrecision Precision = C.ConservativeAA
+                                 ? AliasPrecision::Conservative
+                                 : AliasPrecision::Precise;
+
+  // Middle end (Figure 2 order: Loop Write Clusterer, Expander,
+  // Write Clusterer, PDG Checkpoint Inserter).
+  if (C.LoopCluster) {
+    LoopWriteClustererOptions LWC;
+    LWC.UnrollFactor = C.UnrollFactor;
+    LWC.Precision = Precision;
+    S.LoopClusterer = runLoopWriteClusterer(M, LWC);
+    cleanupModule(M);
+  }
+  // The user-specified optimization level (-O3's unroller) runs after
+  // the Loop Write Clusterer and before the Expander (Section 4.6).
+  unrollStandardLoops(M);
+  cleanupModule(M);
+  if (C.Expand) {
+    S.Expander = runExpander(M);
+    S.AllocasPromoted += promoteAllocasToSSA(M);
+    cleanupModule(M);
+  }
+  if (C.Cluster) {
+    AliasAnalysis AA(Precision);
+    S.StoresSunk = runWriteClusterer(M, AA);
+  }
+  CheckpointInserterOptions CI;
+  CI.Precision = Precision;
+  CI.Strategy = C.HittingSet ? PlacementStrategy::HittingSet
+                             : PlacementStrategy::PerWrite;
+  CI.DepthWeightedCost = C.DepthWeightedCost;
+  S.MiddleEnd = insertCheckpoints(M, CI);
+
+  if (C.BoundRegions) {
+    RegionBounderOptions RB;
+    RB.MaxRegionCycles = C.MaxRegionCycles;
+    S.RegionsBounded = boundRegions(M, RB).LoopsBounded;
+  }
+}
+
+MModule wario::runBackendStage(const Module &M, const PipelineOptions &Opts,
+                               PipelineStats &S) {
+  StageTimer T(S.BackendSeconds);
+  return runBackend(M, backendConfig(Opts), &S.Backend);
+}
+
+MModule wario::compile(Module &M, const PipelineOptions &Opts,
+                       PipelineStats *Stats) {
+  PipelineStats Local;
+  PipelineStats &S = Stats ? *Stats : Local;
+  runFrontHalf(M, S);
+  runMiddleEnd(M, Opts, S);
+  return runBackendStage(M, Opts, S);
 }

@@ -58,6 +58,10 @@ struct PipelineOptions {
   /// length with register-counter checkpoints in cut-free loops.
   bool BoundRegions = false;
   uint64_t MaxRegionCycles = 20'000;
+
+  /// Ordered by the full configuration so result caches can key on the
+  /// actual options instead of caller-provided tags (bench/Harness.cpp).
+  auto operator<=>(const PipelineOptions &) const = default;
 };
 
 struct PipelineStats {
@@ -69,10 +73,74 @@ struct PipelineStats {
   unsigned StoresSunk = 0;
   CheckpointInserterStats MiddleEnd;
   BackendStats Backend;
+
+  /// Wall-clock seconds actually spent per stage (zero for stages served
+  /// from a cache). The pipeline fills the compile stages; the bench
+  /// harness fills FrontendSeconds/EmulateSeconds and accumulates all of
+  /// them for --timing.
+  double FrontendSeconds = 0;
+  double FrontHalfSeconds = 0;
+  double MiddleEndSeconds = 0;
+  double BackendSeconds = 0;
+  double EmulateSeconds = 0;
 };
 
+/// The knobs that actually feed the middle end, derived from an
+/// environment + options. Two option sets with equal MiddleEndConfig
+/// produce identical post-middle-end IR from the same input module, which
+/// is what makes the middle-end stage cacheable (e.g. R-PDG and
+/// epilog-optimizer differ only in the back end).
+struct MiddleEndConfig {
+  bool Instrumented = false;
+  bool ConservativeAA = false;
+  bool LoopCluster = false;
+  bool Expand = false;
+  bool Cluster = false;
+  /// Loop Write Clusterer factor; canonically 0 when LoopCluster is off
+  /// (the option is never read then).
+  unsigned UnrollFactor = 0;
+  bool HittingSet = false;
+  bool DepthWeightedCost = false;
+  bool BoundRegions = false;
+  uint64_t MaxRegionCycles = 0;
+
+  auto operator<=>(const MiddleEndConfig &) const = default;
+};
+
+MiddleEndConfig middleEndConfig(const PipelineOptions &Opts);
+
+/// Backend lowering flags for an environment (also canonical: equal
+/// configs lower identically).
+BackendOptions backendConfig(const PipelineOptions &Opts);
+
+/// --- Staged compilation -----------------------------------------------------
+/// compile() is the composition of three stages so the experiment harness
+/// can cache each stage's artifact separately (see bench/Harness.h):
+///
+///   frontend (workloads)  ->  front half  ->  middle end  ->  back end
+///        Module                 Module          Module         MModule
+///
+/// The front half is environment-independent; the middle end depends only
+/// on middleEndConfig(Opts); the back end only on backendConfig(Opts).
+
+/// Environment-independent front half: inline prepass + scalar promotion
+/// + cleanup (the opt -always-inline -inline / -mem2reg prepass of paper
+/// Section 4.6). Mutates \p M in place.
+void runFrontHalf(Module &M, PipelineStats &S);
+
+/// Environment-specific middle end (paper Figure 2 order), mutating \p M
+/// in place. Expects \p M to be front-half output.
+void runMiddleEnd(Module &M, const PipelineOptions &Opts, PipelineStats &S);
+
+/// Lowers middle-end output through the back end. Read-only on \p M, so
+/// one cached middle-end module can feed several backend configurations
+/// (warm the CFG caches first when sharing across threads; see
+/// Module-level note in bench/Harness.cpp).
+MModule runBackendStage(const Module &M, const PipelineOptions &Opts,
+                        PipelineStats &S);
+
 /// Compiles \p M (mutated in place) to a machine module for the given
-/// environment.
+/// environment: runFrontHalf + runMiddleEnd + runBackendStage.
 MModule compile(Module &M, const PipelineOptions &Opts,
                 PipelineStats *Stats = nullptr);
 

@@ -49,6 +49,10 @@ struct EmulatorOptions {
   bool CollectRegionSizes = true;
   /// Treat a WAR violation as a fatal error (else just count).
   bool WarIsFatal = true;
+
+  /// Ordered by the full configuration so result caches can key on the
+  /// actual options (see bench/Harness.cpp).
+  auto operator<=>(const EmulatorOptions &) const = default;
 };
 
 /// Executed-checkpoint counts by cause (paper Figure 5).
@@ -81,7 +85,14 @@ struct EmulatorResult {
   /// Final NVM image (for checking benchmark result buffers).
   std::vector<uint8_t> FinalMemory;
 
+  /// Reads the 32-bit little-endian word at \p Addr from the final NVM
+  /// image. Out-of-range reads assert in debug builds and return 0 in
+  /// release builds (previously: unchecked indexing past FinalMemory).
   uint32_t readWord(uint32_t Addr) const {
+    assert(uint64_t(Addr) + 4 <= FinalMemory.size() &&
+           "readWord past the final memory image");
+    if (uint64_t(Addr) + 4 > FinalMemory.size())
+      return 0;
     uint32_t V = 0;
     for (int I = 0; I < 4; ++I)
       V |= uint32_t(FinalMemory[Addr + I]) << (8 * I);

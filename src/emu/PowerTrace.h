@@ -53,6 +53,11 @@ public:
 
   const std::string &name() const { return TraceName; }
 
+  /// Schedules are ordered/compared by their full configuration so caches
+  /// can key on them (bench/Harness.cpp derives cache keys from option
+  /// fields rather than caller-provided tags).
+  auto operator<=>(const PowerSchedule &) const = default;
+
 private:
   PowerSchedule() = default;
   uint64_t Period = 0;

@@ -1,0 +1,149 @@
+#include "ir/Cloning.h"
+
+using namespace wario;
+
+namespace {
+
+/// Copies the opcode-specific payload of \p I onto \p NI. The Call callee
+/// is copied verbatim; cloneModule remaps it afterwards.
+void copyPayload(Instruction *NI, const Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Alloca:
+    NI->setAllocaSize(I->getAllocaSize());
+    break;
+  case Opcode::Load:
+    NI->setAccessSize(I->getAccessSize());
+    NI->setSignedLoad(I->isSignedLoad());
+    break;
+  case Opcode::Store:
+    NI->setAccessSize(I->getAccessSize());
+    break;
+  case Opcode::Gep:
+    NI->setGepScale(I->getGepScale());
+    NI->setGepOffset(I->getGepOffset());
+    break;
+  case Opcode::ICmp:
+    NI->setPredicate(I->getPredicate());
+    break;
+  case Opcode::Call:
+    NI->setCallee(I->getCallee());
+    break;
+  case Opcode::Checkpoint:
+    NI->setCheckpointCause(I->getCheckpointCause());
+    break;
+  default:
+    break;
+  }
+}
+
+} // namespace
+
+Instruction *wario::cloneInstruction(const Instruction *I, Function &F,
+                                     const ValueMapper &VM) {
+  std::vector<Value *> Ops;
+  Ops.reserve(I->getNumOperands());
+  for (unsigned J = 0, E = I->getNumOperands(); J != E; ++J)
+    Ops.push_back(VM.lookup(I->getOperand(J)));
+
+  auto NI = std::make_unique<Instruction>(I->getOpcode(), std::move(Ops));
+  NI->setName(I->getName());
+  copyPayload(NI.get(), I);
+  for (unsigned J = 0, E = I->getNumBlockOperands(); J != E; ++J)
+    NI->addBlockOperand(I->getBlockOperand(J));
+  return F.adopt(std::move(NI));
+}
+
+std::unique_ptr<Module> wario::cloneModule(const Module &M) {
+  auto NewM = std::make_unique<Module>(M.getName());
+  ValueMapper VM;
+  std::unordered_map<const Function *, Function *> FnMap;
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+
+  // Globals and uniqued constants, in the source's creation/value order.
+  for (const auto &G : M.globals())
+    VM.map(G.get(),
+           NewM->createGlobal(G->getName(), G->getSizeBytes(), G->getInit()));
+  for (const auto &[Val, C] : M.constants())
+    VM.map(C.get(), NewM->getConstant(Val));
+
+  // Declare every function (and map its arguments) before cloning bodies,
+  // so calls and cross-function references resolve in one pass.
+  for (const auto &F : M.functions()) {
+    Function *NF = NewM->createFunction(F->getName(), F->getNumParams(),
+                                        F->returnsValue());
+    FnMap[F.get()] = NF;
+    for (unsigned I = 0, E = F->getNumParams(); I != E; ++I) {
+      NF->getArg(I)->setName(F->getArg(I)->getName());
+      VM.map(F->getArg(I), NF->getArg(I));
+    }
+  }
+
+  for (const auto &F : M.functions()) {
+    Function *NF = FnMap[F.get()];
+
+    // Blocks first (branch targets may be forward references).
+    for (const BasicBlock *BB : *F)
+      BlockMap[BB] = NF->createBlock(BB->getName());
+
+    // Materialize every attached instruction operand-less, preserving its
+    // id (passes iterate in id order; a renumbered clone could compile
+    // differently).
+    for (const BasicBlock *BB : *F) {
+      for (const Instruction *I : *BB) {
+        auto NI = std::make_unique<Instruction>(I->getOpcode(),
+                                                std::vector<Value *>{});
+        NI->setName(I->getName());
+        copyPayload(NI.get(), I);
+        Instruction *Raw = NF->adopt(std::move(NI), I->getId());
+        if (I->getOpcode() == Opcode::Call)
+          Raw->setCallee(FnMap.at(I->getCallee()));
+        BlockMap.at(BB)->push_back(Raw);
+        VM.map(I, Raw);
+      }
+    }
+    NF->reserveInstIds(F->nextInstId());
+
+    // Second pass: connect operands and block operands through the maps.
+    // Every operand must resolve into the clone — an unmapped value would
+    // silently tie the clone to the source module.
+    for (const BasicBlock *BB : *F) {
+      for (const Instruction *I : *BB) {
+        Instruction *NI = cast<Instruction>(VM.lookup(const_cast<Instruction *>(I)));
+        for (unsigned J = 0, E = I->getNumOperands(); J != E; ++J) {
+          Value *Mapped = VM.lookup(I->getOperand(J));
+          assert(Mapped != I->getOperand(J) &&
+                 "module clone operand still points into the source");
+          NI->addOperand(Mapped);
+        }
+        for (unsigned J = 0, E = I->getNumBlockOperands(); J != E; ++J)
+          NI->addBlockOperand(BlockMap.at(I->getBlockOperand(J)));
+      }
+    }
+  }
+
+  // The operand pass above built user lists in program order, but the
+  // source's lists are in historical (creation/mutation) order, and some
+  // passes iterate them. Reproduce the source order exactly.
+  auto RestoreUserOrder = [&](const Value *Old) {
+    Value *New = VM.lookup(const_cast<Value *>(Old));
+    assert(New != Old && "value was never cloned");
+    std::vector<Instruction *> Order;
+    Order.reserve(Old->users().size());
+    for (Instruction *U : Old->users())
+      Order.push_back(cast<Instruction>(VM.lookup(U)));
+    New->setUserOrder(std::move(Order));
+  };
+  for (const auto &G : M.globals())
+    RestoreUserOrder(G.get());
+  for (const auto &[Val, C] : M.constants())
+    RestoreUserOrder(C.get());
+  for (const auto &F : M.functions()) {
+    for (unsigned I = 0, E = F->getNumParams(); I != E; ++I)
+      RestoreUserOrder(F->getArg(I));
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *I : *BB)
+        RestoreUserOrder(I);
+  }
+
+  return NewM;
+}

@@ -11,6 +11,7 @@
 
 #include "ir/BasicBlock.h"
 
+#include <algorithm>
 #include <memory>
 
 namespace wario {
@@ -69,6 +70,18 @@ public:
   /// Takes ownership of \p I; returns the raw pointer for insertion into a
   /// block. Assigns the per-function instruction id.
   Instruction *adopt(std::unique_ptr<Instruction> I);
+
+  /// adopt() with an explicit id instead of the next free one; the id
+  /// counter is raised past \p Id. cloneModule uses this to reproduce the
+  /// source function's ids (passes iterate in id order).
+  Instruction *adopt(std::unique_ptr<Instruction> I, unsigned Id);
+
+  /// The id the next adopted instruction would receive.
+  unsigned nextInstId() const { return NextInstId; }
+  /// Raises the id counter to at least \p Next (no-op if already past).
+  /// cloneModule uses this to reproduce the source's counter even when
+  /// the highest-id instructions were erased before the clone.
+  void reserveInstIds(unsigned Next) { NextInstId = std::max(NextInstId, Next); }
 
   /// Detaches \p I from its block and drops its operands. The value must
   /// have no remaining users. Memory is reclaimed when the function dies.

@@ -22,6 +22,17 @@ void Value::removeUser(Instruction *I) {
   Users.erase(It);
 }
 
+void Value::setUserOrder(std::vector<Instruction *> Order) {
+#ifndef NDEBUG
+  // Must be a permutation: same users, same per-user multiplicity.
+  std::vector<Instruction *> A = Users, B = Order;
+  std::sort(A.begin(), A.end());
+  std::sort(B.begin(), B.end());
+  assert(A == B && "setUserOrder with a non-permutation of the user list");
+#endif
+  Users = std::move(Order);
+}
+
 void Value::replaceAllUsesWith(Value *New) {
   assert(New != this && "replacing a value with itself");
   // Copy: setOperand mutates the user list.
@@ -335,6 +346,14 @@ void Function::eraseBlock(BasicBlock *BB) {
 
 Instruction *Function::adopt(std::unique_ptr<Instruction> I) {
   I->Id = NextInstId++;
+  Instruction *Raw = I.get();
+  InstArena.push_back(std::move(I));
+  return Raw;
+}
+
+Instruction *Function::adopt(std::unique_ptr<Instruction> I, unsigned Id) {
+  I->Id = Id;
+  NextInstId = std::max(NextInstId, Id + 1);
   Instruction *Raw = I.get();
   InstArena.push_back(std::move(I));
   return Raw;

@@ -46,6 +46,10 @@ public:
   // -- Constants -----------------------------------------------------------------
   /// Returns the uniqued Constant for \p V.
   Constant *getConstant(int32_t V);
+  /// All uniqued constants, ordered by value (cloneModule walks these).
+  const std::map<int32_t, std::unique_ptr<Constant>> &constants() const {
+    return Constants;
+  }
 
 private:
   std::string Name;

@@ -53,6 +53,12 @@ public:
   /// Rewrites every use of this value to use \p New instead.
   void replaceAllUsesWith(Value *New);
 
+  /// Replaces the user list with \p Order, which must be a permutation of
+  /// the current list (asserted). Only cloneModule uses this, to reproduce
+  /// the source module's historical user order — passes iterate user lists,
+  /// so clones must present them in the same order to compile identically.
+  void setUserOrder(std::vector<Instruction *> Order);
+
 protected:
   explicit Value(ValueKind K) : Kind(K) {}
 

@@ -1,6 +1,6 @@
 #include "transforms/Inliner.h"
 
-#include "transforms/Cloning.h"
+#include "ir/Cloning.h"
 #include "ir/IRBuilder.h"
 
 using namespace wario;

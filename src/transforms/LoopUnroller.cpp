@@ -1,6 +1,6 @@
 #include "transforms/LoopUnroller.h"
 
-#include "transforms/Cloning.h"
+#include "ir/Cloning.h"
 #include "transforms/SSAUpdater.h"
 #include "transforms/Utils.h"
 

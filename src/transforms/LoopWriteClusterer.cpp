@@ -3,7 +3,7 @@
 
 #include "analysis/MemoryDependence.h"
 #include "ir/IRBuilder.h"
-#include "transforms/Cloning.h"
+#include "ir/Cloning.h"
 #include "transforms/LoopUnroller.h"
 #include "transforms/Utils.h"
 

@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression test for the experiment cache's keying: two matrix cells
+/// that differ in *any* PipelineOptions or EmulatorOptions field must
+/// never share a result entry.
+///
+/// (An earlier harness keyed on (workload, env, unroll) plus an optional
+/// caller-provided string tag; a caller who changed an option but forgot
+/// the tag silently received the default configuration's cached result.
+/// Keys are now derived from the option values themselves, making that
+/// class of bug unrepresentable — this test pins the property.)
+///
+/// Also covers the readWord() bounds guard and carries the `asan` CTest
+/// label (ctest -L asan) alongside the clone tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace wario;
+using namespace wario::bench;
+
+namespace {
+
+class CacheKeyTest : public ::testing::Test {
+protected:
+  // Single worker keeps the matrix small and deterministic to schedule.
+  void SetUp() override { setenv("WARIO_JOBS", "1", 1); }
+  void TearDown() override { unsetenv("WARIO_JOBS"); }
+
+  ResultCache Cache;
+
+  const RunResult *run(const MatrixCell &C) { return &Cache.run(C); }
+};
+
+MatrixCell baseCell() {
+  MatrixCell C = cell("crc", Environment::WarioComplete);
+  C.EO.CollectRegionSizes = false;
+  return C;
+}
+
+TEST_F(CacheKeyTest, EveryPipelineOptionIsPartOfTheKey) {
+  const RunResult *Base = run(baseCell());
+
+  // One variant per PipelineOptions field (PipelineOptions has defaulted
+  // <=>, so any field difference makes a different key — this enumerates
+  // each field once to catch a field dropped from the comparison).
+  std::vector<MatrixCell> Variants;
+
+  MatrixCell V = baseCell();
+  V.PO.Env = Environment::WarioExpander;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.PO.UnrollFactor = 2;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.PO.MiddleEndHittingSet = false;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.PO.DepthWeightedCost = false;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.PO.ForceConservativeAA = true;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.PO.BoundRegions = true;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.PO.BoundRegions = true;
+  V.PO.MaxRegionCycles = 50'000;
+  Variants.push_back(V);
+
+  for (size_t I = 0; I != Variants.size(); ++I)
+    EXPECT_NE(Base, run(Variants[I]))
+        << "pipeline-option variant #" << I
+        << " deduped against the base configuration";
+}
+
+TEST_F(CacheKeyTest, EveryEmulatorOptionIsPartOfTheKey) {
+  const RunResult *Base = run(baseCell());
+
+  std::vector<MatrixCell> Variants;
+
+  MatrixCell V = baseCell();
+  V.EO.Power = PowerSchedule::fixed(100'000);
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.EO.Power = PowerSchedule::trace({50'000, 200'000}, "test-trace");
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.EO.InterruptPeriod = 10'000;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.EO.MaxCycles = 30'000'000'000ull;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.EO.MaxStalledBoots = 32;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.EO.CollectRegionSizes = !baseCell().EO.CollectRegionSizes;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.EO.WarIsFatal = false;
+  Variants.push_back(V);
+
+  for (size_t I = 0; I != Variants.size(); ++I)
+    EXPECT_NE(Base, run(Variants[I]))
+        << "emulator-option variant #" << I
+        << " deduped against the base configuration";
+}
+
+TEST_F(CacheKeyTest, SchedulesWithEqualPeriodsButDifferentTracesDiffer) {
+  // Two traces with the same name but different durations, and two with
+  // the same durations but different names, are distinct schedules.
+  MatrixCell A = baseCell();
+  A.EO.Power = PowerSchedule::trace({60'000, 120'000}, "t");
+  MatrixCell B = baseCell();
+  B.EO.Power = PowerSchedule::trace({60'000, 150'000}, "t");
+  MatrixCell C = baseCell();
+  C.EO.Power = PowerSchedule::trace({60'000, 120'000}, "u");
+  EXPECT_NE(run(A), run(B));
+  EXPECT_NE(run(A), run(C));
+}
+
+TEST_F(CacheKeyTest, EmulatorOptionsShareOneCompile) {
+  // The flip side: cells differing only in emulator options must reuse
+  // the compiled module — same CompileResult pointer at the compile
+  // level, distinct entries at the run level.
+  MatrixCell A = baseCell();
+  MatrixCell B = baseCell();
+  B.EO.Power = PowerSchedule::fixed(100'000);
+
+  const RunResult *RA = run(A);
+  const RunResult *RB = run(B);
+  EXPECT_NE(RA, RB);
+
+  const CompileResult *CA = &Cache.compileCell(A.Workload, A.PO);
+  const CompileResult *CB = &Cache.compileCell(B.Workload, B.PO);
+  EXPECT_EQ(CA, CB) << "same pipeline configuration must compile once";
+  EXPECT_EQ(RA->TextBytes, RB->TextBytes);
+}
+
+TEST_F(CacheKeyTest, CompileCellKeysOnPipelineOptions) {
+  PipelineOptions PO;
+  PO.Env = Environment::WarioComplete;
+  const CompileResult *Base = &Cache.compileCell("crc", PO);
+
+  PipelineOptions PO2 = PO;
+  PO2.DepthWeightedCost = false;
+  EXPECT_NE(Base, &Cache.compileCell("crc", PO2));
+
+  EXPECT_NE(Base, &Cache.compileCell("sha", PO));
+  EXPECT_EQ(Base, &Cache.compileCell("crc", PO));
+}
+
+TEST(ReadWordGuard, OutOfRangeReadIsCaught) {
+  EmulatorResult R;
+  R.FinalMemory = {0x78, 0x56, 0x34, 0x12, 0xff};
+  EXPECT_EQ(R.readWord(0), 0x12345678u);
+#ifdef NDEBUG
+  // Release builds: clamped to 0 instead of indexing past the image.
+  EXPECT_EQ(R.readWord(2), 0u);
+  EXPECT_EQ(R.readWord(5), 0u);
+  EXPECT_EQ(R.readWord(0xffffffffu), 0u);
+#else
+  EXPECT_DEATH((void)R.readWord(2), "readWord past the final memory image");
+#endif
+}
+
+} // namespace

@@ -57,7 +57,8 @@ std::vector<MatrixCell> testMatrix() {
   std::vector<MatrixCell> Cells;
   // A slice of the paper's matrix: enough cells to keep 8 workers busy,
   // few enough to stay test-speed. Includes a duplicate cell (dedup), an
-  // unroll variant (key component), and a tagged power-schedule cell.
+  // unroll variant (key component), and a power-schedule cell (same
+  // compile as the continuous cell, distinct run-level key).
   for (const char *W : {"crc", "sha", "dijkstra"})
     for (Environment E : {Environment::PlainC, Environment::Ratchet,
                           Environment::WarioComplete})
@@ -67,7 +68,6 @@ std::vector<MatrixCell> testMatrix() {
   MatrixCell Power = cell("crc", Environment::WarioExpander);
   Power.EO.Power = PowerSchedule::fixed(100'000);
   Power.EO.CollectRegionSizes = false;
-  Power.Tag = "fixed-100k";
   Cells.push_back(Power);
   return Cells;
 }
