@@ -74,6 +74,7 @@ MiddleEndConfig wario::middleEndConfig(const PipelineOptions &Opts) {
   C.UnrollFactor = C.LoopCluster ? Opts.UnrollFactor : 0;
   C.HittingSet = Opts.MiddleEndHittingSet;
   C.DepthWeightedCost = Opts.DepthWeightedCost;
+  C.ResolveWars = Opts.ResolveMiddleEndWars;
   C.BoundRegions = Opts.BoundRegions;
   C.MaxRegionCycles = Opts.BoundRegions ? Opts.MaxRegionCycles : 0;
   return C;
@@ -145,6 +146,7 @@ void wario::runMiddleEnd(Module &M, const PipelineOptions &Opts,
   CI.Strategy = C.HittingSet ? PlacementStrategy::HittingSet
                              : PlacementStrategy::PerWrite;
   CI.DepthWeightedCost = C.DepthWeightedCost;
+  CI.ResolveWars = C.ResolveWars;
   S.MiddleEnd = insertCheckpoints(M, CI);
 
   if (C.BoundRegions) {

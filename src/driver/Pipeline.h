@@ -58,6 +58,13 @@ struct PipelineOptions {
   /// length with register-counter checkpoints in cut-free loops.
   bool BoundRegions = false;
   uint64_t MaxRegionCycles = 20'000;
+  /// Negative control for the crash-consistency fault injector
+  /// (src/verify/): skip the middle-end hitting-set WAR resolution, so
+  /// detected WARs are left unbroken. Run the result with
+  /// EmulatorOptions::WarIsFatal = false; the fault injector must find a
+  /// state divergence on such a build — that is what proves the checker
+  /// has teeth (bench/verify_crash, tests/CrashConsistencyTest).
+  bool ResolveMiddleEndWars = true;
 
   /// Ordered by the full configuration so result caches can key on the
   /// actual options instead of caller-provided tags (bench/Harness.cpp).
@@ -101,6 +108,7 @@ struct MiddleEndConfig {
   unsigned UnrollFactor = 0;
   bool HittingSet = false;
   bool DepthWeightedCost = false;
+  bool ResolveWars = false;
   bool BoundRegions = false;
   uint64_t MaxRegionCycles = 0;
 

@@ -11,14 +11,15 @@ using namespace wario;
 
 namespace {
 
-/// Reserved NVM range for the double-buffered checkpoint (exempt from WAR
-/// monitoring: the checkpoint routine itself is incorruptible by design,
-/// Section 4.5).
-constexpr uint32_t CkptBase = 0x100;
+/// Layout inside the reserved checkpoint range (the public extent lives
+/// in Emulator.h as ckpt::Base/ckpt::End so the fault injector can mask
+/// it out of differential end-state comparisons).
+constexpr uint32_t CkptBase = ckpt::Base;
 constexpr uint32_t CkptActiveWord = CkptBase;       // 0 or 1.
 constexpr uint32_t CkptBuf0 = CkptBase + 0x10;      // 17 words.
 constexpr uint32_t CkptBuf1 = CkptBase + 0x60;
-constexpr uint32_t CkptEnd = CkptBase + 0x100;
+constexpr uint32_t CkptEnd = ckpt::End;
+static_assert(CkptBuf1 + 17 * 4 <= CkptEnd);
 constexpr uint32_t CodeAddrBit = 0x80000000u;
 constexpr uint32_t LrSentinel = 0xFFFFFFFEu;
 constexpr uint32_t BadTarget = 0xFFFFFFFFu;
@@ -153,8 +154,18 @@ public:
         ++Res.PowerFailures;
         if (!ProgressThisBoot) {
           if (++StalledBoots >= Opts.MaxStalledBoots) {
-            fail("no forward progress across " +
-                 std::to_string(StalledBoots) + " boots");
+            std::ostringstream OS;
+            OS << "no forward progress across " << StalledBoots
+               << " consecutive boots (limit " << Opts.MaxStalledBoots
+               << "): " << Res.CheckpointsExecuted
+               << " checkpoints committed so far, last committed "
+                  "checkpoint id ";
+            if (Res.CheckpointsExecuted)
+              OS << (Res.CheckpointsExecuted - 1);
+            else
+              OS << "none (re-executing from cold start)";
+            OS << ", on-period budget " << OnBudget << " cycles";
+            fail(OS.str());
             break;
           }
         } else {
@@ -288,6 +299,14 @@ private:
       return;
     }
     recordAccess(Addr, Size, Access::Write);
+    // Stamp ActiveSinceBoot + 1: the store's own cycles are spent after
+    // storeMem returns, so this is the smallest on-period budget whose
+    // first power-failure check lands at the instruction boundary right
+    // *after* this store (the adversarial crash point).
+    if (Opts.CollectEventTrace && monitored(Addr) &&
+        (Res.StoreCycles.empty() ||
+         Res.StoreCycles.back() != ActiveSinceBoot + 1))
+      Res.StoreCycles.push_back(ActiveSinceBoot + 1);
     for (unsigned I = 0; I != Size; ++I)
       Mem[Addr + I] = uint8_t(V >> (8 * I));
   }
@@ -355,6 +374,7 @@ private:
   }
 
   void commitCheckpoint(CheckpointCause Cause) {
+    uint64_t CommitBegin = ActiveSinceBoot;
     uint32_t Active = rawLoad(CkptActiveWord);
     uint32_t Buf = (Active == 1) ? CkptBuf1 : CkptBuf0;
     for (int R = 0; R != 15; ++R)
@@ -372,6 +392,8 @@ private:
     }
     if (Opts.CollectRegionSizes)
       Res.RegionSizes.push_back(Res.TotalCycles - RegionStartCycles);
+    if (Opts.CollectEventTrace)
+      Res.Commits.push_back({CommitBegin, ActiveSinceBoot, Cause});
     RegionStartCycles = Res.TotalCycles;
     clearFirstAccess();
     ProgressThisBoot = true;
@@ -409,6 +431,14 @@ private:
   void step() {
     const DecodedInst &I = Prog[Pc & ~CodeAddrBit];
     ++Res.InstructionsExecuted;
+    if (Opts.TraceWindowHi && ActiveSinceBoot >= Opts.TraceWindowLo &&
+        ActiveSinceBoot <= Opts.TraceWindowHi) {
+      const CodeRef &C = Cur();
+      std::ostringstream OS;
+      OS << "cycle " << ActiveSinceBoot << ": " << C.F->Name << "/"
+         << C.F->Blocks[C.Block].Name << " " << mopName(I.Op);
+      Res.Window.push_back(OS.str());
+    }
     uint32_t NextPc = Pc + 1;
 
     switch (I.Op) {

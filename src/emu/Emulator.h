@@ -36,6 +36,17 @@ inline constexpr uint64_t Checkpoint = 40;    ///< Save 17 words, flip.
 inline constexpr uint64_t IsrOverhead = 60;   ///< Entry+body+exit.
 } // namespace cycles
 
+/// Reserved NVM range for the double-buffered register checkpoint
+/// (Section 4.5). The range is exempt from WAR monitoring (the checkpoint
+/// routine is incorruptible by design) and must also be excluded from any
+/// differential end-state comparison: two runs that took different crash
+/// paths legitimately leave different register snapshots here (see
+/// src/verify/FaultInjector.h).
+namespace ckpt {
+inline constexpr uint32_t Base = 0x100;
+inline constexpr uint32_t End = Base + 0x100;
+} // namespace ckpt
+
 struct EmulatorOptions {
   PowerSchedule Power = PowerSchedule::continuous();
   /// Fire an interrupt every N active cycles (0 = disabled).
@@ -49,6 +60,16 @@ struct EmulatorOptions {
   bool CollectRegionSizes = true;
   /// Treat a WAR violation as a fatal error (else just count).
   bool WarIsFatal = true;
+  /// Record the event trace the crash-consistency fault injector consumes
+  /// (EmulatorResult::Commits / StoreCycles): active-cycle stamps of every
+  /// committed checkpoint and of every monitored NVM store.
+  bool CollectEventTrace = false;
+  /// When TraceWindowHi != 0, record the textual form of every executed
+  /// instruction whose start falls in [TraceWindowLo, TraceWindowHi]
+  /// active-cycles-since-boot (EmulatorResult::Window) — the fault
+  /// injector's "surrounding instruction window" for crash reports.
+  uint64_t TraceWindowLo = 0;
+  uint64_t TraceWindowHi = 0;
 
   /// Ordered by the full configuration so result caches can key on the
   /// actual options (see bench/Harness.cpp).
@@ -84,6 +105,23 @@ struct EmulatorResult {
 
   /// Final NVM image (for checking benchmark result buffers).
   std::vector<uint8_t> FinalMemory;
+
+  /// One committed checkpoint (CollectEventTrace only). Cycle stamps are
+  /// active-cycles-since-boot, so on a continuous-power run they equal
+  /// TotalCycles and can be replayed as on-duration budgets: a power
+  /// schedule whose first on-period is BeginCycle fails immediately
+  /// *before* this commit executes; EndCycle fails immediately after it.
+  struct CommitEvent {
+    uint64_t BeginCycle = 0; ///< Active cycles before the commit executes.
+    uint64_t EndCycle = 0;   ///< Active cycles after the commit completes.
+    CheckpointCause Cause = CheckpointCause::MiddleEndWar;
+  };
+  std::vector<CommitEvent> Commits; ///< CollectEventTrace only.
+  /// Active-cycle budget that crashes immediately *after* each monitored
+  /// NVM store instruction (CollectEventTrace only).
+  std::vector<uint64_t> StoreCycles;
+  /// Executed instructions inside [TraceWindowLo, TraceWindowHi].
+  std::vector<std::string> Window;
 
   /// Reads the 32-bit little-endian word at \p Addr from the final NVM
   /// image. Out-of-range reads assert in debug builds and return 0 in

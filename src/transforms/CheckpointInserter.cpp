@@ -154,7 +154,7 @@ wario::insertCheckpoints(Function &F, const CheckpointInserterOptions &Opts) {
     }
     Unresolved.push_back({D->Src, D->Dst, D->LoopCarried});
   }
-  if (Unresolved.empty())
+  if (Unresolved.empty() || !Opts.ResolveWars)
     return Stats;
 
   IRBuilder IRB(F.getParent());

@@ -33,6 +33,11 @@ struct CheckpointInserterOptions {
   /// paper's hitting set costs locations "primarily depending on the
   /// loop depth").
   bool DepthWeightedCost = true;
+  /// Negative-control knob for the crash-consistency fault injector
+  /// (src/verify/): when false, WARs are detected and counted but the
+  /// resolution step is skipped entirely — no breaking checkpoints are
+  /// inserted, so the compiled program is deliberately NOT idempotent.
+  bool ResolveWars = true;
 };
 
 struct CheckpointInserterStats {

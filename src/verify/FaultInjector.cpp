@@ -1,0 +1,313 @@
+#include "verify/FaultInjector.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+using namespace wario;
+using namespace wario::verify;
+
+namespace {
+
+/// Deterministic xorshift32 for the stratified sampler (same generator
+/// family as the synthetic harvester traces; campaigns must be
+/// reproducible from the seed alone).
+struct XorShift {
+  uint32_t State;
+  explicit XorShift(uint32_t Seed) : State(Seed ? Seed : 1) {}
+  uint32_t next() {
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State;
+  }
+};
+
+/// A power schedule that fails exactly once, at active-cycle budget
+/// \p CrashCycle, and then stays up for the rest of the run.
+PowerSchedule singleCrash(uint64_t CrashCycle) {
+  return PowerSchedule::trace({CrashCycle, UINT64_MAX}, "single-crash");
+}
+
+/// Golden output must survive re-execution as a subsequence: a crash can
+/// legitimately *replay* out-writes (at-least-once semantics) but must
+/// never alter, reorder, or drop them.
+bool isSubsequence(const std::vector<int32_t> &Needle,
+                   const std::vector<int32_t> &Hay) {
+  size_t I = 0;
+  for (int32_t V : Hay)
+    if (I < Needle.size() && Needle[I] == V)
+      ++I;
+  return I == Needle.size();
+}
+
+std::string hexByte(uint8_t B) {
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "0x%02x", B);
+  return Buf;
+}
+
+std::string hexAddr(uint32_t A) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%x", A);
+  return Buf;
+}
+
+/// Compares one crash-injected run against the golden run. Returns the
+/// divergence (without bisection detail) or nullopt when consistent.
+std::optional<Divergence> compareRun(const EmulatorResult &Golden,
+                                     const EmulatorResult &Crashed,
+                                     uint64_t CrashCycle,
+                                     unsigned MaxReportedAddrs) {
+  Divergence D;
+  D.CrashCycle = D.MinimalCycle = CrashCycle;
+  if (!Crashed.Ok) {
+    D.Kind = DivergenceKind::RunError;
+    D.Detail = Crashed.Error;
+    return D;
+  }
+  if (Crashed.ReturnValue != Golden.ReturnValue) {
+    D.Kind = DivergenceKind::ReturnMismatch;
+    std::ostringstream OS;
+    OS << "golden returned " << Golden.ReturnValue << ", crash run returned "
+       << Crashed.ReturnValue;
+    D.Detail = OS.str();
+    return D;
+  }
+  // Final NVM image, minus the checkpoint scratch range: two runs that
+  // committed different checkpoints legitimately differ there.
+  size_t N = std::min(Golden.FinalMemory.size(), Crashed.FinalMemory.size());
+  unsigned Diffs = 0;
+  for (size_t A = 0; A != N; ++A) {
+    if (A >= ckpt::Base && A < ckpt::End)
+      continue;
+    if (Golden.FinalMemory[A] == Crashed.FinalMemory[A])
+      continue;
+    if (Diffs++ < MaxReportedAddrs)
+      D.Addrs.push_back(
+          {uint32_t(A), Golden.FinalMemory[A], Crashed.FinalMemory[A]});
+  }
+  if (Diffs) {
+    D.Kind = DivergenceKind::NvmMismatch;
+    std::ostringstream OS;
+    OS << Diffs << " diverging NVM bytes (first " << D.Addrs.size()
+       << " listed)";
+    D.Detail = OS.str();
+    return D;
+  }
+  if (!isSubsequence(Golden.Output, Crashed.Output)) {
+    D.Kind = DivergenceKind::OutputMismatch;
+    std::ostringstream OS;
+    OS << "golden output (" << Golden.Output.size()
+       << " values) is not a subsequence of the crash run's output ("
+       << Crashed.Output.size() << " values)";
+    D.Detail = OS.str();
+    return D;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+const char *wario::verify::campaignModeName(CampaignMode M) {
+  switch (M) {
+  case CampaignMode::RegionBoundaries: return "region-boundaries";
+  case CampaignMode::Stratified: return "stratified";
+  case CampaignMode::Adversarial: return "adversarial";
+  }
+  return "?";
+}
+
+const char *wario::verify::divergenceKindName(DivergenceKind K) {
+  switch (K) {
+  case DivergenceKind::NvmMismatch: return "nvm-mismatch";
+  case DivergenceKind::ReturnMismatch: return "return-mismatch";
+  case DivergenceKind::OutputMismatch: return "output-mismatch";
+  case DivergenceKind::RunError: return "run-error";
+  }
+  return "?";
+}
+
+CrashReport wario::verify::runCrashCampaign(const MModule &MM,
+                                            const FaultInjectorOptions &Opts) {
+  CrashReport R;
+  R.Workload = Opts.Workload;
+  R.Config = Opts.Config;
+  R.Mode = campaignModeName(Opts.Mode);
+
+  // 1. Golden run: continuous power, event trace on.
+  EmulatorOptions GoldenEO = Opts.BaseEO;
+  GoldenEO.Power = PowerSchedule::continuous();
+  GoldenEO.CollectEventTrace = true;
+  GoldenEO.CollectRegionSizes = false;
+  GoldenEO.TraceWindowLo = GoldenEO.TraceWindowHi = 0;
+  EmulatorResult Golden = emulate(MM, GoldenEO, Opts.Entry);
+  ++R.EmulationsRun;
+  if (!Golden.Ok) {
+    R.Error = "golden run failed: " + Golden.Error;
+    return R;
+  }
+  R.Ok = true;
+  R.GoldenCycles = Golden.TotalCycles;
+  R.GoldenCommits = Golden.Commits.size();
+  R.GoldenReturn = Golden.ReturnValue;
+
+  // 2. Crash points per mode (active-cycle on-period budgets).
+  std::vector<uint64_t> Points;
+  switch (Opts.Mode) {
+  case CampaignMode::RegionBoundaries:
+    Points.push_back(1); // During the initial boot: cold-restart path.
+    for (const EmulatorResult::CommitEvent &C : Golden.Commits) {
+      Points.push_back(C.BeginCycle); // Immediately before the commit.
+      Points.push_back(C.EndCycle);   // Immediately after the commit.
+    }
+    break;
+  case CampaignMode::Stratified: {
+    XorShift Rng(Opts.Seed);
+    uint64_t Range = std::max<uint64_t>(R.GoldenCycles, 1);
+    unsigned Samples = std::max(Opts.Samples, 1u);
+    for (unsigned S = 0; S != Samples; ++S) {
+      uint64_t Lo = 1 + Range * S / Samples;
+      uint64_t Hi = std::max(1 + Range * (S + 1) / Samples, Lo + 1);
+      Points.push_back(Lo + Rng.next() % (Hi - Lo));
+    }
+    break;
+  }
+  case CampaignMode::Adversarial:
+    for (const EmulatorResult::CommitEvent &C : Golden.Commits)
+      Points.push_back(C.BeginCycle); // The commit almost happened.
+    for (uint64_t S : Golden.StoreCycles)
+      Points.push_back(S); // The store just landed.
+    break;
+  }
+  std::sort(Points.begin(), Points.end());
+  Points.erase(std::unique(Points.begin(), Points.end()), Points.end());
+  R.CandidatePoints = unsigned(Points.size());
+
+  // Deterministic evenly-strided cap — never silent: the report shows
+  // candidates vs tested.
+  if (Opts.MaxPoints && Points.size() > Opts.MaxPoints) {
+    std::vector<uint64_t> Kept;
+    Kept.reserve(Opts.MaxPoints);
+    for (unsigned I = 0; I != Opts.MaxPoints; ++I)
+      Kept.push_back(Points[size_t(I) * Points.size() / Opts.MaxPoints]);
+    Kept.erase(std::unique(Kept.begin(), Kept.end()), Kept.end());
+    Points = std::move(Kept);
+  }
+  R.PointsTested = unsigned(Points.size());
+
+  // 3. Campaign fan-out. Injected runs never need the event trace.
+  EmulatorOptions RunEO = Opts.BaseEO;
+  RunEO.CollectEventTrace = false;
+  RunEO.CollectRegionSizes = false;
+  RunEO.TraceWindowLo = RunEO.TraceWindowHi = 0;
+  auto RunAt = [&](uint64_t CrashCycle) {
+    EmulatorOptions EO = RunEO;
+    EO.Power = singleCrash(CrashCycle);
+    return emulate(MM, EO, Opts.Entry);
+  };
+
+  std::vector<std::optional<Divergence>> Found(Points.size());
+  parallelFor(
+      Points.size(),
+      [&](size_t J) {
+        Found[J] = compareRun(Golden, RunAt(Points[J]), Points[J],
+                              Opts.MaxReportedAddrs);
+      },
+      Opts.Jobs);
+  R.EmulationsRun += unsigned(Points.size());
+
+  // 4. Collect in ascending crash-cycle order; minimize the first few.
+  for (size_t J = 0; J != Points.size(); ++J) {
+    if (!Found[J])
+      continue;
+    Divergence D = *Found[J];
+    if (R.Divergences.size() < Opts.MaxDivergences) {
+      if (Opts.Bisect) {
+        // Find the earliest diverging budget at or below the injected
+        // one. Budget 0 crashes before any instruction executes and a
+        // cold restart must always be consistent, so it anchors the
+        // clean side; the loop maintains (Lo clean, Hi diverging).
+        uint64_t Lo = 0, Hi = D.CrashCycle;
+        Divergence AtHi = D;
+        while (Hi - Lo > 1) {
+          uint64_t Mid = Lo + (Hi - Lo) / 2;
+          std::optional<Divergence> P = compareRun(
+              Golden, RunAt(Mid), Mid, Opts.MaxReportedAddrs);
+          ++R.EmulationsRun;
+          if (P) {
+            Hi = Mid;
+            AtHi = *P;
+          } else {
+            Lo = Mid;
+          }
+        }
+        AtHi.CrashCycle = D.CrashCycle;
+        AtHi.MinimalCycle = Hi;
+        D = AtHi;
+      }
+      // Last checkpoint the golden run had committed before the crash.
+      int Region = -1;
+      for (const EmulatorResult::CommitEvent &C : Golden.Commits) {
+        if (C.EndCycle > D.MinimalCycle)
+          break;
+        ++Region;
+      }
+      D.RegionId = Region;
+      // Golden instruction window around the minimal crash point.
+      EmulatorOptions WinEO = GoldenEO;
+      WinEO.CollectEventTrace = false;
+      WinEO.TraceWindowLo = D.MinimalCycle > Opts.WindowRadius
+                                ? D.MinimalCycle - Opts.WindowRadius
+                                : 0;
+      WinEO.TraceWindowHi = D.MinimalCycle + Opts.WindowRadius;
+      D.Window = emulate(MM, WinEO, Opts.Entry).Window;
+      ++R.EmulationsRun;
+    }
+    R.Divergences.push_back(std::move(D));
+  }
+  return R;
+}
+
+std::string CrashReport::format() const {
+  std::ostringstream OS;
+  OS << "crash-consistency report: workload=" << Workload
+     << " config=" << Config << " mode=" << Mode << "\n";
+  if (!Ok) {
+    OS << "  campaign failed: " << Error << "\n";
+    return OS.str();
+  }
+  OS << "  golden: " << GoldenCycles << " cycles, " << GoldenCommits
+     << " commits, return " << GoldenReturn << "\n";
+  OS << "  points: " << CandidatePoints << " candidate, " << PointsTested
+     << " tested; emulations: " << EmulationsRun << "\n";
+  if (Divergences.empty()) {
+    OS << "  verdict: CONSISTENT\n";
+    return OS.str();
+  }
+  OS << "  verdict: DIVERGED at " << Divergences.size() << " of "
+     << PointsTested << " points\n";
+  for (size_t I = 0; I != Divergences.size(); ++I) {
+    const Divergence &D = Divergences[I];
+    OS << "  divergence #" << I << ": injected @" << D.CrashCycle
+       << ", minimized @" << D.MinimalCycle << ", region ";
+    if (D.RegionId < 0)
+      OS << "pre-first-commit";
+    else
+      OS << D.RegionId;
+    OS << ", kind " << divergenceKindName(D.Kind) << "\n";
+    if (!D.Detail.empty())
+      OS << "    detail: " << D.Detail << "\n";
+    for (const AddrDiff &A : D.Addrs)
+      OS << "    nvm " << hexAddr(A.Addr) << ": golden " << hexByte(A.Golden)
+         << " crashed " << hexByte(A.Crashed) << "\n";
+    if (!D.Window.empty()) {
+      OS << "    window:\n";
+      for (const std::string &W : D.Window)
+        OS << "      " << W << "\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-consistency fault-injection engine.
+///
+/// WARio's correctness claim is that the inserted checkpoints make every
+/// region idempotent: a power failure at *any* cycle must re-execute to
+/// the same NVM end state and program output as an uninterrupted run
+/// (the memory-consistency property formalized by Surbatovich et al.).
+/// The emulator's WAR monitor checks a sufficient static condition at
+/// runtime; this engine checks the property itself, adversarially:
+///
+///  1. run the module once under continuous power with the event trace
+///     enabled — the *golden* run (end state, output, return value, and
+///     the cycle stamps of every checkpoint commit and NVM store);
+///  2. pick crash points (active-cycle budgets) per campaign mode:
+///       - RegionBoundaries: immediately before and immediately after
+///         every checkpoint commit (exhaustive over region boundaries);
+///       - Stratified: N seeded, deterministic samples, one per equal
+///         stratum of the golden cycle range;
+///       - Adversarial: immediately before every commit and immediately
+///         after every NVM store (where a WAR write has just landed);
+///  3. re-run once per point with a power schedule that fails exactly
+///     there and then stays up, fanning out over the src/support
+///     ThreadPool (WARIO_JOBS honored);
+///  4. differentially compare each run against the golden run — final
+///     NVM image (minus the ckpt scratch range), return value, and
+///     output (golden must be a subsequence of the crash run's output:
+///     re-execution may replay out-writes but never alter them);
+///  5. on divergence, bisect down to the earliest crash budget that
+///     still diverges and emit a structured CrashReport naming the
+///     region, the diverging addresses, and the golden instruction
+///     window around the minimal crash point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_VERIFY_FAULTINJECTOR_H
+#define WARIO_VERIFY_FAULTINJECTOR_H
+
+#include "emu/Emulator.h"
+#include "verify/CrashReport.h"
+
+namespace wario::verify {
+
+enum class CampaignMode {
+  RegionBoundaries, ///< Exhaustive over checkpoint-commit boundaries.
+  Stratified,       ///< Seeded uniform sample per equal cycle stratum.
+  Adversarial,      ///< Pre-commit + post-NVM-store placement.
+};
+
+const char *campaignModeName(CampaignMode M);
+
+struct FaultInjectorOptions {
+  CampaignMode Mode = CampaignMode::RegionBoundaries;
+  /// Stratified mode: number of strata (= samples over the cycle range).
+  unsigned Samples = 64;
+  /// Stratified mode: RNG seed; equal seeds give identical crash points.
+  uint32_t Seed = 0x5EED;
+  /// Deterministic cap on tested points (0 = untested-point count is
+  /// unbounded). When a mode generates more candidates, an evenly-strided
+  /// subset is kept and the report records candidates vs tested.
+  unsigned MaxPoints = 2048;
+  /// Base emulator configuration for the golden and the injected runs.
+  /// Power must be continuous (the injector owns the schedule); set
+  /// WarIsFatal = false when campaigning against a deliberately weakened
+  /// build (PipelineOptions::ResolveMiddleEndWars = false).
+  EmulatorOptions BaseEO;
+  std::string Entry = "main";
+  /// Bisect each divergence to the earliest diverging crash budget.
+  bool Bisect = true;
+  /// Stop bisecting/reporting after this many divergences (all are still
+  /// counted; only the first few are minimized in detail).
+  unsigned MaxDivergences = 4;
+  unsigned MaxReportedAddrs = 8;
+  /// Golden instruction window radius (cycles) around the minimal point.
+  uint64_t WindowRadius = 24;
+  /// Worker threads for the campaign fan-out (0 = WARIO_JOBS / cores).
+  unsigned Jobs = 0;
+  /// Metadata echoed into the report.
+  std::string Workload;
+  std::string Config;
+};
+
+/// Runs a fault-injection campaign over \p MM. Deterministic: equal
+/// modules and options produce byte-identical reports regardless of Jobs.
+CrashReport runCrashCampaign(const MModule &MM,
+                             const FaultInjectorOptions &Opts);
+
+} // namespace wario::verify
+
+#endif // WARIO_VERIFY_FAULTINJECTOR_H

@@ -1,0 +1,179 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Power-schedule tests: the synthetic harvester traces must be
+/// deterministic (same construction -> identical schedules -> identical
+/// failure cycles on a run), and PowerSchedule/option `operator<=>`
+/// orderings must behave consistently — the staged result cache
+/// (bench/Harness.cpp) keys on these orderings, so an inconsistency there
+/// silently aliases cache entries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "emu/Emulator.h"
+#include "emu/PowerTrace.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace wario;
+
+//===----------------------------------------------------------------------===//
+// Schedule determinism
+//===----------------------------------------------------------------------===//
+
+TEST(PowerTraceTest, HarvesterTracesAreDeterministic) {
+  // Same construction, same fixed seed -> byte-identical schedules.
+  EXPECT_EQ(harvesterTraceAlpha(512), harvesterTraceAlpha(512));
+  EXPECT_EQ(harvesterTraceBeta(512), harvesterTraceBeta(512));
+  // Different generators / lengths are distinct schedules.
+  EXPECT_NE(harvesterTraceAlpha(512), harvesterTraceBeta(512));
+  EXPECT_NE(harvesterTraceAlpha(512), harvesterTraceAlpha(513));
+  EXPECT_EQ(harvesterTraceAlpha(64).name(), "alpha");
+  EXPECT_EQ(harvesterTraceBeta(64).name(), "beta");
+}
+
+TEST(PowerTraceTest, HarvesterPeriodsAreInModeledRanges) {
+  PowerSchedule Alpha = harvesterTraceAlpha(1024);
+  for (unsigned I = 0; I != 1024; ++I) {
+    uint64_t D = Alpha.onDuration(I);
+    EXPECT_TRUE((D >= 50'000 && D <= 400'000) ||
+                (D >= 1'000'000 && D <= 6'000'000))
+        << "alpha period " << I << " = " << D;
+  }
+  PowerSchedule Beta = harvesterTraceBeta(1024);
+  for (unsigned I = 0; I != 1024; ++I) {
+    uint64_t D = Beta.onDuration(I);
+    // 2.5M * 3/5 + jitter in [0, 2.5M * 4/5].
+    EXPECT_GE(D, 1'500'000u) << "beta period " << I;
+    EXPECT_LE(D, 3'500'000u) << "beta period " << I;
+  }
+}
+
+TEST(PowerTraceTest, TraceOnDurationsCycle) {
+  PowerSchedule P = PowerSchedule::trace({10, 20, 30}, "t");
+  EXPECT_EQ(P.onDuration(0), 10u);
+  EXPECT_EQ(P.onDuration(1), 20u);
+  EXPECT_EQ(P.onDuration(2), 30u);
+  EXPECT_EQ(P.onDuration(3), 10u); // modulo cycling
+  EXPECT_EQ(P.onDuration(7), 20u);
+  EXPECT_FALSE(P.isContinuous());
+  EXPECT_TRUE(PowerSchedule::continuous().isContinuous());
+  EXPECT_EQ(PowerSchedule::continuous().onDuration(5), UINT64_MAX);
+  EXPECT_EQ(PowerSchedule::fixed(99).onDuration(123), 99u);
+}
+
+/// Same schedule, same program: the emulated failure pattern must be
+/// byte-for-byte reproducible — identical failure counts, cycle totals,
+/// and end state. This is what makes every intermittent-power experiment
+/// number in EXPERIMENTS.md reproducible.
+TEST(PowerTraceTest, SameScheduleSameFailureCycles) {
+  const char *Src = R"C(
+int acc = 0;
+int main(void) {
+  for (int i = 0; i < 400; i++)
+    acc = acc + i * 3;
+  return acc;
+}
+)C";
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = compileC(Src, "trace-test", Diags);
+  ASSERT_TRUE(M && !Diags.hasErrors()) << Diags.formatAll();
+  MModule MM = compile(*M, PipelineOptions{});
+
+  EmulatorOptions EO;
+  // Short on-periods (all > the 1000-cycle boot cost) so this small
+  // program still sees several failures.
+  EO.Power = PowerSchedule::trace({2000, 1500, 3000, 1800}, "choppy");
+  EmulatorResult A = emulate(MM, EO);
+  EmulatorResult B = emulate(MM, EO);
+  ASSERT_TRUE(A.Ok) << A.Error;
+  ASSERT_TRUE(B.Ok) << B.Error;
+  EXPECT_GT(A.PowerFailures, 0u) << "schedule too generous to test replay";
+  EXPECT_EQ(A.PowerFailures, B.PowerFailures);
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(A.InstructionsExecuted, B.InstructionsExecuted);
+  EXPECT_EQ(A.CheckpointsExecuted, B.CheckpointsExecuted);
+  EXPECT_EQ(A.ReturnValue, B.ReturnValue);
+  EXPECT_EQ(A.FinalMemory, B.FinalMemory);
+}
+
+//===----------------------------------------------------------------------===//
+// Ordering consistency for cache keys
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks the strict-weak-ordering facts a std::map key needs from a
+/// three-way-comparable type holding distinct values A < B < C.
+template <typename T>
+void expectConsistentOrdering(const T &A, const T &B, const T &C) {
+  EXPECT_TRUE(A == A);
+  EXPECT_FALSE(A < A);          // irreflexive
+  EXPECT_TRUE(A < B);
+  EXPECT_FALSE(B < A);          // asymmetric
+  EXPECT_TRUE(B < C);
+  EXPECT_TRUE(A < C);           // transitive
+  EXPECT_TRUE(T(A) == A);       // copies compare equal
+  EXPECT_EQ(A <=> A, std::strong_ordering::equal);
+}
+
+} // namespace
+
+TEST(PowerTraceTest, ScheduleOrderingIsConsistent) {
+  expectConsistentOrdering(PowerSchedule::fixed(100),
+                           PowerSchedule::fixed(200),
+                           PowerSchedule::fixed(300));
+  // Equal configurations compare equal regardless of construction site.
+  EXPECT_EQ(PowerSchedule::trace({5, 6}, "x"),
+            PowerSchedule::trace({5, 6}, "x"));
+  // Any differing field breaks equality (the cache must not alias them).
+  EXPECT_NE(PowerSchedule::trace({5, 6}, "x"),
+            PowerSchedule::trace({5, 7}, "x"));
+  EXPECT_NE(PowerSchedule::trace({5, 6}, "x"),
+            PowerSchedule::trace({5, 6}, "y"));
+  EXPECT_NE(PowerSchedule::continuous(), PowerSchedule::fixed(1));
+}
+
+TEST(PowerTraceTest, EmulatorOptionsOrderingIsConsistent) {
+  EmulatorOptions A, B, C;
+  A.InterruptPeriod = 0;
+  B.InterruptPeriod = 500;
+  C.InterruptPeriod = 900;
+  expectConsistentOrdering(A, B, C);
+  // Every field participates in the key — including the event-trace
+  // knobs the fault injector added; two configs differing only there
+  // must not share a cached emulation result.
+  EmulatorOptions D, E;
+  EXPECT_EQ(D, E);
+  E.CollectEventTrace = true;
+  EXPECT_NE(D, E);
+  E = D;
+  E.TraceWindowHi = 64;
+  EXPECT_NE(D, E);
+  E = D;
+  E.Power = PowerSchedule::fixed(50'000);
+  EXPECT_NE(D, E);
+  E = D;
+  E.WarIsFatal = false;
+  EXPECT_NE(D, E);
+}
+
+TEST(PowerTraceTest, PipelineOptionsOrderingIsConsistent) {
+  PipelineOptions A, B, C;
+  A.UnrollFactor = 2;
+  B.UnrollFactor = 4;
+  C.UnrollFactor = 8;
+  expectConsistentOrdering(A, B, C);
+  PipelineOptions D, E;
+  EXPECT_EQ(D, E);
+  E.Env = Environment::Ratchet;
+  EXPECT_NE(D, E);
+  E = D;
+  E.ResolveMiddleEndWars = false; // the negative-control knob is keyed too
+  EXPECT_NE(D, E);
+  // The derived middle-end config follows suit: the weakened build may
+  // not reuse the default build's cached middle-end artifact.
+  EXPECT_NE(middleEndConfig(D), middleEndConfig(E));
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Documentation lint (registered as the `check_docs` ctest test).
+#
+# Two checks over the user-facing docs (README.md, DESIGN.md,
+# EXPERIMENTS.md, docs/ARCHITECTURE.md):
+#
+#   1. every repo file path a doc references must exist — docs rot by
+#      pointing at renamed/deleted files, and this catches it in CI;
+#   2. every fenced ```sh / ```bash block must parse (bash -n) — command
+#      typos in the docs fail the suite, not the reader.
+#
+# Paths under build/ (generated), paths containing globs or <placeholders>,
+# and URLs are ignored.
+#
+# Usage: tools/check_docs.sh [repo-root]   (default: the script's parent)
+
+set -u
+
+root=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+cd "$root" || exit 2
+
+docs=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md)
+errors=0
+
+for doc in "${docs[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "check_docs: FAIL: documented entry point $doc is missing"
+    errors=$((errors + 1))
+  fi
+done
+
+# --- Check 1: referenced paths exist ---------------------------------------
+# Candidate references: top-level doc/config names and anything shaped like
+# dir/file under the repo's source directories.
+path_re='\b(src|bench|tests|tools|docs|examples|\.claude)/[A-Za-z0-9_./*<>-]+|\b(README|DESIGN|EXPERIMENTS|PAPER|PAPERS|ROADMAP|CHANGES|SNIPPETS|MEMORY)\.md\b|\bCMakeLists\.txt\b'
+
+checked=0
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  while IFS= read -r ref; do
+    # Strip trailing punctuation and :line suffixes picked up from prose.
+    ref=${ref%%:*}
+    ref=${ref%.}
+    ref=${ref%,}
+    ref=${ref%\)}
+    ref=${ref%\`}
+    ref=${ref%/}
+    case "$ref" in
+      ''|*'*'*|*'<'*|*'>'*|build/*) continue ;; # globs, placeholders, generated
+    esac
+    checked=$((checked + 1))
+    # Accept build-target shorthand: docs say `bench/verify_crash` for
+    # the binary built from bench/verify_crash.cpp (same for headers).
+    if [ ! -e "$ref" ] && [ ! -e "$ref.cpp" ] && [ ! -e "$ref.h" ]; then
+      echo "check_docs: FAIL: $doc references missing path: $ref"
+      errors=$((errors + 1))
+    fi
+  done < <(grep -oE "$path_re" "$doc" | sort -u)
+done
+
+# --- Check 2: fenced shell blocks parse ------------------------------------
+blocks=0
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  # Emit each ```sh / ```bash block separated by \0, then bash -n each.
+  while IFS= read -r -d '' block; do
+    blocks=$((blocks + 1))
+    if ! err=$(printf '%s\n' "$block" | bash -n 2>&1); then
+      echo "check_docs: FAIL: $doc has a shell block that does not parse:"
+      printf '%s\n' "$block" | sed 's/^/    | /'
+      printf '%s\n' "$err" | sed 's/^/    /'
+      errors=$((errors + 1))
+    fi
+  done < <(awk '
+    /^```(sh|bash)[ \t]*$/ { fence = 1; next }
+    /^```/ { if (fence) printf "%s", "\0"; fence = 0; next }
+    fence { print }
+  ' "$doc")
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "check_docs: FAIL: extracted no path references (lint is broken)"
+  errors=$((errors + 1))
+fi
+
+if [ "$errors" -ne 0 ]; then
+  echo "check_docs: $errors problem(s) across ${docs[*]}"
+  exit 1
+fi
+echo "check_docs: OK: $checked path reference(s) exist, $blocks shell block(s) parse"
