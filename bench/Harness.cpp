@@ -1,5 +1,6 @@
 #include "Harness.h"
 
+#include "emu/Snapshot.h"
 #include "ir/Cloning.h"
 #include "support/ThreadPool.h"
 
@@ -132,15 +133,20 @@ std::unique_ptr<Module> buildIRorDie(const Workload &W) {
   return M;
 }
 
-/// Emulates a compiled cell and enforces the harness's hard failure
-/// policy (shared by the cached and uncached paths).
-EmulatorResult emulateOrDie(const MModule &MM, const std::string &Workload,
-                            const PipelineOptions &PO,
+/// PlainC builds carry no checkpoints, so WAR "violations" are expected
+/// and non-fatal there; everywhere else they abort the regenerator.
+EmulatorOptions effectiveEO(const PipelineOptions &PO,
                             const EmulatorOptions &EOpts) {
   EmulatorOptions EO = EOpts;
   if (PO.Env == Environment::PlainC)
     EO.WarIsFatal = false;
-  EmulatorResult R = emulate(MM, EO);
+  return EO;
+}
+
+/// The harness's hard failure policy (shared by the cached and uncached
+/// paths): experiment regenerators have no use for partial data.
+void checkRunOrDie(const EmulatorResult &R, const std::string &Workload,
+                   const PipelineOptions &PO) {
   if (!R.Ok) {
     std::fprintf(stderr, "emulation failure on %s @ %s: %s\n",
                  Workload.c_str(), environmentName(PO.Env),
@@ -152,6 +158,15 @@ EmulatorResult emulateOrDie(const MModule &MM, const std::string &Workload,
                  environmentName(PO.Env));
     std::exit(1);
   }
+}
+
+/// Emulates a compiled cell and enforces the failure policy (the
+/// uncached reference path; the staged store adds snapshot reuse).
+EmulatorResult emulateOrDie(const MModule &MM, const std::string &Workload,
+                            const PipelineOptions &PO,
+                            const EmulatorOptions &EOpts) {
+  EmulatorResult R = emulate(MM, effectiveEO(PO, EOpts));
+  checkRunOrDie(R, Workload, PO);
   return R;
 }
 
@@ -201,6 +216,12 @@ template <typename V> struct Slot {
     CV.wait(Lock, [this] { return Ready; });
     return Val;
   }
+  /// Non-blocking: the value if published, nullptr otherwise. For
+  /// opportunistic consumers that must not serialize on the producer.
+  const V *tryGet() {
+    std::lock_guard<std::mutex> Lock(M);
+    return Ready ? &Val : nullptr;
+  }
 };
 
 /// Frontend + front-half artifact: one per workload. The module is the
@@ -239,6 +260,28 @@ struct RunKey {
   auto operator<=>(const RunKey &) const = default;
 };
 
+/// Snapshot chains are shared between a continuous-power cell (which
+/// records while it runs — see Emulator::record) and its power-schedule
+/// siblings (which resume from the governing snapshot of their first
+/// on-period — see Emulator::replay). The key is the cell configuration
+/// with the power schedule erased: two cells agree on it exactly when
+/// the recorded chain is compatible with the sibling's replay.
+struct ChainKey {
+  std::string Workload;
+  PipelineOptions PO;
+  EmulatorOptions EO; ///< Power normalized to continuous.
+  auto operator<=>(const ChainKey &) const = default;
+};
+
+/// A recorded golden run: the pre-decoded Emulator (the module it
+/// borrows lives in the compile store, which outlives this) plus its
+/// snapshot chain. Immutable once published; replayed concurrently.
+struct ChainArtifact {
+  Emulator E;
+  SnapshotChain Chain;
+  explicit ChainArtifact(const MModule &MM) : E(MM) {}
+};
+
 } // namespace
 
 struct ResultCache::Impl {
@@ -247,6 +290,8 @@ struct ResultCache::Impl {
   std::map<MidKey, std::unique_ptr<Slot<MidArtifact>>> Mid;
   std::map<CompileKey, std::unique_ptr<Slot<CompileResult>>> Compile;
   std::map<RunKey, std::unique_ptr<Slot<RunResult>>> Run;
+  std::map<ChainKey, std::unique_ptr<Slot<std::shared_ptr<const ChainArtifact>>>>
+      Chains;
 
   /// Claims or finds the slot for \p K in \p Map. Returns the slot and
   /// whether this caller must compute it.
@@ -318,13 +363,66 @@ struct ResultCache::Impl {
     return S->get();
   }
 
+  /// Cell emulation with snapshot reuse: a continuous-power cell records
+  /// a chain as a free by-product of its own run; a power-schedule
+  /// sibling resumes from the governing snapshot of its first on-period
+  /// instead of re-executing the shared continuous prefix from boot.
+  /// Results are byte-identical to plain emulate() on every path
+  /// (acquiring the chain is non-blocking precisely so that scheduling
+  /// can only change the wall clock, never the data).
+  EmulatorResult emulateCell(const CompileResult &CR, const MatrixCell &C,
+                             const EmulatorOptions &EO) {
+    if (!snapshotsEnabled())
+      return emulate(CR.MM, EO);
+    ChainKey K{C.Workload, C.PO, EO};
+    K.EO.Power = PowerSchedule::continuous();
+    using ChainSlot = Slot<std::shared_ptr<const ChainArtifact>>;
+    if (EO.Power.isContinuous()) {
+      ChainSlot *S = nullptr;
+      bool Mine = false;
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        auto [It, Inserted] = Chains.try_emplace(K);
+        if (Inserted)
+          It->second = std::make_unique<ChainSlot>();
+        S = It->second.get();
+        Mine = Inserted;
+      }
+      if (!Mine) // Identical cells dedupe upstream in the run store.
+        return emulate(CR.MM, EO);
+      auto A = std::make_shared<ChainArtifact>(CR.MM);
+      EmulatorResult R = A->E.record(EO, SnapshotSchedule{}, A->Chain);
+      S->publish(A->Chain.valid()
+                     ? std::shared_ptr<const ChainArtifact>(std::move(A))
+                     : nullptr);
+      return R;
+    }
+    ChainSlot *S = nullptr;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      auto It = Chains.find(K);
+      if (It != Chains.end())
+        S = It->second.get();
+    }
+    if (S) {
+      if (const std::shared_ptr<const ChainArtifact> *A = S->tryGet();
+          A && *A) {
+        ReplayPlan Plan;
+        Plan.Chain = &(**A).Chain;
+        return (**A).E.replay(EO, Plan);
+      }
+    }
+    return emulate(CR.MM, EO);
+  }
+
   RunResult computeRun(const MatrixCell &C) {
     const CompileResult &CR = compileFor(C.Workload, C.PO);
     RunResult R;
     R.Pipeline = CR.Pipeline;
     R.TextBytes = CR.TextBytes;
     ScopeTimer T(StEmulate);
-    R.Emu = emulateOrDie(CR.MM, C.Workload, C.PO, C.EO);
+    R.Emu = emulateCell(CR, C, effectiveEO(C.PO, C.EO));
+    checkRunOrDie(R.Emu, C.Workload, C.PO);
     R.Pipeline.EmulateSeconds = T.seconds();
     return R;
   }

@@ -1,24 +1,28 @@
 #!/bin/sh
 # Snapshots the performance trajectory into a BENCH_<tag>.json at the
 # repo root:
-#   - the emulator microbenchmarks (micro_emulator),
+#   - the emulator microbenchmarks (micro_emulator), including the
+#     snapshot-record overhead and resume-vs-cold pairs,
 #   - the staged-pipeline + cache microbenchmarks (micro_compiler),
 #   - the end-to-end single-threaded wall time of the fig4 + table3
 #     regenerators (the PR-2 acceptance metric; WARIO_JOBS=1 so the
-#     number measures artifact reuse, not parallelism).
+#     number measures artifact reuse, not parallelism),
+#   - the verify_crash campaign wall time with the snapshot/restore
+#     engine enabled vs disabled (WARIO_SNAPSHOTS=0) — the PR-5
+#     acceptance metric (target: >= 5x reduction).
 #
 #   usage: bench/emit_bench_json.sh [build-dir] [tag]
 #
-# Defaults: build-dir = build, tag = pr2. Also runnable via the
+# Defaults: build-dir = build, tag = pr5. Also runnable via the
 # `bench_json` CMake target (cmake --build build --target bench_json).
 set -eu
 
 ROOT=$(dirname "$0")/..
 BUILD=${1:-"$ROOT/build"}
-TAG=${2:-pr2}
+TAG=${2:-pr5}
 
 for bin in micro_emulator micro_compiler fig4_execution_time \
-           table3_intermittent; do
+           table3_intermittent verify_crash; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "error: $BUILD/bench/$bin not built (cmake --build $BUILD -j)" >&2
     exit 1
@@ -51,8 +55,32 @@ print(f"{min(times):.3f}")
 EOF
 )
 
+# verify_crash campaign wall time, snapshots on (best-of-3) vs off
+# (single run — it is the multi-second baseline, so relative noise is
+# small). Single-threaded for the same reason as the E2E number above.
+CRASH=$(python3 - "$BUILD" <<'EOF'
+import subprocess, sys, time, os
+build = sys.argv[1]
+bin = os.path.join(build, "bench", "verify_crash")
+def run(snapshots, reps):
+    env = dict(os.environ, WARIO_JOBS="1", WARIO_SNAPSHOTS=snapshots)
+    times = []
+    for _ in range(reps):
+        t0 = time.monotonic()
+        subprocess.run([bin], env=env, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL, check=True)
+        times.append(time.monotonic() - t0)
+    return min(times)
+on, off = run("1", 3), run("0", 1)
+print(f"{on:.3f} {off:.3f}")
+EOF
+)
+CRASH_ON=${CRASH% *}
+CRASH_OFF=${CRASH#* }
+
 OUT="$ROOT/BENCH_${TAG}.json"
-python3 - "$EMU_JSON" "$COMP_JSON" "$E2E" "$OUT" <<'EOF'
+python3 - "$EMU_JSON" "$COMP_JSON" "$E2E" "$CRASH_ON" "$CRASH_OFF" \
+    "$OUT" <<'EOF'
 import json, sys
 emu, comp = (json.load(open(p)) for p in sys.argv[1:3])
 merged = emu
@@ -65,6 +93,18 @@ merged["benchmarks"].append({
     "real_time": float(sys.argv[3]) * 1e9,
     "time_unit": "ns",
 })
-json.dump(merged, open(sys.argv[4], "w"), indent=1)
-print(f"wrote {sys.argv[4]} (fig4+table3 single-thread: {sys.argv[3]}s)")
+on, off = float(sys.argv[4]), float(sys.argv[5])
+merged["benchmarks"].append({
+    "name": "verify_crash_single_thread",
+    "run_type": "aggregate",
+    "aggregate_name": "min",
+    "iterations": 3,
+    "real_time": on * 1e9,
+    "time_unit": "ns",
+    "snapshots_disabled_real_time": off * 1e9,
+    "snapshot_speedup": off / on,
+})
+json.dump(merged, open(sys.argv[6], "w"), indent=1)
+print(f"wrote {sys.argv[6]} (fig4+table3 single-thread: {sys.argv[3]}s; "
+      f"verify_crash {on}s vs {off}s snapshots-off, {off / on:.1f}x)")
 EOF

@@ -12,6 +12,8 @@
 
 #include "Harness.h"
 
+#include "emu/Snapshot.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace wario;
@@ -105,6 +107,80 @@ void BM_EmulatorInterrupts_CRC(benchmark::State &State) {
   runEmulatorBench(State, "crc", Environment::WarioComplete, EO);
 }
 BENCHMARK(BM_EmulatorInterrupts_CRC);
+
+/// Snapshot-recording overhead: a golden run that journals the full
+/// snapshot chain, measured against BM_EmulatorContinuous_CRC. The
+/// chain is rebuilt every iteration; snapshot_bytes reports its size.
+void BM_SnapshotRecord_CRC(benchmark::State &State) {
+  const MModule &MM = compiledWorkload("crc", Environment::WarioComplete);
+  Emulator E(MM);
+  EmulatorOptions EO = continuousNoRegions();
+  uint64_t Instructions = 0;
+  size_t ChainBytes = 0, ChainSnaps = 0;
+  for (auto _ : State) {
+    SnapshotChain Chain;
+    EmulatorResult R = E.record(EO, SnapshotSchedule{}, Chain);
+    if (!R.Ok || !Chain.valid()) {
+      State.SkipWithError("record failed");
+      return;
+    }
+    Instructions += R.InstructionsExecuted;
+    ChainBytes = Chain.bytes();
+    ChainSnaps = Chain.size();
+    benchmark::DoNotOptimize(R.ReturnValue);
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      double(Instructions), benchmark::Counter::kIsRate);
+  State.counters["snapshot_bytes"] = double(ChainBytes);
+  State.counters["snapshots"] = double(ChainSnaps);
+}
+BENCHMARK(BM_SnapshotRecord_CRC);
+
+/// Resume-vs-cold at a late crash point: the fault-injector inner loop.
+/// Record once outside timing, then replay a run that crashes at 90% of
+/// the golden run; with \p Warm the replay resumes from the governing
+/// snapshot (and tail-splices), without it the same work runs cold.
+void runLateCrashBench(benchmark::State &State, bool Warm) {
+  const MModule &MM = compiledWorkload("crc", Environment::WarioComplete);
+  Emulator E(MM);
+  EmulatorOptions Base = continuousNoRegions();
+  SnapshotChain Chain;
+  EmulatorResult Golden = E.record(Base, SnapshotSchedule{}, Chain);
+  if (!Golden.Ok || !Chain.valid()) {
+    State.SkipWithError("golden record failed");
+    return;
+  }
+  EmulatorOptions EO = Base;
+  EO.Power =
+      PowerSchedule::trace({Golden.TotalCycles * 9 / 10, UINT64_MAX}, "late");
+  ReplayPlan Plan;
+  Plan.Chain = Warm ? &Chain : nullptr;
+  Plan.AllowTailSplice = true;
+  Plan.OmitFinalMemoryOnSplice = true;
+  EmulatorScratch Scratch;
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    EmulatorResult R = E.replay(EO, Plan, "main", &Scratch);
+    if (!R.Ok) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    Instructions += R.InstructionsExecuted;
+    benchmark::DoNotOptimize(R.ReturnValue);
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      double(Instructions), benchmark::Counter::kIsRate);
+}
+
+void BM_LateCrashCold_CRC(benchmark::State &State) {
+  runLateCrashBench(State, /*Warm=*/false);
+}
+BENCHMARK(BM_LateCrashCold_CRC);
+
+void BM_LateCrashResumed_CRC(benchmark::State &State) {
+  runLateCrashBench(State, /*Warm=*/true);
+}
+BENCHMARK(BM_LateCrashResumed_CRC);
 
 } // namespace
 

@@ -33,13 +33,16 @@ namespace {
 
 /// One compile, many injected runs: the machine module comes from the
 /// staged cache (shared with every other regenerator in this process);
-/// only the injected emulations are new work.
-CrashReport campaign(const std::string &Workload, const PipelineOptions &PO,
-                     CampaignMode Mode, unsigned MaxPoints,
-                     bool WarFatal = true) {
+/// only the injected emulations are new work. All modes of one workload
+/// run as a combined campaign — one golden recording, crash points
+/// deduplicated across modes before the fan-out — which changes nothing
+/// about the reports, only the wall clock.
+std::vector<CrashReport> campaigns(const std::string &Workload,
+                                   const PipelineOptions &PO,
+                                   const std::vector<CampaignMode> &Modes,
+                                   unsigned MaxPoints, bool WarFatal = true) {
   const CompileResult &CR = globalCache().compileCell(Workload, PO);
   FaultInjectorOptions FI;
-  FI.Mode = Mode;
   FI.Samples = 48;
   FI.MaxPoints = MaxPoints;
   FI.BaseEO.CollectRegionSizes = false;
@@ -47,7 +50,20 @@ CrashReport campaign(const std::string &Workload, const PipelineOptions &PO,
   FI.Workload = Workload;
   FI.Config = PO.ResolveMiddleEndWars ? environmentName(PO.Env)
                                       : "wario-weakened";
-  return runCrashCampaign(CR.MM, FI);
+  return runCrashCampaigns(CR.MM, FI, Modes);
+}
+
+/// Engine statistics go to stderr so the report stream (stdout) stays
+/// byte-comparable across engine generations.
+void logEngineStats(const CrashReport &R) {
+  std::fprintf(stderr,
+               "[verify_crash] %s/%s: %u mode points collapsed into %u "
+               "distinct (%u shared); %u physical runs, %u resumed, %u "
+               "spliced; %u snapshots (%.1f MiB)\n",
+               R.Workload.c_str(), R.Config.c_str(),
+               R.UnionPoints + R.SharedPoints, R.UnionPoints, R.SharedPoints,
+               R.PhysicalRuns, R.ResumedRuns, R.SplicedRuns, R.Snapshots,
+               double(R.SnapshotBytes) / (1024.0 * 1024.0));
 }
 
 std::string cellText(const CrashReport &R) {
@@ -71,16 +87,19 @@ int main(int argc, char **argv) {
   for (const Workload &W : allWorkloads()) {
     PipelineOptions PO; // Environment::WarioComplete, paper defaults.
     std::vector<std::string> Cells;
-    for (CampaignMode Mode :
-         {CampaignMode::RegionBoundaries, CampaignMode::Stratified,
-          CampaignMode::Adversarial}) {
-      CrashReport R = campaign(W.Name, PO, Mode, /*MaxPoints=*/192);
+    std::vector<CrashReport> Rs = campaigns(
+        W.Name, PO,
+        {CampaignMode::RegionBoundaries, CampaignMode::Stratified,
+         CampaignMode::Adversarial},
+        /*MaxPoints=*/192);
+    for (const CrashReport &R : Rs) {
       Cells.push_back(cellText(R));
       if (!R.clean()) {
         AllClean = false;
         std::fprintf(stderr, "%s", R.format().c_str());
       }
     }
+    logEngineStats(Rs.front());
     printRow(W.Name, Cells);
   }
 
@@ -88,8 +107,10 @@ int main(int argc, char **argv) {
               "resolution skipped:\n");
   PipelineOptions Weak;
   Weak.ResolveMiddleEndWars = false;
-  CrashReport Neg = campaign("crc", Weak, CampaignMode::Adversarial,
-                             /*MaxPoints=*/192, /*WarFatal=*/false);
+  CrashReport Neg = campaigns("crc", Weak, {CampaignMode::Adversarial},
+                              /*MaxPoints=*/192, /*WarFatal=*/false)
+                        .front();
+  logEngineStats(Neg);
   if (!Neg.Ok || Neg.Divergences.empty()) {
     std::fprintf(stderr, "negative control NOT detected — the injector has "
                          "no teeth\n%s",

@@ -1,15 +1,16 @@
 #include "emu/Emulator.h"
 
+#include "emu/Snapshot.h"
 #include "ir/ConstEval.h"
 
 #include <algorithm>
-
 #include <bit>
+#include <cstring>
 #include <sstream>
 
 using namespace wario;
 
-namespace {
+namespace wario::emu_detail {
 
 /// Layout inside the reserved checkpoint range (the public extent lives
 /// in Emulator.h as ckpt::Base/ckpt::End so the fault injector can mask
@@ -33,7 +34,7 @@ struct CodeRef {
 };
 
 /// ALU opcode for a binary MOp (replaces the per-step MOp->Opcode map).
-Opcode aluOpcode(MOp Op) {
+inline Opcode aluOpcode(MOp Op) {
   switch (Op) {
   case MOp::Add: return Opcode::Add;
   case MOp::Sub: return Opcode::Sub;
@@ -69,13 +70,22 @@ struct DecodedInst {
   const MFunction *F; ///< Owning function (frame-slot addressing).
 };
 
-class Machine {
-public:
-  Machine(const MModule &M, const EmulatorOptions &Opts)
-      : M(M), Opts(Opts), Mem(memmap::MemSize, 0),
-        AccessEpoch(memmap::MemSize, 0), AccessKind(memmap::MemSize, 0) {
+} // namespace wario::emu_detail
+
+using namespace wario::emu_detail;
+
+/// The per-module preparation an Emulator instance amortizes across
+/// runs: the flattened + decoded program and the initial NVM image.
+struct Emulator::Impl {
+  const MModule &M;
+  std::vector<CodeRef> Code;       ///< Diagnostics only (WAR reports).
+  std::vector<DecodedInst> Prog;   ///< Dense execution representation.
+  std::vector<uint32_t> FuncEntry; ///< Entry code index per function.
+  std::vector<uint8_t> BaseImage;  ///< Initial NVM (zeros + InitImage).
+
+  explicit Impl(const MModule &M) : M(M), BaseImage(memmap::MemSize, 0) {
     assert(!M.InitImage.empty() || M.DataEnd == 0);
-    std::copy(M.InitImage.begin(), M.InitImage.end(), Mem.begin());
+    std::copy(M.InitImage.begin(), M.InitImage.end(), BaseImage.begin());
 
     // Pass 1: flatten code, recording function entries and block starts.
     FuncEntry.reserve(M.Functions.size());
@@ -125,17 +135,90 @@ public:
       }
     }
   }
+};
+
+namespace {
+
+class Machine {
+public:
+  /// \p Persistent: the scratch outlives this run (its arrays must stay
+  /// coherent for reuse), so the final NVM image is copied out instead
+  /// of moved.
+  Machine(const Emulator::Impl &P, const EmulatorOptions &Opts,
+          EmulatorScratch &Scr, bool Persistent)
+      : P(P), Opts(Opts), Scr(Scr), Persistent(Persistent) {}
+
+  /// Journals periodic snapshots into \p C while running.
+  void enableRecord(SnapshotChain *C, const SnapshotSchedule &S) {
+    Chain = C;
+    Sched = S;
+  }
+
+  /// Resumes from / splices against Plan.Chain per the plan.
+  void enableReplay(const ReplayPlan &P, ReplayOutcome *O) {
+    Plan = &P;
+    Out = O;
+    StopAt = P.StopAtActiveCycle;
+  }
 
   EmulatorResult run(const std::string &Entry) {
-    EmulatorResult R;
-    const MFunction *Main = M.getFunction(Entry);
+    const MFunction *Main = P.M.getFunction(Entry);
     if (!Main) {
+      EmulatorResult R;
       R.Error = "entry function '" + Entry + "' not found";
       return R;
     }
-    MainEntry = FuncEntry[unsigned(Main - M.Functions.data())];
+    MainEntry = P.FuncEntry[unsigned(Main - P.M.Functions.data())];
+    CurEntry = Entry;
+    prepareScratch();
 
-    coldStart();
+    if (Chain) {
+      Chain->clear();
+      Chain->Module = &P.M;
+      Chain->Entry = Entry;
+      Chain->RecordedEO = Opts;
+      Chain->PerPage.resize(snapshot::NumPages);
+      SnapMark.assign(snapshot::NumPages, 0);
+      EffInterval = Sched.IntervalCycles ? Sched.IntervalCycles : 1024;
+      AutoTune = Sched.IntervalCycles == 0;
+      GrowAt = 2048;
+    }
+
+    // Resume decision: the run is byte-identical to a cold run up to
+    // the earliest cycle where options can make it diverge from the
+    // recorded golden run — the first power failure, the start of a
+    // requested trace window, or the stop point — so the governing
+    // snapshot at or before that cycle is a safe entry.
+    int ResumeIdx = -1;
+    if (Plan && Plan->Chain && compatible(*Plan->Chain)) {
+      uint64_t Target = UINT64_MAX;
+      uint64_t First = Opts.Power.onDuration(0);
+      if (First != UINT64_MAX)
+        Target = std::min(Target, First);
+      if (Opts.TraceWindowHi)
+        Target = std::min(Target, Opts.TraceWindowLo);
+      if (StopAt)
+        Target = std::min(Target, StopAt);
+      ResumeIdx = Plan->Chain->governing(Target);
+    }
+    if (Out) {
+      Out->Resumed = ResumeIdx >= 0;
+      Out->ResumeSnapshot = ResumeIdx;
+    }
+
+    SpliceEnabled = Plan && Plan->AllowTailSplice && StopAt == 0 &&
+                    Plan->Chain && compatible(*Plan->Chain) &&
+                    Plan->Chain->Final.Ok && !Opts.CollectEventTrace &&
+                    Opts.TraceWindowHi == 0 && Opts.InterruptPeriod == 0;
+    TrackWrites = Persistent || Chain != nullptr || ResumeIdx >= 0 ||
+                  SpliceEnabled;
+
+    if (ResumeIdx >= 0) {
+      restoreFrom(*Plan->Chain, ResumeIdx);
+      ResumeLogEnd = Plan->Chain->Snaps[unsigned(ResumeIdx)].PageLogEnd;
+    } else {
+      coldStart();
+    }
     unsigned StalledBoots = 0;
 
     while (true) {
@@ -147,6 +230,12 @@ public:
         break;
       if (Failed)
         break;
+      if (StopAt && ActiveSinceBoot >= StopAt) {
+        Stopped = true;
+        break;
+      }
+      if (Chain && RegionFresh)
+        maybeSnapshot();
 
       // Power failure?
       uint64_t OnBudget = Opts.Power.onDuration(Res.PowerFailures);
@@ -189,14 +278,37 @@ public:
         continue;
       }
 
+      // Tail splice: once no further power failures are pending, a
+      // region-fresh state that exactly matches a recorded snapshot
+      // evolves identically to the golden run from here on.
+      if (SpliceEnabled && SpliceAttempts && RegionFresh &&
+          OnBudget == UINT64_MAX && trySplice())
+        break;
+
       step();
     }
 
-    R = std::move(Res);
-    R.FinalMemory = std::move(Mem);
-    R.Ok = !Failed;
-    if (Failed)
-      R.Error = ErrorMsg;
+    EmulatorResult R = std::move(Res);
+    if (Spliced) {
+      R.Ok = true;
+      if (!Plan->OmitFinalMemoryOnSplice)
+        R.FinalMemory = Plan->Chain->Final.FinalMemory;
+    } else {
+      if (Persistent)
+        R.FinalMemory = Scr.Mem; // Copy: the scratch stays reusable.
+      else
+        R.FinalMemory = std::move(Scr.Mem);
+      R.Ok = !Failed;
+      if (Failed)
+        R.Error = ErrorMsg;
+    }
+    if (Chain) {
+      // Only a completed, successful run yields a usable chain.
+      if (R.Ok && !Stopped)
+        Chain->Final = R;
+      else
+        Chain->clear();
+    }
     return R;
   }
 
@@ -220,6 +332,55 @@ private:
     return Regs[R];
   }
 
+  // --- Scratch / page tracking ------------------------------------------------
+  /// Brings the scratch arrays to the module's initial state: a full
+  /// (re)initialization when the scratch last served a different
+  /// Emulator, otherwise an O(touched pages) patch from the base image.
+  void prepareScratch() {
+    if (Scr.Owner != &P) {
+      Scr.Mem.assign(P.BaseImage.begin(), P.BaseImage.end());
+      Scr.AccessEpoch.assign(memmap::MemSize, 0);
+      Scr.AccessKind.assign(memmap::MemSize, 0);
+      Scr.Epoch = 0;
+      Scr.TouchedMark.assign(snapshot::NumPages, 0);
+      Scr.Touched.clear();
+      Scr.Owner = &P;
+      return;
+    }
+    for (uint32_t Pg : Scr.Touched) {
+      std::copy_n(P.BaseImage.begin() + size_t(Pg) * snapshot::PageSize,
+                  snapshot::PageSize,
+                  Scr.Mem.begin() + size_t(Pg) * snapshot::PageSize);
+      Scr.TouchedMark[Pg] = 0;
+    }
+    Scr.Touched.clear();
+  }
+
+  void touchPage(uint32_t Pg) {
+    if (!Scr.TouchedMark[Pg]) {
+      Scr.TouchedMark[Pg] = 1;
+      Scr.Touched.push_back(Pg);
+    }
+  }
+
+  /// Page-grain write tracking: which pages diverged from the base
+  /// image (scratch reuse + splice comparison) and which were dirtied
+  /// since the last snapshot (the copy-on-write journal). Off — a
+  /// single predictable branch — on plain cold runs.
+  void noteWrite(uint32_t Addr, unsigned Size) {
+    if (!TrackWrites)
+      return;
+    uint32_t P0 = Addr >> snapshot::PageShift;
+    uint32_t P1 = (Addr + Size - 1) >> snapshot::PageShift;
+    for (uint32_t Pg = P0; Pg <= P1; ++Pg) {
+      touchPage(Pg);
+      if (Chain && !SnapMark[Pg]) {
+        SnapMark[Pg] = 1;
+        SnapDirty.push_back(Pg);
+      }
+    }
+  }
+
   // --- Memory with WAR monitoring ----------------------------------------------
   enum class Access : uint8_t { Read, Write };
 
@@ -231,11 +392,12 @@ private:
 
   /// Starts a fresh idempotent region: previous first-access records are
   /// invalidated by bumping the epoch instead of clearing a map, so a
-  /// region reset is O(1).
+  /// region reset is O(1). The epoch lives in the scratch and keeps
+  /// increasing across runs, which is what makes scratch reuse safe.
   void clearFirstAccess() {
-    if (++Epoch == 0) { // Epoch wrapped: lazily-stale entries are invalid.
-      std::fill(AccessEpoch.begin(), AccessEpoch.end(), 0u);
-      Epoch = 1;
+    if (++Scr.Epoch == 0) { // Epoch wrapped: lazily-stale entries are invalid.
+      std::fill(Scr.AccessEpoch.begin(), Scr.AccessEpoch.end(), 0u);
+      Scr.Epoch = 1;
     }
   }
 
@@ -245,12 +407,13 @@ private:
     bool CountedThisAccess = false;
     for (unsigned I = 0; I != Size; ++I) {
       uint32_t A = Addr + I;
-      if (AccessEpoch[A] != Epoch) {
-        AccessEpoch[A] = Epoch;
-        AccessKind[A] = uint8_t(Kind);
+      if (Scr.AccessEpoch[A] != Scr.Epoch) {
+        Scr.AccessEpoch[A] = Scr.Epoch;
+        Scr.AccessKind[A] = uint8_t(Kind);
         continue;
       }
-      if (Kind == Access::Write && Access(AccessKind[A]) == Access::Read) {
+      if (Kind == Access::Write &&
+          Access(Scr.AccessKind[A]) == Access::Read) {
         // One violation per offending store, not per overlapping byte.
         if (!CountedThisAccess)
           ++Res.WarViolations;
@@ -267,7 +430,7 @@ private:
           fail(Res.WarReports.empty() ? "WAR violation"
                                       : Res.WarReports.back());
         // Record as write so each spot reports once.
-        AccessKind[A] = uint8_t(Access::Write);
+        Scr.AccessKind[A] = uint8_t(Access::Write);
       }
     }
   }
@@ -280,7 +443,7 @@ private:
     recordAccess(Addr, Size, Access::Read);
     uint32_t V = 0;
     for (unsigned I = 0; I != Size; ++I)
-      V |= uint32_t(Mem[Addr + I]) << (8 * I);
+      V |= uint32_t(Scr.Mem[Addr + I]) << (8 * I);
     if (SignExtend && Size < 4) {
       uint32_t SignBit = 1u << (Size * 8 - 1);
       if (V & SignBit)
@@ -307,20 +470,231 @@ private:
         (Res.StoreCycles.empty() ||
          Res.StoreCycles.back() != ActiveSinceBoot + 1))
       Res.StoreCycles.push_back(ActiveSinceBoot + 1);
+    noteWrite(Addr, Size);
     for (unsigned I = 0; I != Size; ++I)
-      Mem[Addr + I] = uint8_t(V >> (8 * I));
+      Scr.Mem[Addr + I] = uint8_t(V >> (8 * I));
   }
 
   /// Raw word access bypassing the monitor (checkpoint machinery).
   uint32_t rawLoad(uint32_t Addr) {
     uint32_t V = 0;
     for (unsigned I = 0; I != 4; ++I)
-      V |= uint32_t(Mem[Addr + I]) << (8 * I);
+      V |= uint32_t(Scr.Mem[Addr + I]) << (8 * I);
     return V;
   }
   void rawStore(uint32_t Addr, uint32_t V) {
+    noteWrite(Addr, 4);
     for (unsigned I = 0; I != 4; ++I)
-      Mem[Addr + I] = uint8_t(V >> (8 * I));
+      Scr.Mem[Addr + I] = uint8_t(V >> (8 * I));
+  }
+
+  // --- Snapshots ---------------------------------------------------------------
+  /// A chain's recorded configuration serves a replay under Opts when
+  /// every option that influences the pre-divergence execution prefix
+  /// matches, and every result vector the replay collects was also
+  /// collected while recording (prefix restoration).
+  bool compatible(const SnapshotChain &C) const {
+    const EmulatorOptions &R = C.RecordedEO;
+    return C.valid() && C.Module == &P.M && C.Entry == CurEntry &&
+           R.InterruptPeriod == Opts.InterruptPeriod &&
+           R.MaxCycles == Opts.MaxCycles &&
+           R.MaxStalledBoots == Opts.MaxStalledBoots &&
+           R.WarIsFatal == Opts.WarIsFatal &&
+           (!Opts.CollectEventTrace || R.CollectEventTrace) &&
+           (!Opts.CollectRegionSizes || R.CollectRegionSizes);
+  }
+
+  void maybeSnapshot() {
+    if (Chain->Snaps.size() >= Sched.MaxSnapshots)
+      return;
+    if (!Chain->Snaps.empty() &&
+        ActiveSinceBoot - Chain->Snaps.back().ActiveCycle < EffInterval)
+      return;
+    takeSnapshot();
+  }
+
+  void takeSnapshot() {
+    // Journal the pages dirtied since the previous snapshot (ascending
+    // page order keeps the chain deterministic).
+    std::sort(SnapDirty.begin(), SnapDirty.end());
+    for (uint32_t Pg : SnapDirty) {
+      SnapMark[Pg] = 0;
+      uint32_t Off = uint32_t(Chain->Blob.size());
+      const uint8_t *Page =
+          Scr.Mem.data() + size_t(Pg) * snapshot::PageSize;
+      Chain->Blob.insert(Chain->Blob.end(), Page,
+                         Page + snapshot::PageSize);
+      if (Chain->PerPage[Pg].empty())
+        Chain->JournaledPages.push_back(Pg);
+      Chain->PageLog.push_back({Pg, Off});
+      Chain->PerPage[Pg].push_back({uint32_t(Chain->Snaps.size()), Off});
+    }
+    SnapDirty.clear();
+
+    SnapshotChain::Snap S;
+    S.ActiveCycle = ActiveSinceBoot;
+    S.TotalCycles = Res.TotalCycles;
+    S.Instructions = Res.InstructionsExecuted;
+    S.Checkpoints = Res.CheckpointsExecuted;
+    S.InterruptsTaken = Res.InterruptsTaken;
+    S.WarViolations = Res.WarViolations;
+    S.CyclesSinceIrq = CyclesSinceIrq;
+    S.RegionStartCycles = RegionStartCycles;
+    S.Causes = Res.Causes;
+    std::copy(Regs, Regs + NumPRegs, S.Regs);
+    S.Pc = Pc;
+    S.Primask = Primask;
+    S.ProgressThisBoot = ProgressThisBoot;
+    S.CommitAligned = Res.CheckpointsExecuted > 0;
+    S.OutputLen = uint32_t(Res.Output.size());
+    S.RegionSizesLen = uint32_t(Res.RegionSizes.size());
+    S.WarReportsLen = uint32_t(Res.WarReports.size());
+    S.CommitsLen = uint32_t(Res.Commits.size());
+    S.StoreCyclesLen = uint32_t(Res.StoreCycles.size());
+    S.PageLogEnd = uint32_t(Chain->PageLog.size());
+    Chain->Snaps.push_back(S);
+
+    // Auto-tuned interval: back off geometrically as the recording
+    // grows so arbitrarily long programs stay under the snapshot cap.
+    if (AutoTune && Chain->Snaps.size() >= GrowAt) {
+      EffInterval *= 2;
+      GrowAt += 2048;
+    }
+  }
+
+  /// Rebuilds the exact machine state of snapshot \p K: counters and
+  /// registers from the Snap record, result vectors as prefixes of the
+  /// recorded finals, memory as base image + journal, and an empty WAR
+  /// live set (snapshots are only taken at region-fresh boundaries).
+  void restoreFrom(const SnapshotChain &C, int K) {
+    const SnapshotChain::Snap &S = C.Snaps[unsigned(K)];
+    const EmulatorResult &F = C.Final;
+    Res.TotalCycles = S.TotalCycles;
+    Res.InstructionsExecuted = S.Instructions;
+    Res.CheckpointsExecuted = S.Checkpoints;
+    Res.Causes = S.Causes;
+    Res.InterruptsTaken = S.InterruptsTaken;
+    Res.WarViolations = S.WarViolations;
+    Res.Output.assign(F.Output.begin(), F.Output.begin() + S.OutputLen);
+    Res.WarReports.assign(F.WarReports.begin(),
+                          F.WarReports.begin() + S.WarReportsLen);
+    if (Opts.CollectRegionSizes)
+      Res.RegionSizes.assign(F.RegionSizes.begin(),
+                             F.RegionSizes.begin() + S.RegionSizesLen);
+    if (Opts.CollectEventTrace) {
+      Res.Commits.assign(F.Commits.begin(),
+                         F.Commits.begin() + S.CommitsLen);
+      Res.StoreCycles.assign(F.StoreCycles.begin(),
+                             F.StoreCycles.begin() + S.StoreCyclesLen);
+    }
+    std::copy(S.Regs, S.Regs + NumPRegs, Regs);
+    Pc = S.Pc;
+    Primask = S.Primask;
+    Pending = false;
+    ActiveSinceBoot = S.ActiveCycle;
+    CyclesSinceIrq = S.CyclesSinceIrq;
+    RegionStartCycles = S.RegionStartCycles;
+    ProgressThisBoot = S.ProgressThisBoot;
+    for (uint32_t Pg : C.JournaledPages) {
+      const uint8_t *Src = C.pageAt(Pg, K);
+      if (!Src)
+        continue;
+      std::copy_n(Src, snapshot::PageSize,
+                  Scr.Mem.begin() + size_t(Pg) * snapshot::PageSize);
+      touchPage(Pg);
+    }
+    clearFirstAccess();
+    RegionFresh = true;
+  }
+
+  /// Attempts to end the run by splicing the recorded golden tail: at a
+  /// region-fresh boundary with commit count N, an exact register +
+  /// memory match against the commit-aligned snapshot with N commits
+  /// means the remainder of this run is, by determinism, identical to
+  /// the remainder of the golden run — so its counters, output, and
+  /// return value can be adopted wholesale (as deltas).
+  bool trySplice() {
+    const SnapshotChain &C = *Plan->Chain;
+    auto It = std::lower_bound(
+        C.Snaps.begin(), C.Snaps.end(), Res.CheckpointsExecuted,
+        [](const SnapshotChain::Snap &S, uint64_t N) {
+          return S.Checkpoints < N;
+        });
+    if (It == C.Snaps.end() || It->Checkpoints != Res.CheckpointsExecuted ||
+        !It->CommitAligned)
+      return false;
+    int K = int(It - C.Snaps.begin());
+    const SnapshotChain::Snap &S = *It;
+
+    // Splicing must not mask a cycle-budget exhaustion the real run
+    // would hit. The synthesized total equals the real run's total, so
+    // one failed check disqualifies every later candidate too.
+    uint64_t TailCycles = C.Final.TotalCycles - S.TotalCycles;
+    if (Res.TotalCycles + TailCycles >= Opts.MaxCycles) {
+      SpliceAttempts = 0;
+      return false;
+    }
+
+    if (!std::equal(S.Regs, S.Regs + NumPRegs, Regs) || Pc != S.Pc ||
+        Primask != S.Primask) {
+      --SpliceAttempts;
+      return false;
+    }
+    // Memory: pages this run wrote (or restored) are compared against
+    // the golden image at K; pages only the *golden* run dirtied in
+    // (resume, K] must still equal the base image here. Everything else
+    // equals the base image on both sides.
+    for (uint32_t Pg : Scr.Touched) {
+      const uint8_t *G = C.pageAt(Pg, K);
+      if (!G)
+        G = P.BaseImage.data() + size_t(Pg) * snapshot::PageSize;
+      if (std::memcmp(Scr.Mem.data() + size_t(Pg) * snapshot::PageSize, G,
+                      snapshot::PageSize) != 0) {
+        --SpliceAttempts;
+        return false;
+      }
+    }
+    for (uint32_t LI = ResumeLogEnd; LI != S.PageLogEnd; ++LI) {
+      uint32_t Pg = C.PageLog[LI].Page;
+      if (Scr.TouchedMark[Pg])
+        continue; // Compared above.
+      const uint8_t *G = C.pageAt(Pg, K);
+      if (G &&
+          std::memcmp(P.BaseImage.data() + size_t(Pg) * snapshot::PageSize,
+                      G, snapshot::PageSize) != 0) {
+        --SpliceAttempts;
+        return false;
+      }
+    }
+
+    // Exact match: adopt the golden tail.
+    const EmulatorResult &F = C.Final;
+    Res.TotalCycles += TailCycles;
+    Res.InstructionsExecuted += F.InstructionsExecuted - S.Instructions;
+    Res.CheckpointsExecuted += F.CheckpointsExecuted - S.Checkpoints;
+    Res.Causes.MiddleEndWar += F.Causes.MiddleEndWar - S.Causes.MiddleEndWar;
+    Res.Causes.BackendSpill += F.Causes.BackendSpill - S.Causes.BackendSpill;
+    Res.Causes.FunctionEntry +=
+        F.Causes.FunctionEntry - S.Causes.FunctionEntry;
+    Res.Causes.FunctionExit += F.Causes.FunctionExit - S.Causes.FunctionExit;
+    Res.InterruptsTaken += F.InterruptsTaken - S.InterruptsTaken;
+    Res.WarViolations += F.WarViolations - S.WarViolations;
+    Res.Output.insert(Res.Output.end(), F.Output.begin() + S.OutputLen,
+                      F.Output.end());
+    if (Opts.CollectRegionSizes)
+      Res.RegionSizes.insert(Res.RegionSizes.end(),
+                             F.RegionSizes.begin() + S.RegionSizesLen,
+                             F.RegionSizes.end());
+    for (size_t I = S.WarReportsLen;
+         I < F.WarReports.size() && Res.WarReports.size() < 8; ++I)
+      Res.WarReports.push_back(F.WarReports[I]);
+    Res.ReturnValue = F.ReturnValue;
+    Spliced = true;
+    if (Out) {
+      Out->Spliced = true;
+      Out->SpliceSnapshot = K;
+    }
+    return true;
   }
 
   // --- Power / checkpoints -------------------------------------------------------
@@ -338,6 +712,7 @@ private:
     ProgressThisBoot = false;
     spend(cycles::Boot);
     CyclesSinceIrq = 0; // The interrupt timer restarts on power-up.
+    RegionFresh = true;
   }
 
   void reboot() {
@@ -361,6 +736,7 @@ private:
       Pc = CodeAddrBit | MainEntry;
       clearFirstAccess();
       RegionStartCycles = Res.TotalCycles;
+      RegionFresh = true;
       return;
     }
     uint32_t Buf = (Active == 1) ? CkptBuf0 : CkptBuf1;
@@ -371,6 +747,7 @@ private:
     // Re-execution starts a fresh idempotent region attempt.
     clearFirstAccess();
     RegionStartCycles = Res.TotalCycles;
+    RegionFresh = true;
   }
 
   void commitCheckpoint(CheckpointCause Cause) {
@@ -397,6 +774,7 @@ private:
     RegionStartCycles = Res.TotalCycles;
     clearFirstAccess();
     ProgressThisBoot = true;
+    RegionFresh = true;
   }
 
   void serviceInterrupt() {
@@ -418,10 +796,11 @@ private:
     (void)loadMem(SPv + 24, 4, false);
     (void)loadMem(SPv + 28, 4, false);
     spend(cycles::IsrOverhead);
+    RegionFresh = false; // The stacking touched the fresh region.
   }
 
   // --- Execution --------------------------------------------------------------------
-  const CodeRef &Cur() const { return Code[Pc & ~CodeAddrBit]; }
+  const CodeRef &Cur() const { return P.Code[Pc & ~CodeAddrBit]; }
 
   uint32_t slotAddress(const MFunction *F, int Slot) const {
     assert(F->FrameLowered && Slot >= 0 && Slot < int(F->Slots.size()));
@@ -429,7 +808,8 @@ private:
   }
 
   void step() {
-    const DecodedInst &I = Prog[Pc & ~CodeAddrBit];
+    const DecodedInst &I = P.Prog[Pc & ~CodeAddrBit];
+    RegionFresh = false;
     ++Res.InstructionsExecuted;
     if (Opts.TraceWindowHi && ActiveSinceBoot >= Opts.TraceWindowLo &&
         ActiveSinceBoot <= Opts.TraceWindowHi) {
@@ -591,12 +971,11 @@ private:
     Pc = NextPc;
   }
 
-  const MModule &M;
+  const Emulator::Impl &P;
   EmulatorOptions Opts;
-  std::vector<uint8_t> Mem;
-  std::vector<CodeRef> Code;       ///< Diagnostics only (WAR reports).
-  std::vector<DecodedInst> Prog;   ///< Dense execution representation.
-  std::vector<uint32_t> FuncEntry; ///< Entry code index per function.
+  EmulatorScratch &Scr;
+  bool Persistent;
+  std::string CurEntry;
   uint32_t MainEntry = 0;
 
   uint32_t Regs[NumPRegs] = {};
@@ -605,26 +984,101 @@ private:
   bool Pending = false;
   bool Done = false;
   bool Failed = false;
+  bool Stopped = false;
   std::string ErrorMsg;
-
-  /// First-access tracking for the WAR monitor: a byte's record is live
-  /// when its epoch stamp matches the current region epoch.
-  std::vector<uint32_t> AccessEpoch;
-  std::vector<uint8_t> AccessKind;
-  uint32_t Epoch = 0;
 
   uint64_t RegionStartCycles = 0;
   uint64_t ActiveSinceBoot = 0;
   uint64_t CyclesSinceIrq = 0;
   bool ProgressThisBoot = false;
+  /// The WAR live set is empty and no instruction has executed since
+  /// the last commit/boot — the only states snapshots record and
+  /// splices match against.
+  bool RegionFresh = false;
+  bool TrackWrites = false;
+
+  // Recording state.
+  SnapshotChain *Chain = nullptr;
+  SnapshotSchedule Sched;
+  uint64_t EffInterval = 0;
+  bool AutoTune = false;
+  size_t GrowAt = 0;
+  std::vector<uint8_t> SnapMark;   ///< Per page: dirty since last snap.
+  std::vector<uint32_t> SnapDirty; ///< Pages with SnapMark set.
+
+  // Replay state.
+  const ReplayPlan *Plan = nullptr;
+  ReplayOutcome *Out = nullptr;
+  uint64_t StopAt = 0;
+  uint32_t ResumeLogEnd = 0;
+  bool SpliceEnabled = false;
+  unsigned SpliceAttempts = 4;
+  bool Spliced = false;
 
   EmulatorResult Res;
 };
 
 } // namespace
 
+Emulator::Emulator(const MModule &M) : I(std::make_unique<Impl>(M)) {}
+Emulator::~Emulator() = default;
+
+const MModule &Emulator::module() const { return I->M; }
+
+EmulatorResult Emulator::run(const EmulatorOptions &Opts,
+                             const std::string &Entry,
+                             EmulatorScratch *Scratch) const {
+  if (Scratch) {
+    Machine Mach(*I, Opts, *Scratch, /*Persistent=*/true);
+    return Mach.run(Entry);
+  }
+  EmulatorScratch Local;
+  Machine Mach(*I, Opts, Local, /*Persistent=*/false);
+  return Mach.run(Entry);
+}
+
+EmulatorResult Emulator::record(const EmulatorOptions &Opts,
+                                const SnapshotSchedule &Sched,
+                                SnapshotChain &Chain,
+                                const std::string &Entry,
+                                EmulatorScratch *Scratch) const {
+  if (!Opts.Power.isContinuous() || Opts.TraceWindowHi != 0) {
+    // Snapshots index the continuous-power timeline; anything else
+    // records nothing but still runs correctly.
+    Chain.clear();
+    return run(Opts, Entry, Scratch);
+  }
+  if (Scratch) {
+    Machine Mach(*I, Opts, *Scratch, /*Persistent=*/true);
+    Mach.enableRecord(&Chain, Sched);
+    return Mach.run(Entry);
+  }
+  EmulatorScratch Local;
+  Machine Mach(*I, Opts, Local, /*Persistent=*/false);
+  Mach.enableRecord(&Chain, Sched);
+  return Mach.run(Entry);
+}
+
+EmulatorResult Emulator::replay(const EmulatorOptions &Opts,
+                                const ReplayPlan &Plan,
+                                const std::string &Entry,
+                                EmulatorScratch *Scratch,
+                                ReplayOutcome *Outcome) const {
+  if (Outcome)
+    *Outcome = ReplayOutcome{};
+  if (Scratch) {
+    Machine Mach(*I, Opts, *Scratch, /*Persistent=*/true);
+    Mach.enableReplay(Plan, Outcome);
+    return Mach.run(Entry);
+  }
+  EmulatorScratch Local;
+  Machine Mach(*I, Opts, Local, /*Persistent=*/false);
+  Mach.enableReplay(Plan, Outcome);
+  return Mach.run(Entry);
+}
+
 EmulatorResult wario::emulate(const MModule &M, const EmulatorOptions &Opts,
                               const std::string &Entry) {
-  Machine Mach(M, Opts);
-  return Mach.run(Entry);
+  Emulator E(M);
+  return E.run(Opts, Entry);
 }

@@ -24,7 +24,15 @@
 #include "emu/PowerTrace.h"
 #include "ir/MemoryLayout.h"
 
+#include <memory>
+
 namespace wario {
+
+class SnapshotChain;
+struct SnapshotSchedule;
+struct EmulatorScratch;
+struct ReplayPlan;
+struct ReplayOutcome;
 
 /// Cycle-model constants (documented in DESIGN.md; the shape of results,
 /// not absolute values, is what matters for reproduction).
@@ -85,6 +93,7 @@ struct CheckpointCauses {
   uint64_t total() const {
     return MiddleEndWar + BackendSpill + FunctionEntry + FunctionExit;
   }
+  bool operator==(const CheckpointCauses &) const = default;
 };
 
 struct EmulatorResult {
@@ -115,6 +124,7 @@ struct EmulatorResult {
     uint64_t BeginCycle = 0; ///< Active cycles before the commit executes.
     uint64_t EndCycle = 0;   ///< Active cycles after the commit completes.
     CheckpointCause Cause = CheckpointCause::MiddleEndWar;
+    bool operator==(const CommitEvent &) const = default;
   };
   std::vector<CommitEvent> Commits; ///< CollectEventTrace only.
   /// Active-cycle budget that crashes immediately *after* each monitored
@@ -136,12 +146,66 @@ struct EmulatorResult {
       V |= uint32_t(FinalMemory[Addr + I]) << (8 * I);
     return V;
   }
+
+  /// Field-wise equality (the snapshot tests assert that resumed and
+  /// cold runs are byte-identical on every field).
+  bool operator==(const EmulatorResult &) const = default;
 };
 
 /// Runs \p Entry (default "main") of the machine module to completion
 /// under the given options.
 EmulatorResult emulate(const MModule &M, const EmulatorOptions &Opts = {},
                        const std::string &Entry = "main");
+
+/// A machine module prepared for repeated emulation: the program is
+/// flattened and pre-decoded once and the initial NVM image is
+/// precomputed, so a campaign that re-runs the same module thousands of
+/// times pays the setup cost once instead of per run. The free
+/// emulate() above wraps a throwaway instance. The module must outlive
+/// the Emulator.
+class Emulator {
+public:
+  explicit Emulator(const MModule &M);
+  ~Emulator();
+  Emulator(const Emulator &) = delete;
+  Emulator &operator=(const Emulator &) = delete;
+
+  const MModule &module() const;
+
+  /// Runs \p Entry to completion under \p Opts — identical results to
+  /// the free emulate(). \p Scratch, when given, supplies the reusable
+  /// per-worker memory arrays (see EmulatorScratch); results do not
+  /// depend on whether or how often a scratch was reused.
+  EmulatorResult run(const EmulatorOptions &Opts = {},
+                     const std::string &Entry = "main",
+                     EmulatorScratch *Scratch = nullptr) const;
+
+  /// Golden-run recording: executes exactly like run() — the returned
+  /// result is byte-identical — while journaling periodic snapshots of
+  /// the machine state into \p Chain (see Snapshot.h). Requires a
+  /// continuous power schedule; \p Chain is cleared (left invalid) if
+  /// the run fails.
+  EmulatorResult record(const EmulatorOptions &Opts,
+                        const SnapshotSchedule &Sched, SnapshotChain &Chain,
+                        const std::string &Entry = "main",
+                        EmulatorScratch *Scratch = nullptr) const;
+
+  /// Replays under \p Opts, resuming from the governing snapshot of
+  /// Plan.Chain when one exists and the chain's recorded options are
+  /// compatible — otherwise falls back to a cold run. Either way the
+  /// result is byte-identical to run() under the same options (modulo
+  /// Plan.StopAtActiveCycle, which truncates the run identically on
+  /// both paths). See ReplayPlan for tail splicing.
+  EmulatorResult replay(const EmulatorOptions &Opts, const ReplayPlan &Plan,
+                        const std::string &Entry = "main",
+                        EmulatorScratch *Scratch = nullptr,
+                        ReplayOutcome *Outcome = nullptr) const;
+
+  struct Impl; ///< Public so the in-file interpreter can bind to it.
+
+private:
+  std::unique_ptr<Impl> I;
+};
 
 } // namespace wario
 

@@ -71,6 +71,18 @@ struct CrashReport {
   unsigned EmulationsRun = 0;   ///< Including golden + bisection probes.
   std::vector<Divergence> Divergences;
 
+  // Campaign-engine statistics, shared across the reports of one combined
+  // runCrashCampaigns() call. EmulationsRun above stays the *logical*
+  // per-mode count (so format() is byte-stable across engine changes);
+  // these record what the snapshot/replay engine actually executed.
+  unsigned UnionPoints = 0;  ///< Distinct crash points fanned out.
+  unsigned SharedPoints = 0; ///< Duplicate mode points collapsed away.
+  unsigned PhysicalRuns = 0; ///< Emulator executions incl. golden/probes.
+  unsigned ResumedRuns = 0;  ///< Runs that started from a snapshot.
+  unsigned SplicedRuns = 0;  ///< Runs that adopted the golden tail.
+  unsigned Snapshots = 0;    ///< Snapshots the golden recording took.
+  size_t SnapshotBytes = 0;  ///< Chain footprint (journal + final copy).
+
   bool clean() const { return Ok && Divergences.empty(); }
 
   /// Multi-line human-readable report (stable across runs: everything in

@@ -1,8 +1,11 @@
 #include "verify/FaultInjector.h"
 
+#include "emu/Snapshot.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <map>
 #include <optional>
 #include <sstream>
 
@@ -57,10 +60,14 @@ std::string hexAddr(uint32_t A) {
 
 /// Compares one crash-injected run against the golden run. Returns the
 /// divergence (without bisection detail) or nullopt when consistent.
+/// \p NvmKnownEqual: the run tail-spliced against the golden snapshot
+/// chain, so its final NVM image *is* the golden image by construction
+/// (and was elided — see ReplayPlan::OmitFinalMemoryOnSplice).
 std::optional<Divergence> compareRun(const EmulatorResult &Golden,
                                      const EmulatorResult &Crashed,
                                      uint64_t CrashCycle,
-                                     unsigned MaxReportedAddrs) {
+                                     unsigned MaxReportedAddrs,
+                                     bool NvmKnownEqual = false) {
   Divergence D;
   D.CrashCycle = D.MinimalCycle = CrashCycle;
   if (!Crashed.Ok) {
@@ -78,7 +85,10 @@ std::optional<Divergence> compareRun(const EmulatorResult &Golden,
   }
   // Final NVM image, minus the checkpoint scratch range: two runs that
   // committed different checkpoints legitimately differ there.
-  size_t N = std::min(Golden.FinalMemory.size(), Crashed.FinalMemory.size());
+  size_t N = NvmKnownEqual
+                 ? 0
+                 : std::min(Golden.FinalMemory.size(),
+                            Crashed.FinalMemory.size());
   unsigned Diffs = 0;
   for (size_t A = 0; A != N; ++A) {
     if (A >= ckpt::Base && A < ckpt::End)
@@ -130,33 +140,17 @@ const char *wario::verify::divergenceKindName(DivergenceKind K) {
   return "?";
 }
 
-CrashReport wario::verify::runCrashCampaign(const MModule &MM,
-                                            const FaultInjectorOptions &Opts) {
-  CrashReport R;
-  R.Workload = Opts.Workload;
-  R.Config = Opts.Config;
-  R.Mode = campaignModeName(Opts.Mode);
+namespace {
 
-  // 1. Golden run: continuous power, event trace on.
-  EmulatorOptions GoldenEO = Opts.BaseEO;
-  GoldenEO.Power = PowerSchedule::continuous();
-  GoldenEO.CollectEventTrace = true;
-  GoldenEO.CollectRegionSizes = false;
-  GoldenEO.TraceWindowLo = GoldenEO.TraceWindowHi = 0;
-  EmulatorResult Golden = emulate(MM, GoldenEO, Opts.Entry);
-  ++R.EmulationsRun;
-  if (!Golden.Ok) {
-    R.Error = "golden run failed: " + Golden.Error;
-    return R;
-  }
-  R.Ok = true;
-  R.GoldenCycles = Golden.TotalCycles;
-  R.GoldenCommits = Golden.Commits.size();
-  R.GoldenReturn = Golden.ReturnValue;
-
-  // 2. Crash points per mode (active-cycle on-period budgets).
+/// Crash points for one campaign mode — identical point selection (and
+/// cap) to the original single-mode campaigns, so combined campaigns
+/// report the same CandidatePoints/PointsTested per mode.
+std::vector<uint64_t> modePoints(CampaignMode Mode,
+                                 const EmulatorResult &Golden,
+                                 const FaultInjectorOptions &Opts,
+                                 unsigned &CandidatePoints) {
   std::vector<uint64_t> Points;
-  switch (Opts.Mode) {
+  switch (Mode) {
   case CampaignMode::RegionBoundaries:
     Points.push_back(1); // During the initial boot: cold-restart path.
     for (const EmulatorResult::CommitEvent &C : Golden.Commits) {
@@ -166,7 +160,7 @@ CrashReport wario::verify::runCrashCampaign(const MModule &MM,
     break;
   case CampaignMode::Stratified: {
     XorShift Rng(Opts.Seed);
-    uint64_t Range = std::max<uint64_t>(R.GoldenCycles, 1);
+    uint64_t Range = std::max<uint64_t>(Golden.TotalCycles, 1);
     unsigned Samples = std::max(Opts.Samples, 1u);
     for (unsigned S = 0; S != Samples; ++S) {
       uint64_t Lo = 1 + Range * S / Samples;
@@ -184,7 +178,7 @@ CrashReport wario::verify::runCrashCampaign(const MModule &MM,
   }
   std::sort(Points.begin(), Points.end());
   Points.erase(std::unique(Points.begin(), Points.end()), Points.end());
-  R.CandidatePoints = unsigned(Points.size());
+  CandidatePoints = unsigned(Points.size());
 
   // Deterministic evenly-strided cap — never silent: the report shows
   // candidates vs tested.
@@ -196,79 +190,206 @@ CrashReport wario::verify::runCrashCampaign(const MModule &MM,
     Kept.erase(std::unique(Kept.begin(), Kept.end()), Kept.end());
     Points = std::move(Kept);
   }
-  R.PointsTested = unsigned(Points.size());
+  return Points;
+}
 
-  // 3. Campaign fan-out. Injected runs never need the event trace.
+} // namespace
+
+CrashReport wario::verify::runCrashCampaign(const MModule &MM,
+                                            const FaultInjectorOptions &Opts) {
+  return runCrashCampaigns(MM, Opts, {Opts.Mode}).front();
+}
+
+std::vector<CrashReport>
+wario::verify::runCrashCampaigns(const MModule &MM,
+                                 const FaultInjectorOptions &Opts,
+                                 const std::vector<CampaignMode> &Modes) {
+  std::vector<CrashReport> Reports(Modes.size());
+  for (size_t I = 0; I != Modes.size(); ++I) {
+    Reports[I].Workload = Opts.Workload;
+    Reports[I].Config = Opts.Config;
+    Reports[I].Mode = campaignModeName(Modes[I]);
+  }
+  if (Modes.empty())
+    return Reports;
+
+  const bool Snaps = Opts.UseSnapshots && snapshotsEnabled();
+  Emulator E(MM);
+
+  // 1. Golden run: continuous power, event trace on. With snapshots
+  // enabled this same run doubles as the recording run — record() is
+  // result-identical to run(), so the reports cannot tell the difference.
+  EmulatorOptions GoldenEO = Opts.BaseEO;
+  GoldenEO.Power = PowerSchedule::continuous();
+  GoldenEO.CollectEventTrace = true;
+  GoldenEO.CollectRegionSizes = false;
+  GoldenEO.TraceWindowLo = GoldenEO.TraceWindowHi = 0;
+  SnapshotChain Chain;
+  EmulatorResult Golden =
+      Snaps ? E.record(GoldenEO, SnapshotSchedule{}, Chain, Opts.Entry)
+            : E.run(GoldenEO, Opts.Entry);
+  for (CrashReport &R : Reports)
+    ++R.EmulationsRun;
+  if (!Golden.Ok) {
+    for (CrashReport &R : Reports)
+      R.Error = "golden run failed: " + Golden.Error;
+    return Reports;
+  }
+  for (CrashReport &R : Reports) {
+    R.Ok = true;
+    R.GoldenCycles = Golden.TotalCycles;
+    R.GoldenCommits = Golden.Commits.size();
+    R.GoldenReturn = Golden.ReturnValue;
+  }
+
+  // 2. Crash points per mode, then deduplicated across modes: the modes
+  // deliberately overlap (every adversarial pre-commit point is also a
+  // region-boundary point), and each distinct budget is injected once.
+  std::vector<std::vector<uint64_t>> ModeP(Modes.size());
+  unsigned TotalModePoints = 0;
+  for (size_t I = 0; I != Modes.size(); ++I) {
+    ModeP[I] = modePoints(Modes[I], Golden, Opts, Reports[I].CandidatePoints);
+    Reports[I].PointsTested = unsigned(ModeP[I].size());
+    TotalModePoints += unsigned(ModeP[I].size());
+  }
+  std::vector<uint64_t> Union;
+  Union.reserve(TotalModePoints);
+  for (const std::vector<uint64_t> &P : ModeP)
+    Union.insert(Union.end(), P.begin(), P.end());
+  std::sort(Union.begin(), Union.end());
+  Union.erase(std::unique(Union.begin(), Union.end()), Union.end());
+
+  // 3. Fan-out over the union, once per distinct point. Injected runs
+  // never need the event trace. With snapshots: resume from the
+  // governing snapshot of the crash budget and splice the golden tail
+  // once the post-crash state reconverges (the compare then skips the
+  // elided NVM image — it equals the golden image by construction).
   EmulatorOptions RunEO = Opts.BaseEO;
   RunEO.CollectEventTrace = false;
   RunEO.CollectRegionSizes = false;
   RunEO.TraceWindowLo = RunEO.TraceWindowHi = 0;
-  auto RunAt = [&](uint64_t CrashCycle) {
+  std::atomic<unsigned> Physical{1}; // The golden run.
+  std::atomic<unsigned> Resumed{0}, Spliced{0};
+  auto RunPoint = [&](uint64_t CrashCycle,
+                      EmulatorScratch *Scr) -> std::optional<Divergence> {
     EmulatorOptions EO = RunEO;
     EO.Power = singleCrash(CrashCycle);
-    return emulate(MM, EO, Opts.Entry);
+    ++Physical;
+    if (!Snaps)
+      return compareRun(Golden, E.run(EO, Opts.Entry), CrashCycle,
+                        Opts.MaxReportedAddrs);
+    ReplayPlan Plan;
+    Plan.Chain = &Chain;
+    Plan.AllowTailSplice = true;
+    Plan.OmitFinalMemoryOnSplice = true;
+    ReplayOutcome Out;
+    EmulatorResult Res = E.replay(EO, Plan, Opts.Entry, Scr, &Out);
+    Resumed += Out.Resumed;
+    Spliced += Out.Spliced;
+    return compareRun(Golden, Res, CrashCycle, Opts.MaxReportedAddrs,
+                      /*NvmKnownEqual=*/Out.Spliced);
   };
 
-  std::vector<std::optional<Divergence>> Found(Points.size());
+  std::vector<std::optional<Divergence>> UnionFound(Union.size());
   parallelFor(
-      Points.size(),
+      Union.size(),
       [&](size_t J) {
-        Found[J] = compareRun(Golden, RunAt(Points[J]), Points[J],
-                              Opts.MaxReportedAddrs);
+        thread_local EmulatorScratch Scr;
+        UnionFound[J] = RunPoint(Union[J], &Scr);
       },
       Opts.Jobs);
-  R.EmulationsRun += unsigned(Points.size());
 
-  // 4. Collect in ascending crash-cycle order; minimize the first few.
-  for (size_t J = 0; J != Points.size(); ++J) {
-    if (!Found[J])
-      continue;
-    Divergence D = *Found[J];
-    if (R.Divergences.size() < Opts.MaxDivergences) {
-      if (Opts.Bisect) {
-        // Find the earliest diverging budget at or below the injected
-        // one. Budget 0 crashes before any instruction executes and a
-        // cold restart must always be consistent, so it anchors the
-        // clean side; the loop maintains (Lo clean, Hi diverging).
-        uint64_t Lo = 0, Hi = D.CrashCycle;
-        Divergence AtHi = D;
-        while (Hi - Lo > 1) {
-          uint64_t Mid = Lo + (Hi - Lo) / 2;
-          std::optional<Divergence> P = compareRun(
-              Golden, RunAt(Mid), Mid, Opts.MaxReportedAddrs);
-          ++R.EmulationsRun;
-          if (P) {
-            Hi = Mid;
-            AtHi = *P;
-          } else {
-            Lo = Mid;
+  // Probe memo: the union results seed it; bisection probes (often shared
+  // between modes hitting the same divergence) extend it sequentially.
+  std::map<uint64_t, std::optional<Divergence>> Memo;
+  for (size_t J = 0; J != Union.size(); ++J)
+    Memo.emplace(Union[J], std::move(UnionFound[J]));
+  EmulatorScratch SeqScr;
+  auto ProbeAt = [&](uint64_t C) -> const std::optional<Divergence> & {
+    auto It = Memo.find(C);
+    if (It == Memo.end())
+      It = Memo.emplace(C, RunPoint(C, &SeqScr)).first;
+    return It->second;
+  };
+
+  // 4. Per mode: collect in ascending crash-cycle order; minimize the
+  // first few. EmulationsRun counts every *logical* emulation of the
+  // mode's standalone campaign — fan-out, probes, windows — whether or
+  // not the memo already had the (deterministic, identical) answer.
+  for (size_t MI = 0; MI != Modes.size(); ++MI) {
+    CrashReport &R = Reports[MI];
+    R.EmulationsRun += unsigned(ModeP[MI].size());
+    for (uint64_t C : ModeP[MI]) {
+      const std::optional<Divergence> &Found = Memo.at(C);
+      if (!Found)
+        continue;
+      Divergence D = *Found;
+      if (R.Divergences.size() < Opts.MaxDivergences) {
+        if (Opts.Bisect) {
+          // Find the earliest diverging budget at or below the injected
+          // one. Budget 0 crashes before any instruction executes and a
+          // cold restart must always be consistent, so it anchors the
+          // clean side; the loop maintains (Lo clean, Hi diverging).
+          uint64_t Lo = 0, Hi = D.CrashCycle;
+          Divergence AtHi = D;
+          while (Hi - Lo > 1) {
+            uint64_t Mid = Lo + (Hi - Lo) / 2;
+            const std::optional<Divergence> &P = ProbeAt(Mid);
+            ++R.EmulationsRun;
+            if (P) {
+              Hi = Mid;
+              AtHi = *P;
+            } else {
+              Lo = Mid;
+            }
           }
+          AtHi.CrashCycle = D.CrashCycle;
+          AtHi.MinimalCycle = Hi;
+          D = AtHi;
         }
-        AtHi.CrashCycle = D.CrashCycle;
-        AtHi.MinimalCycle = Hi;
-        D = AtHi;
+        // Last checkpoint the golden run had committed before the crash.
+        int Region = -1;
+        for (const EmulatorResult::CommitEvent &C2 : Golden.Commits) {
+          if (C2.EndCycle > D.MinimalCycle)
+            break;
+          ++Region;
+        }
+        D.RegionId = Region;
+        // Golden instruction window around the minimal crash point. With
+        // snapshots: resume just before the window and stop right after
+        // it (the Window vector is complete by then; nothing later in
+        // the run can change it).
+        EmulatorOptions WinEO = GoldenEO;
+        WinEO.CollectEventTrace = false;
+        WinEO.TraceWindowLo = D.MinimalCycle > Opts.WindowRadius
+                                  ? D.MinimalCycle - Opts.WindowRadius
+                                  : 0;
+        WinEO.TraceWindowHi = D.MinimalCycle + Opts.WindowRadius;
+        ++Physical;
+        if (Snaps) {
+          ReplayPlan WinPlan;
+          WinPlan.Chain = &Chain;
+          WinPlan.StopAtActiveCycle = WinEO.TraceWindowHi + 1;
+          D.Window = E.replay(WinEO, WinPlan, Opts.Entry, &SeqScr).Window;
+        } else {
+          D.Window = E.run(WinEO, Opts.Entry).Window;
+        }
+        ++R.EmulationsRun;
       }
-      // Last checkpoint the golden run had committed before the crash.
-      int Region = -1;
-      for (const EmulatorResult::CommitEvent &C : Golden.Commits) {
-        if (C.EndCycle > D.MinimalCycle)
-          break;
-        ++Region;
-      }
-      D.RegionId = Region;
-      // Golden instruction window around the minimal crash point.
-      EmulatorOptions WinEO = GoldenEO;
-      WinEO.CollectEventTrace = false;
-      WinEO.TraceWindowLo = D.MinimalCycle > Opts.WindowRadius
-                                ? D.MinimalCycle - Opts.WindowRadius
-                                : 0;
-      WinEO.TraceWindowHi = D.MinimalCycle + Opts.WindowRadius;
-      D.Window = emulate(MM, WinEO, Opts.Entry).Window;
-      ++R.EmulationsRun;
+      R.Divergences.push_back(std::move(D));
     }
-    R.Divergences.push_back(std::move(D));
   }
-  return R;
+
+  for (CrashReport &R : Reports) {
+    R.UnionPoints = unsigned(Union.size());
+    R.SharedPoints = TotalModePoints - unsigned(Union.size());
+    R.PhysicalRuns = Physical.load();
+    R.ResumedRuns = Resumed.load();
+    R.SplicedRuns = Spliced.load();
+    R.Snapshots = unsigned(Chain.size());
+    R.SnapshotBytes = Chain.bytes();
+  }
+  return Reports;
 }
 
 std::string CrashReport::format() const {

@@ -76,6 +76,13 @@ struct FaultInjectorOptions {
   uint64_t WindowRadius = 24;
   /// Worker threads for the campaign fan-out (0 = WARIO_JOBS / cores).
   unsigned Jobs = 0;
+  /// Use the emulator's snapshot/restore engine (src/emu/Snapshot.h):
+  /// record a snapshot chain during the golden run, resume each injected
+  /// run from the governing snapshot of its crash budget, and splice the
+  /// golden tail once the post-crash state reconverges. Reports are
+  /// byte-identical either way; this (and the WARIO_SNAPSHOTS=0 override,
+  /// see snapshotsEnabled()) only trades wall-clock for memory.
+  bool UseSnapshots = true;
   /// Metadata echoed into the report.
   std::string Workload;
   std::string Config;
@@ -85,6 +92,18 @@ struct FaultInjectorOptions {
 /// modules and options produce byte-identical reports regardless of Jobs.
 CrashReport runCrashCampaign(const MModule &MM,
                              const FaultInjectorOptions &Opts);
+
+/// Runs one campaign per entry of \p Modes over a single shared golden
+/// run, deduplicating crash points across modes before the fan-out
+/// (adversarial pre-commit/post-store points frequently coincide with
+/// exhaustive region-boundary points; each distinct point is injected
+/// once). Every returned report is byte-identical to what a standalone
+/// runCrashCampaign() of that mode would produce — the dedup savings
+/// appear only in the engine statistics (UnionPoints/SharedPoints/
+/// PhysicalRuns). Opts.Mode is ignored.
+std::vector<CrashReport> runCrashCampaigns(const MModule &MM,
+                                           const FaultInjectorOptions &Opts,
+                                           const std::vector<CampaignMode> &Modes);
 
 } // namespace wario::verify
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# The one CI entry point (also what .github/workflows/ci.yml runs):
+#
+#   1. configure + build the default tree, run the full ctest suite;
+#   2. rebuild under ThreadSanitizer and run the `tsan`-labeled tests
+#      (the bench harness's parallel matrix driver);
+#   3. rebuild under AddressSanitizer and run the `asan`-labeled tests
+#      (module cloning, cache keying, snapshot page journal);
+#   4. re-run the docs lint standalone so a docs-only failure is
+#      reported even if a build step above broke first.
+#
+# The default-tree pass includes the `crash` label (the fault-injection
+# campaigns, the long pole of the suite). Set WARIO_CI_FAST=1 to exclude
+# it for a quick local pre-push check.
+#
+# Usage: tools/ci.sh [build-root]   (default: build; sanitizer trees go
+# to <build-root>/tsan and <build-root>/asan)
+
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$root/build"}
+jobs=$(nproc 2>/dev/null || echo 4)
+
+label_excludes=""
+if [ "${WARIO_CI_FAST:-0}" = "1" ]; then
+  label_excludes="-LE crash"
+fi
+
+echo "==> default build + full suite"
+cmake -B "$build" -S "$root"
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" $label_excludes
+
+echo "==> tsan build + tsan-labeled tests"
+cmake -B "$build/tsan" -S "$root" -DWARIO_SANITIZE=thread
+cmake --build "$build/tsan" -j "$jobs"
+ctest --test-dir "$build/tsan" --output-on-failure -j "$jobs" -L tsan
+
+echo "==> asan build + asan-labeled tests"
+cmake -B "$build/asan" -S "$root" -DWARIO_SANITIZE=address
+cmake --build "$build/asan" -j "$jobs"
+ctest --test-dir "$build/asan" --output-on-failure -j "$jobs" -L asan
+
+echo "==> docs lint"
+"$root/tools/check_docs.sh" "$root"
+
+echo "ci: all passes green"
