@@ -38,6 +38,24 @@ trap 'rm -f "$EMU_JSON" "$COMP_JSON"' EXIT
 "$BUILD/bench/micro_compiler" --benchmark_format=json \
   --benchmark_min_time=0.2 > "$COMP_JSON"
 
+# A debug-built benchmark understates every number and poisons the
+# perf trajectory across PRs (BENCH_pr5.json was recorded that way).
+# Refuse by default; WARIO_BENCH_ALLOW_DEBUG=1 records anyway but tags
+# the JSON so downstream comparisons can filter it out.
+BUILD_TYPE=$(python3 -c \
+  "import json,sys; print(json.load(open(sys.argv[1]))['context'].get('library_build_type','unknown'))" \
+  "$EMU_JSON")
+if [ "$BUILD_TYPE" = "debug" ]; then
+  if [ "${WARIO_BENCH_ALLOW_DEBUG:-0}" != "1" ]; then
+    echo "error: micro_emulator is a debug build (library_build_type=debug);" >&2
+    echo "  numbers from it are not comparable across PRs. Rebuild with" >&2
+    echo "  -DCMAKE_BUILD_TYPE=Release, or set WARIO_BENCH_ALLOW_DEBUG=1" >&2
+    echo "  to record anyway (the JSON will be tagged debug_build=true)." >&2
+    exit 1
+  fi
+  echo "warning: recording from a DEBUG build; tagging JSON with debug_build=true" >&2
+fi
+
 # Best-of-5 end-to-end wall time (cold process each run; min is the
 # least load-noise-sensitive wall-clock statistic).
 E2E=$(python3 - "$BUILD" <<'EOF'
@@ -84,6 +102,8 @@ python3 - "$EMU_JSON" "$COMP_JSON" "$E2E" "$CRASH_ON" "$CRASH_OFF" \
 import json, sys
 emu, comp = (json.load(open(p)) for p in sys.argv[1:3])
 merged = emu
+if merged["context"].get("library_build_type") == "debug":
+    merged["context"]["debug_build"] = True
 merged["benchmarks"] += comp["benchmarks"]
 merged["benchmarks"].append({
     "name": "fig4_table3_single_thread",

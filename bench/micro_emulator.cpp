@@ -13,7 +13,9 @@
 #include "Harness.h"
 
 #include "emu/Snapshot.h"
+#include "emu/ThreadedEngine.h"
 
+#include <algorithm>
 #include <benchmark/benchmark.h>
 
 using namespace wario;
@@ -42,9 +44,12 @@ const MModule &compiledWorkload(const std::string &Name, Environment Env) {
 void runEmulatorBench(benchmark::State &State, const std::string &Name,
                       Environment Env, const EmulatorOptions &EO) {
   const MModule &MM = compiledWorkload(Name, Env);
+  Emulator E(MM);
   uint64_t Instructions = 0, Cycles = 0;
+  EngineStats St;
+  EmulatorScratch Scratch;
   for (auto _ : State) {
-    EmulatorResult R = emulate(MM, EO);
+    EmulatorResult R = E.run(EO, "main", &Scratch, &St);
     if (!R.Ok) {
       State.SkipWithError(R.Error.c_str());
       return;
@@ -57,6 +62,18 @@ void runEmulatorBench(benchmark::State &State, const std::string &Name,
       double(Instructions), benchmark::Counter::kIsRate);
   State.counters["emu_cycles/s"] =
       benchmark::Counter(double(Cycles), benchmark::Counter::kIsRate);
+  // Engine-dispatch economics (all zero under WARIO_ENGINE=interp):
+  // how many dispatches the fused stream needed, what fraction were
+  // superinstructions, and the share of instructions they covered.
+  State.counters["dispatches/s"] =
+      benchmark::Counter(double(St.Dispatches), benchmark::Counter::kIsRate);
+  if (St.Dispatches) {
+    State.counters["fused_dispatch_pct"] =
+        100.0 * double(St.FusedDispatches) / double(St.Dispatches);
+    State.counters["fusion_hit_pct"] =
+        100.0 * double(St.FusedInstructions) /
+        double(std::max<uint64_t>(St.ThreadedInstructions, 1));
+  }
 }
 
 EmulatorOptions continuousNoRegions() {

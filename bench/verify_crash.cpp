@@ -64,6 +64,14 @@ void logEngineStats(const CrashReport &R) {
                R.UnionPoints + R.SharedPoints, R.UnionPoints, R.SharedPoints,
                R.PhysicalRuns, R.ResumedRuns, R.SplicedRuns, R.Snapshots,
                double(R.SnapshotBytes) / (1024.0 * 1024.0));
+  std::fprintf(stderr,
+               "[verify_crash] %s/%s: engine=%s, %llu dispatches (%llu "
+               "fused groups retiring %llu insts), %llu threaded insts\n",
+               R.Workload.c_str(), R.Config.c_str(), R.Engine.c_str(),
+               (unsigned long long)R.Dispatch.Dispatches,
+               (unsigned long long)R.Dispatch.FusedDispatches,
+               (unsigned long long)R.Dispatch.FusedInstructions,
+               (unsigned long long)R.Dispatch.ThreadedInstructions);
 }
 
 std::string cellText(const CrashReport &R) {

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The emulator's dense pre-decoded program representation, shared by
+/// the interpreter (Emulator.cpp), the superinstruction fusion pass
+/// (Fusion.cpp), and the threaded execution engine (ThreadedEngine.cpp).
+/// Every per-step map lookup of a naive interpreter — function entry,
+/// block start, MOp->Opcode, frame-slot offset — is resolved into this
+/// form once per module, before execution starts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_EMU_DECODE_H
+#define WARIO_EMU_DECODE_H
+
+#include "backend/MIR.h"
+#include "ir/MemoryLayout.h"
+
+namespace wario::emu_detail {
+
+/// Layout inside the reserved checkpoint range (the public extent lives
+/// in Emulator.h as ckpt::Base/ckpt::End so the fault injector can mask
+/// it out of differential end-state comparisons).
+constexpr uint32_t CkptBase = 0x100;
+constexpr uint32_t CkptActiveWord = CkptBase;       // 0 or 1.
+constexpr uint32_t CkptBuf0 = CkptBase + 0x10;      // 17 words.
+constexpr uint32_t CkptBuf1 = CkptBase + 0x60;
+constexpr uint32_t CkptEnd = CkptBase + 0x100;
+static_assert(CkptBuf1 + 17 * 4 <= CkptEnd);
+constexpr uint32_t CodeAddrBit = 0x80000000u;
+constexpr uint32_t LrSentinel = 0xFFFFFFFEu;
+constexpr uint32_t BadTarget = 0xFFFFFFFFu;
+
+/// A position in the flattened code image (kept alongside the decoded
+/// program for diagnostics: WAR reports name the function and block).
+struct CodeRef {
+  const MFunction *F;
+  int Block;
+  int Index;
+};
+
+/// ALU opcode for a binary MOp (replaces the per-step MOp->Opcode map).
+inline Opcode aluOpcode(MOp Op) {
+  switch (Op) {
+  case MOp::Add: return Opcode::Add;
+  case MOp::Sub: return Opcode::Sub;
+  case MOp::Mul: return Opcode::Mul;
+  case MOp::And: return Opcode::And;
+  case MOp::Orr: return Opcode::Or;
+  case MOp::Eor: return Opcode::Xor;
+  case MOp::Lsl: return Opcode::Shl;
+  case MOp::Lsr: return Opcode::LShr;
+  case MOp::Asr: return Opcode::AShr;
+  default: return Opcode::Add; // Unused for non-ALU ops.
+  }
+}
+
+/// One pre-decoded instruction. Branch and call targets are absolute
+/// indices into the decoded program; frame-slot operands carry the
+/// resolved SP-relative byte offset.
+struct DecodedInst {
+  MOp Op;
+  Opcode Alu;         ///< Pre-mapped ALU opcode for binary ops.
+  uint8_t Size;
+  bool Signed;
+  uint8_t MovCost;    ///< Pre-computed MovImm cycle cost (1 or 2).
+  CmpPred Pred;
+  CheckpointCause Cause;
+  int16_t Dst;
+  int16_t Src[3];
+  int32_t Slot;
+  int32_t SlotOff;    ///< Resolved frame-slot offset (LdrSlot/StrSlot/FrameAddr).
+  uint16_t RegList;
+  uint32_t Imm;       ///< Truncated immediate (all uses are 32-bit).
+  uint32_t Target[2]; ///< Branch targets / Bl callee entry, pre-resolved.
+  const MFunction *F; ///< Owning function (diagnostics).
+};
+
+} // namespace wario::emu_detail
+
+#endif // WARIO_EMU_DECODE_H

@@ -33,6 +33,18 @@ struct SnapshotSchedule;
 struct EmulatorScratch;
 struct ReplayPlan;
 struct ReplayOutcome;
+struct EngineStats;
+
+/// Which execution engine runs the instruction stream. Both engines are
+/// byte-identical in every result, counter, event trace, and snapshot
+/// journal — the choice only trades dispatch cost (see DESIGN.md §7.7).
+/// Auto defers to the WARIO_ENGINE environment variable ("interp" |
+/// "threaded"; anything else, or unset, means threaded).
+enum class EngineKind : uint8_t {
+  Auto,     ///< WARIO_ENGINE, defaulting to Threaded.
+  Interp,   ///< The classic central-switch interpreter (the oracle).
+  Threaded, ///< Direct-threaded dispatch over the fused stream.
+};
 
 /// Cycle-model constants (documented in DESIGN.md; the shape of results,
 /// not absolute values, is what matters for reproduction).
@@ -78,6 +90,11 @@ struct EmulatorOptions {
   /// injector's "surrounding instruction window" for crash reports.
   uint64_t TraceWindowLo = 0;
   uint64_t TraceWindowHi = 0;
+  /// Execution engine. Results never depend on it (the equivalence bar
+  /// EngineEquivalenceTest enforces), so snapshot chains recorded under
+  /// one engine replay under the other; it still participates in
+  /// operator<=> so benchmark caches keep per-engine cells distinct.
+  EngineKind Engine = EngineKind::Auto;
 
   /// Ordered by the full configuration so result caches can key on the
   /// actual options (see bench/Harness.cpp).
@@ -175,10 +192,13 @@ public:
   /// Runs \p Entry to completion under \p Opts — identical results to
   /// the free emulate(). \p Scratch, when given, supplies the reusable
   /// per-worker memory arrays (see EmulatorScratch); results do not
-  /// depend on whether or how often a scratch was reused.
+  /// depend on whether or how often a scratch was reused. \p Stats,
+  /// when given, accumulates engine dispatch statistics (ThreadedEngine.h)
+  /// — never part of the result, so engines stay byte-comparable.
   EmulatorResult run(const EmulatorOptions &Opts = {},
                      const std::string &Entry = "main",
-                     EmulatorScratch *Scratch = nullptr) const;
+                     EmulatorScratch *Scratch = nullptr,
+                     EngineStats *Stats = nullptr) const;
 
   /// Golden-run recording: executes exactly like run() — the returned
   /// result is byte-identical — while journaling periodic snapshots of
@@ -188,7 +208,8 @@ public:
   EmulatorResult record(const EmulatorOptions &Opts,
                         const SnapshotSchedule &Sched, SnapshotChain &Chain,
                         const std::string &Entry = "main",
-                        EmulatorScratch *Scratch = nullptr) const;
+                        EmulatorScratch *Scratch = nullptr,
+                        EngineStats *Stats = nullptr) const;
 
   /// Replays under \p Opts, resuming from the governing snapshot of
   /// Plan.Chain when one exists and the chain's recorded options are
@@ -199,7 +220,8 @@ public:
   EmulatorResult replay(const EmulatorOptions &Opts, const ReplayPlan &Plan,
                         const std::string &Entry = "main",
                         EmulatorScratch *Scratch = nullptr,
-                        ReplayOutcome *Outcome = nullptr) const;
+                        ReplayOutcome *Outcome = nullptr,
+                        EngineStats *Stats = nullptr) const;
 
   struct Impl; ///< Public so the in-file interpreter can bind to it.
 

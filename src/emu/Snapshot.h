@@ -59,7 +59,7 @@ struct SnapshotSchedule {
 };
 
 /// Reusable per-worker emulator state: the NVM image and the WAR
-/// monitor's two flat per-byte arrays (6 MiB total). A campaign that
+/// monitor's flat per-byte stamp array (3 MiB total). A campaign that
 /// re-runs the same module thousands of times hands one scratch per
 /// worker thread to Emulator::run/replay; between runs only the pages
 /// that diverged from the module's base image are reset (Touched), and
@@ -68,9 +68,13 @@ struct SnapshotSchedule {
 /// different owner forces a full re-initialization.
 struct EmulatorScratch {
   std::vector<uint8_t> Mem;
-  std::vector<uint32_t> AccessEpoch;
-  std::vector<uint8_t> AccessKind;
-  uint32_t Epoch = 0;
+  /// Per-byte first-access stamp: (epoch << 1) | kind, kind 0 = read,
+  /// 1 = write. Epoch and kind share one half-word so the threaded
+  /// engine's hot path can test a 4-byte access with a single 8-byte
+  /// compare (and the stamp array stays cache-resident: 2 bytes of
+  /// stamp per byte of NVM instead of 4).
+  std::vector<uint16_t> Access;
+  uint32_t Epoch = 0; ///< Current region epoch (15 effective bits).
   std::vector<uint8_t> TouchedMark; ///< Per page: Mem differs from base.
   std::vector<uint32_t> Touched;    ///< Pages with TouchedMark set.
   const void *Owner = nullptr;

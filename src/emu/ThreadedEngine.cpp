@@ -1,0 +1,2005 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The direct-threaded execution engine (DESIGN.md §7.7).
+///
+/// Machine::runThreaded executes the merged FastInst stream with one
+/// dispatch per group: computed goto under GCC/Clang, a plain switch
+/// loop elsewhere (the handler bodies are shared; only the OP_CASE /
+/// DISPATCH macros change). The hot machine state — the stream cursor,
+/// the active cycle counter, the instruction counter, the WAR stamp
+/// pattern — is kept in locals and synced with the Machine members only
+/// at the rare points that need them (bail-outs, push/pop, checkpoint
+/// commits, loop exit).
+///
+/// Correctness contract with the interpreter (the byte-identity bar):
+///  - The caller (Machine::run) enters only while the next
+///    interpreter-visible event — power failure, interrupt delivery,
+///    stop point, trace window, cycle-budget exhaustion — is at least
+///    FusedCostLimit cycles away, and every group costs less than that,
+///    so no event cycle can land at a group-interior boundary. The
+///    loop exits at the margin and the interpreter walks the final
+///    approach, checking events at every boundary exactly as before.
+///  - Every handler replicates step()'s transition bit for bit
+///    (ConstEval semantics, cycle costs, WAR stamping, StoreCycles
+///    stamps at the storing component's pre-instruction cycle).
+///  - Anything rare or irregular — out-of-bounds access, WAR
+///    violation, OutPort store, division by zero, push/pop-time
+///    failures, unlinked pseudos, the final Ret — *bails*: the handler
+///    backs out before mutating the offending component (components
+///    already completed stay completed, with pc and counters advanced
+///    past them), syncs state, and lets step() execute that one
+///    instruction through the interpreter's own code.
+///
+/// Handler bodies are composed from per-component WB_* macros: WB_X(k)
+/// executes component k of the group the cursor points at, reading its
+/// operands from J[k] (the merged stream keeps every pc's decoded
+/// fields even inside a group, so interior components are one indexed
+/// load away). A component that cannot complete invokes
+/// WARIO_PARTIAL(k): retire the k-component prefix and bail.
+///
+//===----------------------------------------------------------------------===//
+
+#include "emu/ThreadedEngine.h"
+
+#include "emu/Machine.h"
+#include "ir/ConstEval.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+using namespace wario;
+using namespace wario::emu_detail;
+
+EngineKind wario::resolveEngine(EngineKind Requested) {
+  if (Requested != EngineKind::Auto)
+    return Requested;
+  // Read fresh on every call so tests can flip the kill switch with
+  // setenv between runs.
+  if (const char *E = std::getenv("WARIO_ENGINE"))
+    if (std::strcmp(E, "interp") == 0 || std::strcmp(E, "interpreter") == 0)
+      return EngineKind::Interp;
+  return EngineKind::Threaded;
+}
+
+const char *wario::engineName(EngineKind K) {
+  switch (K) {
+  case EngineKind::Auto: return "auto";
+  case EngineKind::Interp: return "interp";
+  case EngineKind::Threaded: return "threaded";
+  }
+  return "?";
+}
+
+namespace {
+
+/// AShr with the interpreter's clamp semantics (ConstEval.h).
+inline uint32_t evalAsr(uint32_t A, uint32_t B) {
+  int32_t SA = int32_t(A);
+  if (B >= 32)
+    return SA < 0 ? ~0u : 0u;
+  return uint32_t(SA >> B);
+}
+
+/// SDiv with the INT_MIN / -1 clamp (divisor checked by the caller).
+inline uint32_t evalSDiv(uint32_t A, uint32_t B) {
+  int32_t SA = int32_t(A), SB = int32_t(B);
+  if (SA == INT32_MIN && SB == -1)
+    return uint32_t(SA);
+  return uint32_t(SA / SB);
+}
+
+/// Cycle cost of the \p N-component retired prefix of a group, read
+/// from the decoded program (the merged stream's interior Kind fields
+/// describe the group *starting* there, not the component). Cold: only
+/// partial-completion bails reach this.
+__attribute__((noinline)) uint64_t retiredPrefix(const DecodedInst *I,
+                                                 unsigned N) {
+  uint64_t C = 0;
+  for (unsigned K = 0; K != N; ++K) {
+    switch (I[K].Op) {
+    case MOp::MovImm:
+      C += I[K].MovCost;
+      break;
+    case MOp::SetCond:
+    case MOp::Ldr:
+    case MOp::Str:
+    case MOp::LdrSlot:
+    case MOp::StrSlot:
+      C += 2;
+      break;
+    default:
+      C += 1; // Mov / single-cycle ALU; branches never precede a bail.
+      break;
+    }
+  }
+  return C;
+}
+
+/// Cold stamp maintenance for monitored word accesses, kept out of
+/// line: the hot loop inlines the access fast paths at every component
+/// site of every handler, so slow-path bytes multiply across the whole
+/// engine and directly tax its I-cache footprint. Only the first touch
+/// of a word per idempotent region (plus the rare mixed-stamp case)
+/// lands here.
+__attribute__((noinline)) void restampRead(uint16_t *A, uint32_t WantR) {
+  for (unsigned K = 0; K != 4; ++K)
+    if ((A[K] & ~1u) != WantR)
+      A[K] = uint16_t(WantR);
+}
+
+} // namespace
+
+// Per-op ALU evaluation, kept in lockstep with constEvalBinary. The
+// macro form lets the X-macro handler families bake the operation into
+// each handler instead of re-dispatching on an opcode.
+#define WARIO_EVAL_Add(A, B) ((A) + (B))
+#define WARIO_EVAL_Sub(A, B) ((A) - (B))
+#define WARIO_EVAL_Mul(A, B) ((A) * (B))
+#define WARIO_EVAL_And(A, B) ((A) & (B))
+#define WARIO_EVAL_Orr(A, B) ((A) | (B))
+#define WARIO_EVAL_Eor(A, B) ((A) ^ (B))
+#define WARIO_EVAL_Lsl(A, B) ((B) >= 32 ? 0u : (A) << (B))
+#define WARIO_EVAL_Lsr(A, B) ((B) >= 32 ? 0u : (A) >> (B))
+#define WARIO_EVAL_Asr(A, B) evalAsr((A), (B))
+
+#if defined(__GNUC__) || defined(__clang__)
+#define WARIO_THREADED_GOTO 1
+#define WARIO_ALWAYS_INLINE __attribute__((always_inline))
+#else
+#define WARIO_THREADED_GOTO 0
+#define WARIO_ALWAYS_INLINE
+#endif
+
+#if WARIO_THREADED_GOTO
+#define OP_CASE(N) H_Op_##N:
+// Fused-group entry resets the in-group forwarding mirror (see fwdSrc):
+// inside a group the producer is one component back (a hit), across
+// groups it rarely is — a live cross-group FwdD just makes the hit
+// branch unpredictable (measured ~15% worse on AES).
+#define FK_CASE(N) H_FK_##N: FwdD = -1;
+#define DISPATCH()                                                             \
+  do {                                                                         \
+    if (Active >= Limit)                                                       \
+      goto out;                                                                \
+    ++St.Dispatches;                                                           \
+    goto *Tbl[J->Kind];                                                        \
+  } while (0)
+#else
+#define OP_CASE(N) case uint16_t(MOp::N):
+#define FK_CASE(N) case uint16_t(FK_##N): FwdD = -1;
+#define DISPATCH() goto dispatch
+#endif
+
+// Group retirement: cycles from the precomputed group cost (read BEFORE
+// the cursor moves), then the cursor past every component.
+#define WARIO_RETIRE(n)                                                        \
+  do {                                                                         \
+    Active += J->Cost;                                                         \
+    Insts += (n);                                                              \
+    J += (n);                                                                  \
+    ++St.FusedDispatches;                                                      \
+    St.FusedInstructions += (n);                                               \
+  } while (0)
+
+// Branch-ending group retirement: the tail component is a CBr at index
+// n-1; the whole group's cost (branch included) was precomputed. The
+// condition and both targets are read before the cursor is reassigned.
+#define WARIO_RETIRE_BR(n)                                                     \
+  do {                                                                         \
+    uint32_t T_ =                                                              \
+        fwdSrc(J[(n)-1].Src0, FwdD, FwdV, R) != 0 ? J[(n)-1].T0 : J[(n)-1].A;  \
+    Active += J->Cost;                                                         \
+    Insts += (n);                                                              \
+    ++St.FusedDispatches;                                                      \
+    St.FusedInstructions += (n);                                               \
+    J = Fast + T_;                                                             \
+  } while (0)
+
+// Unconditional-branch-ending group retirement: the tail component is
+// a B at index n-1.
+#define WARIO_RETIRE_B(n)                                                      \
+  do {                                                                         \
+    uint32_t T_ = J[(n)-1].T0;                                                 \
+    Active += J->Cost;                                                         \
+    Insts += (n);                                                              \
+    ++St.FusedDispatches;                                                      \
+    St.FusedInstructions += (n);                                               \
+    J = Fast + T_;                                                             \
+  } while (0)
+
+// Component k of the current group could not complete: retire the
+// k-component prefix (cycle costs come from the decoded program — the
+// merged stream's interior entries describe the group starting there,
+// not the component) and hand the offender to step().
+#define WARIO_PARTIAL(k)                                                       \
+  do {                                                                         \
+    if ((k) != 0) {                                                            \
+      Active += retiredPrefix(Prog + (J - Fast), (k));                         \
+      Insts += (k);                                                            \
+      J += (k);                                                                \
+    }                                                                          \
+    goto bail;                                                                 \
+  } while (0)
+
+// --- Per-component transition bodies (component k of the group at J) -----
+//
+// Dependent components are the latency floor of a fused group: each one
+// reads the register its predecessor just stored, and on typical hosts
+// that register-file round trip is a multi-cycle store-to-load forward.
+// (FwdD, FwdV) mirror the last register written inside the current
+// group; a source matching FwdD reads the mirror — already in a host
+// register — instead of R[]. FwdD resets to -1 at every group entry
+// (FK_CASE), since identity handlers write registers without
+// maintaining the mirror.
+WARIO_ALWAYS_INLINE static inline uint32_t
+fwdSrc(int32_t S, int32_t FwdD, uint32_t FwdV, const uint32_t *R) {
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_expect(S == FwdD, 1))
+    return FwdV;
+  // The empty asm keeps this a real (well-predicted) branch: if-converting
+  // to a conditional move would put the R[] load back on the critical path.
+  asm("");
+  return R[S];
+#else
+  return S == FwdD ? FwdV : R[S];
+#endif
+}
+#define WB_SRC0(k) fwdSrc(J[k].Src0, FwdD, FwdV, R)
+#define WB_SRC1(k) fwdSrc(J[k].Src1, FwdD, FwdV, R)
+#define WB_SET(k, V) (FwdV = (V), FwdD = J[k].Dst, R[FwdD] = FwdV)
+#define WB_MovImm(k) WB_SET(k, J[k].A);
+#define WB_Mov(k) WB_SET(k, WB_SRC0(k));
+#define WB_Alu(k, OP) WB_SET(k, WARIO_EVAL_##OP(WB_SRC0(k), WB_SRC1(k)));
+#define WB_SetCond(k)                                                          \
+  WB_SET(k, constEvalPred(CmpPred(J[k].Aux), WB_SRC0(k), WB_SRC1(k)) ? 1 : 0);
+#define WB_LdrSlot(k)                                                          \
+  {                                                                            \
+    uint32_t V_;                                                               \
+    if (!fastLoad(R[SP] + J[k].A, 4, false, V_))                               \
+      WARIO_PARTIAL(k);                                                        \
+    WB_SET(k, V_);                                                             \
+  }
+#define WB_Ldr(k)                                                              \
+  {                                                                            \
+    uint32_t V_;                                                               \
+    if (!fastLoad(WB_SRC0(k) + J[k].A, J[k].Aux & 0xFF,                        \
+                  (J[k].Aux & 0x100) != 0, V_))                                \
+      WARIO_PARTIAL(k);                                                        \
+    WB_SET(k, V_);                                                             \
+  }
+// PRE = pre-summed cycle cost of components [0, k) (the StoreCycles
+// stamp base for the storing component). Static per pattern, except a
+// J[i].Aux term when a MovImm precedes the store.
+#define WB_StrSlot(k, PRE)                                                     \
+  if (!fastStore(R[SP] + J[k].A, 4, WB_SRC0(k), Active + (PRE)))               \
+    WARIO_PARTIAL(k);
+#define WB_Str(k, PRE)                                                         \
+  if (!fastStore(WB_SRC1(k) + J[k].A, J[k].Aux & 0xFF, WB_SRC0(k),             \
+                 Active + (PRE)))                                              \
+    WARIO_PARTIAL(k);
+
+void Machine::runThreaded(uint64_t Limit) {
+  const FastInst *const Fast = P.Fast.data();
+  const DecodedInst *const Prog = P.Prog.data(); // Cold paths only.
+  uint32_t *const R = Regs;
+  uint8_t *const Mem = Scr.Mem.data();
+  uint16_t *const Acc = Scr.Access.data();
+  const bool Trace = Opts.CollectEventTrace;
+  const bool TW = TrackWrites;
+  // Checkpoint commits may stay in-loop (no flush/member-call round
+  // trip) only when nothing observes the intermediate machine state:
+  // no snapshot recorder or splicer, and no per-region collection.
+  const bool FastCommit = !ExitOnCommit && !Chain && !Plan &&
+                          !Opts.CollectRegionSizes && !Opts.CollectEventTrace;
+
+  // Hot state mirrored into locals. TotalCycles and CyclesSinceIrq
+  // advance in lockstep with ActiveSinceBoot inside the loop, so one
+  // local cycle counter plus a sync baseline covers all three.
+  uint64_t Active = ActiveSinceBoot;
+  uint64_t LastSync = Active;
+  uint64_t Insts = Res.InstructionsExecuted;
+  const uint64_t Insts0 = Insts;
+  uint32_t WantR = Scr.Epoch << 1; ///< Read-this-epoch stamp.
+  uint32_t WantW = WantR | 1u;     ///< Write-this-epoch stamp.
+
+  EngineStats St;
+  uint64_t BailSteps = 0;
+  // In-group register forwarding mirror (see fwdSrc above).
+  int32_t FwdD = -1;
+  uint32_t FwdV = 0;
+  // The program counter is the single cursor J into the merged stream;
+  // every handler advances it so dispatch itself is just a bounds check
+  // and one indirect jump.
+  const FastInst *J = Fast + (Pc & ~CodeAddrBit);
+
+  auto flush = [&] {
+    Pc = CodeAddrBit | uint32_t(J - Fast);
+    uint64_t D = Active - LastSync;
+    Res.TotalCycles += D;
+    CyclesSinceIrq += D;
+    ActiveSinceBoot = Active;
+    Res.InstructionsExecuted = Insts;
+    LastSync = Active;
+  };
+  auto reload = [&] {
+    J = Fast + (Pc & ~CodeAddrBit);
+    Active = ActiveSinceBoot;
+    LastSync = Active;
+    Insts = Res.InstructionsExecuted;
+    WantR = Scr.Epoch << 1;
+    WantW = WantR | 1u;
+    FwdD = -1; // Member code may have rewritten any register.
+  };
+
+  /// Page-grain write tracking with the already-marked page as the
+  /// fast case (one predictable load per store once warm).
+  auto noteW = [&](uint32_t Addr, unsigned Size) WARIO_ALWAYS_INLINE {
+    if (!TW)
+      return;
+    uint32_t P0 = Addr >> snapshot::PageShift;
+    uint32_t P1 = (Addr + Size - 1) >> snapshot::PageShift;
+    if (P0 == P1 && Scr.TouchedMark[P0] && (!Chain || SnapMark[P0]))
+      return;
+    noteWrite(Addr, Size);
+  };
+
+  /// Monitored load, replicating loadMem minus the failure paths.
+  /// False = bail (out of bounds, or a checkpoint-range access that
+  /// recordAccess would exempt — step() reproduces either exactly).
+  auto fastLoad = [&](uint32_t Addr, unsigned Size, bool SignExtend,
+                      uint32_t &V) WARIO_ALWAYS_INLINE -> bool {
+    if (Addr > memmap::MemSize - Size || Addr - CkptBase < CkptEnd - CkptBase)
+      return false;
+    if (Size == 4) {
+      // SWAR read-stamp: 4 bytes = 4 half-word stamps = one u64 compare.
+      // Epoch bits (stamp & ~1) matching WantR on every byte means the
+      // whole word was already touched this epoch — nothing to stamp.
+      uint64_t S;
+      std::memcpy(&S, Acc + Addr, 8);
+      const uint64_t RP = 0x0001000100010001ull * WantR;
+      if (((S ^ RP) & 0xFFFEFFFEFFFEFFFEull) != 0)
+        restampRead(Acc + Addr, WantR);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+      std::memcpy(&V, Mem + Addr, 4);
+#else
+      V = uint32_t(Mem[Addr]) | uint32_t(Mem[Addr + 1]) << 8 |
+          uint32_t(Mem[Addr + 2]) << 16 | uint32_t(Mem[Addr + 3]) << 24;
+#endif
+      return true;
+    }
+    for (unsigned K = 0; K != Size; ++K) {
+      if ((Acc[Addr + K] & ~1u) != WantR)
+        Acc[Addr + K] = uint16_t(WantR);
+    }
+    V = 0;
+    for (unsigned K = 0; K != Size; ++K)
+      V |= uint32_t(Mem[Addr + K]) << (8 * K);
+    if (SignExtend && Size < 4) {
+      uint32_t SignBit = 1u << (Size * 8 - 1);
+      if (V & SignBit)
+        V |= ~((SignBit << 1) - 1);
+    }
+    return true;
+  };
+
+  /// Monitored store, replicating storeMem minus the irregular paths.
+  /// \p ActivePre is the storing *component's* pre-execution cycle (the
+  /// StoreCycles stamp base). False = bail, with nothing mutated:
+  /// OutPort / out of bounds / checkpoint range, or a WAR violation
+  /// (step() redoes the counting, reporting, and fatal handling; the
+  /// stamp state is untouched so recordAccess sees what it would have).
+  auto fastStore = [&](uint32_t Addr, unsigned Size, uint32_t V,
+                       uint64_t ActivePre) WARIO_ALWAYS_INLINE -> bool {
+    if (Addr > memmap::MemSize - Size || Addr - CkptBase < CkptEnd - CkptBase)
+      return false;
+    if (Size == 4) {
+      uint64_t S;
+      std::memcpy(&S, Acc + Addr, 8);
+      const uint64_t RP = 0x0001000100010001ull * WantR;
+      const uint64_t X = S ^ RP;
+      const uint64_t L = 0x0001000100010001ull;
+      // All four bytes already written this epoch (the steady state of a
+      // loop rewriting its slots): no violation possible, stamps already
+      // final — nothing to check or store.
+      if ((X ^ L) != 0) {
+        // Any lane exactly == WantR (read-first this epoch) is a WAR
+        // violation: zero-lane detect on the XORed stamps. Borrow
+        // propagation can only misfire toward a false positive, and a
+        // bail just hands the store to step() for the exact verdict.
+        if (((X - L) & ~X & 0x8000800080008000ull) != 0)
+          return false;
+        const uint64_t WP = RP | L;
+        std::memcpy(Acc + Addr, &WP, 8);
+      }
+    } else {
+      for (unsigned K = 0; K != Size; ++K)
+        if (Acc[Addr + K] == WantR)
+          return false;
+      for (unsigned K = 0; K != Size; ++K)
+        Acc[Addr + K] = uint16_t(WantW);
+    }
+    if (Trace && (Res.StoreCycles.empty() ||
+                  Res.StoreCycles.back() != ActivePre + 1))
+      Res.StoreCycles.push_back(ActivePre + 1);
+    noteW(Addr, Size);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    if (Size == 4)
+      std::memcpy(Mem + Addr, &V, 4);
+    else
+#endif
+      for (unsigned K = 0; K != Size; ++K)
+        Mem[Addr + K] = uint8_t(V >> (8 * K));
+    return true;
+  };
+
+  // The next step() (or fused handler) makes the region stale exactly
+  // like the interpreter's step() would; setting it up front keeps the
+  // outer loop's region-fresh consumers (snapshot cadence, splice
+  // matching) in lockstep even when this loop exits at the margin.
+  RegionFresh = false;
+
+#if WARIO_THREADED_GOTO
+  // Dispatch table, indexed by FastInst::Kind. [0, 37): identity
+  // groups in MOp declaration order; [37, 64): unreachable padding;
+  // [64, FK_KindLimit): fused kinds in declaration order — the base
+  // catalog, then the 9x9 Alu2 family, then the second-level pairs.
+  static const void *const Tbl[] = {
+      &&H_Op_MovImm, &&H_Op_MovGlobal, &&H_Op_Mov,
+      &&H_Op_Add, &&H_Op_Sub, &&H_Op_Mul, &&H_Op_UDiv, &&H_Op_SDiv,
+      &&H_Op_And, &&H_Op_Orr, &&H_Op_Eor, &&H_Op_Lsl, &&H_Op_Lsr,
+      &&H_Op_Asr, &&H_Op_AddImm, &&H_Op_SetCond, &&H_Op_SelectR,
+      &&H_Op_Ldr, &&H_Op_Str, &&H_Op_LdrSlot, &&H_Op_StrSlot,
+      &&H_Op_FrameAddr, &&H_Op_CallPseudo, &&H_Op_ArgGet, &&H_Op_Bl,
+      &&H_Op_B, &&H_Op_CBr, &&H_Op_Ret, &&H_Op_Push, &&H_Op_Pop,
+      &&H_Op_PopLoads, &&H_Op_SpAdjust, &&H_Op_Checkpoint, &&H_Op_Out,
+      &&H_Op_IntMask, &&H_Op_IntUnmask, &&H_Op_Nop,
+      // Padding up to FK_FirstFused.
+      &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad,
+      &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad,
+      &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad,
+      &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad, &&H_Bad,
+#define WARIO_TBL_X(NAME) &&H_FK_##NAME,
+#define WARIO_TBL_A(FAM, OP) &&H_FK_##FAM##_##OP,
+#define WARIO_TBL_A2(OP0, OP1) &&H_FK_Alu2_##OP0##_##OP1,
+#define WARIO_TBL_P(NAME, K1, K2) &&H_FK_##NAME,
+      WARIO_EMU_FUSED_KINDS(WARIO_TBL_X, WARIO_TBL_A)
+      WARIO_EMU_ALU81(WARIO_TBL_A2)
+      WARIO_EMU_PAIR_KINDS(WARIO_TBL_P)
+#undef WARIO_TBL_X
+#undef WARIO_TBL_A
+#undef WARIO_TBL_A2
+#undef WARIO_TBL_P
+  };
+  static_assert(sizeof(Tbl) / sizeof(Tbl[0]) == FK_KindLimit,
+                "dispatch table out of sync with the kind numbering");
+  static_assert(int(MOp::Nop) == 36, "identity block out of sync with MOp");
+
+  DISPATCH();
+#else
+dispatch:
+  if (Active >= Limit)
+    goto out;
+  ++St.Dispatches;
+  switch (J->Kind) {
+#endif
+
+  // --- Identity groups (one instruction; step()'s transition inlined) ------
+
+  OP_CASE(MovImm) {
+    WB_MovImm(0)
+    Active += J->Aux; // Pre-decoded MovImm cycle cost (1 or 2).
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(Mov) {
+    WB_Mov(0)
+    Active += 1;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+#define WARIO_H_ALUOP(_, OP)                                                   \
+  OP_CASE(OP) {                                                                \
+    WB_Alu(0, OP)                                                              \
+    Active += 1;                                                               \
+    ++Insts;                                                                   \
+    ++J;                                                                       \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU9(WARIO_H_ALUOP, _)
+#undef WARIO_H_ALUOP
+
+  OP_CASE(UDiv)
+  OP_CASE(SDiv) {
+    uint32_t B = R[J->Src1];
+    if (B == 0)
+      goto bail; // Division by zero: step() raises the trap.
+    uint32_t A = R[J->Src0];
+    WB_SET(0, J->Kind == uint16_t(MOp::UDiv) ? A / B : evalSDiv(A, B));
+    Active += 6;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(AddImm) {
+    WB_SET(0, WB_SRC0(0) + J->A);
+    Active += 1;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(SetCond) {
+    WB_SetCond(0)
+    Active += 2;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(SelectR) {
+    WB_SET(0, R[J->Src0] != 0 ? R[J->Src1] : R[J->Aux]);
+    Active += 2;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(Ldr) {
+    WB_Ldr(0)
+    Active += 2;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(Str) {
+    WB_Str(0, 0)
+    Active += 2;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(LdrSlot) {
+    WB_LdrSlot(0)
+    Active += 2;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(StrSlot) {
+    WB_StrSlot(0, 0)
+    Active += 2;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(FrameAddr) {
+    WB_SET(0, R[SP] + J->A);
+    Active += 1;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(Bl) {
+    uint32_t T = J->T0;
+    if (T == BadTarget)
+      goto bail; // Unlinked call: step() reports it.
+    R[LR] = CodeAddrBit | J->A; // Pre-encoded return link (own pc + 1).
+    FwdD = -1;                  // lr write bypasses the mirror.
+    J = Fast + T;
+    Active += 1 + cycles::PipelineRefill;
+    ++Insts;
+  }
+  DISPATCH();
+
+  OP_CASE(B) {
+    J = Fast + J->T0;
+    Active += 1 + cycles::PipelineRefill;
+    ++Insts;
+  }
+  DISPATCH();
+
+  OP_CASE(CBr) {
+    J = Fast + (R[J->Src0] != 0 ? J->T0 : J->A);
+    Active += 1 + cycles::PipelineRefill;
+    ++Insts;
+  }
+  DISPATCH();
+
+  OP_CASE(Ret) {
+    uint32_t L = R[LR];
+    if (L == LrSentinel || !(L & CodeAddrBit))
+      goto bail; // Program end (or corrupt lr): step() finishes it.
+    J = Fast + (L & ~CodeAddrBit);
+    Active += 1 + cycles::PipelineRefill;
+    ++Insts;
+  }
+  DISPATCH();
+
+  // Push/pop stay on the access fast paths (the member round trip is
+  // ~1/8 of call-heavy workloads). Any irregularity — WAR violation,
+  // out of bounds — bails so step() redoes the *whole* instruction
+  // through the member paths: partial fast-path effects are idempotent
+  // (same bytes, blanket stamps, deduped StoreCycles), so the redo is
+  // bit-exact including the failure handling.
+  OP_CASE(Push) {
+    unsigned N = unsigned(std::popcount(unsigned(J->Aux)));
+    uint32_t Base = R[SP] - 4 * N;
+    unsigned Idx = 0;
+    for (int Rn = 0; Rn != NumPRegs; ++Rn)
+      if (J->Aux & (1u << Rn))
+        if (!fastStore(Base + 4 * Idx++, 4, R[Rn], Active))
+          goto bail;
+    R[SP] = Base;
+    FwdD = -1; // Direct sp write bypasses the mirror.
+    Active += 1 + N;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(Pop)
+  OP_CASE(PopLoads) {
+    unsigned N = unsigned(std::popcount(unsigned(J->Aux)));
+    unsigned Idx = 0;
+    for (int Rn = 0; Rn != NumPRegs; ++Rn)
+      if (J->Aux & (1u << Rn)) {
+        uint32_t V;
+        if (!fastLoad(R[SP] + 4 * Idx++, 4, false, V))
+          goto bail;
+        R[Rn] = V;
+      }
+    if (J->Kind == uint16_t(MOp::Pop))
+      R[SP] += 4 * N;
+    FwdD = -1; // Popped registers bypass the mirror.
+    Active += 1 + N;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(SpAdjust) {
+    R[SP] += J->A;
+    FwdD = -1; // Direct sp write bypasses the mirror.
+    Active += 1;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(Checkpoint) {
+    CheckpointCause C = CheckpointCause(J->Aux);
+    ++Insts;
+    ++J; // The committed resume point is *after* this instruction.
+    if (FastCommit) {
+      // Inline commit in lockstep with commitCheckpoint(): the member
+      // routine plus its flush/reload round trip costs ~1/5 of
+      // call-heavy workloads (measured on AES). Only reachable when
+      // nobody observes the intermediate state (no recorder, splicer,
+      // region-size or event collection), so the flush can wait.
+      uint32_t AW;
+      std::memcpy(&AW, Mem + CkptActiveWord, 4);
+      const uint32_t Buf = (AW == 1) ? CkptBuf1 : CkptBuf0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+      std::memcpy(Mem + Buf, R, 15 * 4);
+#else
+      for (int Ri = 0; Ri != 15; ++Ri)
+        for (unsigned B = 0; B != 4; ++B)
+          Mem[Buf + 4 * unsigned(Ri) + B] = uint8_t(R[Ri] >> (8 * B));
+#endif
+      const uint32_t RPc = CodeAddrBit | uint32_t(J - Fast);
+      const uint32_t NewAW = (AW == 1) ? 2u : 1u;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+      std::memcpy(Mem + Buf + 60, &RPc, 4);
+      std::memcpy(Mem + CkptActiveWord, &NewAW, 4);
+#else
+      for (unsigned B = 0; B != 4; ++B) {
+        Mem[Buf + 60 + B] = uint8_t(RPc >> (8 * B));
+        Mem[CkptActiveWord + B] = uint8_t(NewAW >> (8 * B));
+      }
+#endif
+      noteW(Buf, 64);            // Same pages rawStore would dirty.
+      noteW(CkptActiveWord, 4);
+      // flush()'s delta plus spend(cycles::Checkpoint), folded.
+      const uint64_t D = Active - LastSync + cycles::Checkpoint;
+      Active += cycles::Checkpoint;
+      Res.TotalCycles += D;
+      CyclesSinceIrq += D;
+      LastSync = Active;
+      ++Res.CheckpointsExecuted;
+      switch (C) {
+      case CheckpointCause::MiddleEndWar: ++Res.Causes.MiddleEndWar; break;
+      case CheckpointCause::BackendSpill: ++Res.Causes.BackendSpill; break;
+      case CheckpointCause::FunctionEntry: ++Res.Causes.FunctionEntry; break;
+      case CheckpointCause::FunctionExit: ++Res.Causes.FunctionExit; break;
+      }
+      RegionStartCycles = Res.TotalCycles;
+      // clearFirstAccess() inline, plus the stamp-key refresh reload()
+      // would have done.
+      if (++Scr.Epoch >= 0x8000u) {
+        std::fill(Scr.Access.begin(), Scr.Access.end(), uint16_t(0));
+        Scr.Epoch = 1;
+      }
+      WantR = Scr.Epoch << 1;
+      WantW = WantR | 1u;
+      ProgressThisBoot = true;
+      // RegionFresh stays false: unobserved under the FastCommit gate,
+      // and the next dispatch makes it stale anyway.
+    } else {
+      flush();
+      commitCheckpoint(C);
+      reload(); // Commit cycles + the fresh region epoch.
+      if (ExitOnCommit)
+        goto out; // Snapshot cadence / splice matching run out there.
+      // Unobserved between here and the next instruction (no recorder,
+      // no splicer), and the next dispatch makes it stale anyway.
+      RegionFresh = false;
+    }
+  }
+  DISPATCH();
+
+  OP_CASE(Out) {
+    Res.Output.push_back(int32_t(R[J->Src0]));
+    Active += 2;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(IntMask) {
+    // Masking can only *delay* the interrupt bound Limit already
+    // accounts for; keeping the tighter limit is safe.
+    Primask = true;
+    Active += 1;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(IntUnmask) {
+    Primask = false;
+    Active += 1;
+    ++Insts;
+    ++J;
+    // Unmasking can make an interrupt deliverable at the very next
+    // boundary — beyond what Limit accounted for. Hand back.
+    if (Opts.InterruptPeriod)
+      goto out;
+  }
+  DISPATCH();
+
+  OP_CASE(Nop) {
+    Active += 1;
+    ++Insts;
+    ++J;
+  }
+  DISPATCH();
+
+  OP_CASE(MovGlobal)
+  OP_CASE(CallPseudo)
+  OP_CASE(ArgGet)
+  goto bail; // Unlinked/unexpanded: step() raises the proper error.
+
+  // --- Fused groups (components retire strictly in order) ------------------
+
+#define WARIO_H_MovImm_Alu(_, OP)                                              \
+  FK_CASE(MovImm_Alu_##OP) {                                                   \
+    WB_MovImm(0)                                                               \
+    WB_Alu(1, OP)                                                              \
+    WARIO_RETIRE(2);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU9(WARIO_H_MovImm_Alu, _)
+#undef WARIO_H_MovImm_Alu
+
+#define WARIO_H_Alu_Mov(_, OP)                                                 \
+  FK_CASE(Alu_Mov_##OP) {                                                      \
+    WB_Alu(0, OP)                                                              \
+    WB_Mov(1)                                                                  \
+    WARIO_RETIRE(2);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU9(WARIO_H_Alu_Mov, _)
+#undef WARIO_H_Alu_Mov
+
+#define WARIO_H_Alu_MovImm(_, OP)                                              \
+  FK_CASE(Alu_MovImm_##OP) {                                                   \
+    WB_Alu(0, OP)                                                              \
+    WB_MovImm(1)                                                               \
+    WARIO_RETIRE(2);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU9(WARIO_H_Alu_MovImm, _)
+#undef WARIO_H_Alu_MovImm
+
+#define WARIO_H_LdrSlot_Alu(_, OP)                                             \
+  FK_CASE(LdrSlot_Alu_##OP) {                                                  \
+    WB_LdrSlot(0)                                                              \
+    WB_Alu(1, OP)                                                              \
+    WARIO_RETIRE(2);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU9(WARIO_H_LdrSlot_Alu, _)
+#undef WARIO_H_LdrSlot_Alu
+
+#define WARIO_H_Alu_StrSlot(_, OP)                                             \
+  FK_CASE(Alu_StrSlot_##OP) {                                                  \
+    WB_Alu(0, OP)                                                              \
+    WB_StrSlot(1, 1)                                                           \
+    WARIO_RETIRE(2);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU9(WARIO_H_Alu_StrSlot, _)
+#undef WARIO_H_Alu_StrSlot
+
+#define WARIO_H_LdrSlot_Alu_StrSlot(_, OP)                                     \
+  FK_CASE(LdrSlot_Alu_StrSlot_##OP) {                                          \
+    WB_LdrSlot(0)                                                              \
+    WB_Alu(1, OP)                                                              \
+    WB_StrSlot(2, 3)                                                           \
+    WARIO_RETIRE(3);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU9(WARIO_H_LdrSlot_Alu_StrSlot, _)
+#undef WARIO_H_LdrSlot_Alu_StrSlot
+
+#define WARIO_H_MovImm_LdrSlot_Alu(_, OP)                                      \
+  FK_CASE(MovImm_LdrSlot_Alu_##OP) {                                           \
+    WB_MovImm(0)                                                               \
+    WB_LdrSlot(1)                                                              \
+    WB_Alu(2, OP)                                                              \
+    WARIO_RETIRE(3);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU9(WARIO_H_MovImm_LdrSlot_Alu, _)
+#undef WARIO_H_MovImm_LdrSlot_Alu
+
+  FK_CASE(MovImm_MovImm) {
+    WB_MovImm(0)
+    WB_MovImm(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_Mov) {
+    WB_MovImm(0)
+    WB_Mov(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_MovImm) {
+    WB_Mov(0)
+    WB_MovImm(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_Mov) {
+    WB_Mov(0)
+    WB_Mov(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_LdrSlot) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Mov) {
+    WB_LdrSlot(0)
+    WB_Mov(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_LdrSlot) {
+    WB_Mov(0)
+    WB_LdrSlot(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_LdrSlot) {
+    WB_LdrSlot(0)
+    WB_LdrSlot(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(StrSlot_MovImm) {
+    WB_StrSlot(0, 0)
+    WB_MovImm(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(StrSlot_Mov) {
+    WB_StrSlot(0, 0)
+    WB_Mov(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_StrSlot) {
+    WB_Mov(0)
+    WB_StrSlot(1, 1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(StrSlot_LdrSlot) {
+    WB_StrSlot(0, 0)
+    WB_LdrSlot(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Str) {
+    WB_LdrSlot(0)
+    WB_Str(1, 2)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(Str_LdrSlot) {
+    WB_Str(0, 0)
+    WB_LdrSlot(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_Ldr) {
+    WB_Mov(0)
+    WB_Ldr(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_Str) {
+    WB_Mov(0)
+    WB_Str(1, 1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+#define WARIO_H_AA(NAME, OP0, OP1)                                             \
+  FK_CASE(NAME) {                                                              \
+    WB_Alu(0, OP0)                                                             \
+    WB_Alu(1, OP1)                                                             \
+    WARIO_RETIRE(2);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_H_AA(Lsl_Lsr, Lsl, Lsr)
+  WARIO_H_AA(Lsr_Lsl, Lsr, Lsl)
+  WARIO_H_AA(Lsl_Add, Lsl, Add)
+  WARIO_H_AA(Mul_Add, Mul, Add)
+  WARIO_H_AA(Eor_Lsl, Eor, Lsl)
+  WARIO_H_AA(Add_Add, Add, Add)
+#undef WARIO_H_AA
+
+  FK_CASE(SetCond_CBr) {
+    WB_SetCond(0)
+    WARIO_RETIRE_BR(2);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_SetCond_CBr) {
+    WB_MovImm(0)
+    WB_SetCond(1)
+    WARIO_RETIRE_BR(3);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsl_Lsr_StrSlot) {
+    WB_Alu(0, Lsl)
+    WB_Alu(1, Lsr)
+    WB_StrSlot(2, 2)
+    WARIO_RETIRE(3);
+  }
+  DISPATCH();
+
+  FK_CASE(Add_Mov_Ldr) {
+    WB_Alu(0, Add)
+    WB_Mov(1)
+    WB_Ldr(2)
+    WARIO_RETIRE(3);
+  }
+  DISPATCH();
+
+  // --- Second-level concatenations (9x9 ALU family + pair catalog) ---------
+
+#define WARIO_H_A2(OP0, OP1)                                                   \
+  FK_CASE(Alu2_##OP0##_##OP1) {                                                \
+    WB_Alu(0, OP0)                                                             \
+    WB_Alu(1, OP1)                                                             \
+    WARIO_RETIRE(2);                                                           \
+  }                                                                            \
+  DISPATCH();
+  WARIO_EMU_ALU81(WARIO_H_A2)
+#undef WARIO_H_A2
+
+  FK_CASE(Str_LdrSlot_Str_LdrSlot) {
+    WB_Str(0, 0)
+    WB_LdrSlot(1)
+    WB_Str(2, 4)
+    WB_LdrSlot(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_CBr) {
+    WB_Mov(0)
+    WARIO_RETIRE_BR(2);
+  }
+  DISPATCH();
+
+  FK_CASE(SetCond_Mov_CBr) {
+    WB_SetCond(0)
+    WB_Mov(1)
+    WARIO_RETIRE_BR(3);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_SetCond_CBr) {
+    WB_LdrSlot(0)
+    WB_SetCond(1)
+    WARIO_RETIRE_BR(3);
+  }
+  DISPATCH();
+
+  FK_CASE(Add_Mov_Ldr_Eor_MovImm) {
+    WB_Alu(0, Add)
+    WB_Mov(1)
+    WB_Ldr(2)
+    WB_Alu(3, Eor)
+    WB_MovImm(4)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(Add_Mov_Ldr_MovImm_Lsr) {
+    WB_Alu(0, Add)
+    WB_Mov(1)
+    WB_Ldr(2)
+    WB_MovImm(3)
+    WB_Alu(4, Lsr)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(Eor_MovImm_And_MovImm) {
+    WB_Alu(0, Eor)
+    WB_MovImm(1)
+    WB_Alu(2, And)
+    WB_MovImm(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(And_MovImm_MovImm_Lsl) {
+    WB_Alu(0, And)
+    WB_MovImm(1)
+    WB_MovImm(2)
+    WB_Alu(3, Lsl)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_Lsl_Add_Mov_Ldr) {
+    WB_MovImm(0)
+    WB_Alu(1, Lsl)
+    WB_Alu(2, Add)
+    WB_Mov(3)
+    WB_Ldr(4)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_Add_Mov_MovImm) {
+    WB_MovImm(0)
+    WB_Alu(1, Add)
+    WB_Mov(2)
+    WB_MovImm(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Str_MovImm_Add) {
+    WB_Str(0, 0)
+    WB_MovImm(1)
+    WB_Alu(2, Add)
+    WARIO_RETIRE(3);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_Add_LdrSlot) {
+    WB_MovImm(0)
+    WB_Alu(1, Add)
+    WB_LdrSlot(2)
+    WARIO_RETIRE(3);
+  }
+  DISPATCH();
+
+  FK_CASE(Str_Str) {
+    WB_Str(0, 0)
+    WB_Str(1, 2)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_LdrSlot_Lsr_LdrSlot_Eor_StrSlot) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsr)
+    WB_LdrSlot(3)
+    WB_Alu(4, Eor)
+    WB_StrSlot(5, J[0].Aux + 6)
+    WARIO_RETIRE(6);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_LdrSlot_Lsl_LdrSlot_Eor_StrSlot) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_LdrSlot(3)
+    WB_Alu(4, Eor)
+    WB_StrSlot(5, J[0].Aux + 6)
+    WARIO_RETIRE(6);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Eor_StrSlot_MovImm_LdrSlot_Lsl) {
+    WB_LdrSlot(0)
+    WB_Alu(1, Eor)
+    WB_StrSlot(2, 3)
+    WB_MovImm(3)
+    WB_LdrSlot(4)
+    WB_Alu(5, Lsl)
+    WARIO_RETIRE(6);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Mov_LdrSlot_Mov) {
+    WB_LdrSlot(0)
+    WB_Mov(1)
+    WB_LdrSlot(2)
+    WB_Mov(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(StrSlot_Mov_StrSlot_Mov) {
+    WB_StrSlot(0, 0)
+    WB_Mov(1)
+    WB_StrSlot(2, 3)
+    WB_Mov(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsl_MovImm_Lsr) {
+    WB_Alu(0, Lsl)
+    WB_MovImm(1)
+    WB_Alu(2, Lsr)
+    WARIO_RETIRE(3);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsl_Add_Mov_Ldr) {
+    WB_Alu(0, Lsl)
+    WB_Alu(1, Add)
+    WB_Mov(2)
+    WB_Ldr(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_Ldr_Eor_MovImm) {
+    WB_Mov(0)
+    WB_Ldr(1)
+    WB_Alu(2, Eor)
+    WB_MovImm(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Sub_MovImm_Lsl_Add) {
+    WB_Alu(0, Sub)
+    WB_MovImm(1)
+    WB_Alu(2, Lsl)
+    WB_Alu(3, Add)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Eor_MovImm_Sub_MovImm) {
+    WB_Alu(0, Eor)
+    WB_MovImm(1)
+    WB_Alu(2, Sub)
+    WB_MovImm(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_Mov_Mov_Mov) {
+    WB_Mov(0)
+    WB_Mov(1)
+    WB_Mov(2)
+    WB_Mov(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Add_MovImm_MovImm_Lsl) {
+    WB_Alu(0, Add)
+    WB_MovImm(1)
+    WB_MovImm(2)
+    WB_Alu(3, Lsl)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_Sub_MovImm_Lsl) {
+    WB_MovImm(0)
+    WB_Alu(1, Sub)
+    WB_MovImm(2)
+    WB_Alu(3, Lsl)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_LdrSlot_Str_LdrSlot) {
+    WB_LdrSlot(0)
+    WB_LdrSlot(1)
+    WB_Str(2, 4)
+    WB_LdrSlot(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Str_LdrSlot_LdrSlot_Str) {
+    WB_Str(0, 0)
+    WB_LdrSlot(1)
+    WB_LdrSlot(2)
+    WB_Str(3, 6)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Eor_Lsl_Lsr_Lsl) {
+    WB_Alu(0, Eor)
+    WB_Alu(1, Lsl)
+    WB_Alu(2, Lsr)
+    WB_Alu(3, Lsl)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Str_LdrSlot_LdrSlot) {
+    WB_LdrSlot(0)
+    WB_Str(1, 2)
+    WB_LdrSlot(2)
+    WB_LdrSlot(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Add_MovImm_SetCond_CBr) {
+    WB_Alu(0, Add)
+    WB_MovImm(1)
+    WB_SetCond(2)
+    WARIO_RETIRE_BR(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsr_Lsl_Lsr_StrSlot) {
+    WB_Alu(0, Lsr)
+    WB_Alu(1, Lsl)
+    WB_Alu(2, Lsr)
+    WB_StrSlot(3, 3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Str_LdrSlot_Str) {
+    WB_LdrSlot(0)
+    WB_Str(1, 2)
+    WB_LdrSlot(2)
+    WB_Str(3, 6)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_LdrSlot_Lsr_MovImm_Mul) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsr)
+    WB_MovImm(3)
+    WB_Alu(4, Mul)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsr_StrSlot_MovImm_LdrSlot_Lsl) {
+    WB_Alu(0, Lsr)
+    WB_StrSlot(1, 1)
+    WB_MovImm(2)
+    WB_LdrSlot(3)
+    WB_Alu(4, Lsl)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_LdrSlot_Lsl_MovImm_LdrSlot_Lsr) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_MovImm(3)
+    WB_LdrSlot(4)
+    WB_Alu(5, Lsr)
+    WARIO_RETIRE(6);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_Mul_Eor_Lsl) {
+    WB_MovImm(0)
+    WB_Alu(1, Mul)
+    WB_Alu(2, Eor)
+    WB_Alu(3, Lsl)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_LdrSlot_And_MovImm_SetCond_CBr) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, And)
+    WB_MovImm(3)
+    WB_SetCond(4)
+    WARIO_RETIRE_BR(6);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsl_Lsr_StrSlot_Add_MovImm) {
+    WB_Alu(0, Lsl)
+    WB_Alu(1, Lsr)
+    WB_StrSlot(2, 2)
+    WB_Alu(3, Add)
+    WB_MovImm(4)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsr_StrSlot_LdrSlot_Lsr) {
+    WB_Alu(0, Lsr)
+    WB_StrSlot(1, 1)
+    WB_LdrSlot(2)
+    WB_Alu(3, Lsr)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Lsr_Lsl_Lsr_StrSlot) {
+    WB_LdrSlot(0)
+    WB_Alu(1, Lsr)
+    WB_Alu(2, Lsl)
+    WB_Alu(3, Lsr)
+    WB_StrSlot(4, 5)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Ldr) {
+    WB_LdrSlot(0)
+    WB_Ldr(1)
+    WARIO_RETIRE(2);
+  }
+  DISPATCH();
+
+  // --- Round-2 chain superinstructions: whole loop bodies ------------------
+
+  FK_CASE(CrcA1) {
+    WB_Alu(0, Add)
+    WB_Mov(1)
+    WB_Ldr(2)
+    WB_Alu(3, Eor)
+    WB_MovImm(4)
+    WB_Alu(5, And)
+    WB_MovImm(6)
+    WB_MovImm(7)
+    WB_Alu(8, Lsl)
+    WARIO_RETIRE(9);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcA2) {
+    WB_Alu(0, Add)
+    WB_Mov(1)
+    WB_Ldr(2)
+    WB_Alu(3, Eor)
+    WB_MovImm(4)
+    WB_Alu(5, And)
+    WB_MovImm(6)
+    WB_MovImm(7)
+    WB_Alu(8, Lsl)
+    WB_Alu(9, Add)
+    WB_Mov(10)
+    WB_Ldr(11)
+    WB_MovImm(12)
+    WB_Alu(13, Lsr)
+    WARIO_RETIRE(14);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcA3) {
+    WB_Alu(0, Add)
+    WB_Mov(1)
+    WB_Ldr(2)
+    WB_Alu(3, Eor)
+    WB_MovImm(4)
+    WB_Alu(5, And)
+    WB_MovImm(6)
+    WB_MovImm(7)
+    WB_Alu(8, Lsl)
+    WB_Alu(9, Add)
+    WB_Mov(10)
+    WB_Ldr(11)
+    WB_MovImm(12)
+    WB_Alu(13, Lsr)
+    WB_Alu(14, Eor)
+    WB_MovImm(15)
+    WARIO_RETIRE(16);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcA4) {
+    WB_Alu(0, Add)
+    WB_Mov(1)
+    WB_Ldr(2)
+    WB_Alu(3, Eor)
+    WB_MovImm(4)
+    WB_Alu(5, And)
+    WB_MovImm(6)
+    WB_MovImm(7)
+    WB_Alu(8, Lsl)
+    WB_Alu(9, Add)
+    WB_Mov(10)
+    WB_Ldr(11)
+    WB_MovImm(12)
+    WB_Alu(13, Lsr)
+    WB_Alu(14, Eor)
+    WB_MovImm(15)
+    WB_Alu(16, Add)
+    WARIO_RETIRE(17);
+  }
+  DISPATCH();
+
+  FK_CASE(Add_SetCond_Mov_CBr) {
+    WB_Alu(0, Add)
+    WB_SetCond(1)
+    WB_Mov(2)
+    WARIO_RETIRE_BR(4);
+  }
+  DISPATCH();
+
+  FK_CASE(StrLdr2) {
+    WB_Str(0, 0)
+    WB_LdrSlot(1)
+    WB_Str(2, 4)
+    WB_LdrSlot(3)
+    WB_Str(4, 8)
+    WB_LdrSlot(5)
+    WB_Str(6, 12)
+    WB_LdrSlot(7)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcB1) {
+    WB_MovImm(0)
+    WB_Alu(1, Add)
+    WB_Mov(2)
+    WB_MovImm(3)
+    WB_LdrSlot(4)
+    WB_Alu(5, Lsl)
+    WARIO_RETIRE(6);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcB2) {
+    WB_MovImm(0)
+    WB_Alu(1, Add)
+    WB_Mov(2)
+    WB_MovImm(3)
+    WB_LdrSlot(4)
+    WB_Alu(5, Lsl)
+    WB_LdrSlot(6)
+    WB_Alu(7, Eor)
+    WB_StrSlot(8, J[0].Aux + J[3].Aux + 8)
+    WARIO_RETIRE(9);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcB3) {
+    WB_MovImm(0)
+    WB_Alu(1, Add)
+    WB_Mov(2)
+    WB_MovImm(3)
+    WB_LdrSlot(4)
+    WB_Alu(5, Lsl)
+    WB_LdrSlot(6)
+    WB_Alu(7, Eor)
+    WB_StrSlot(8, J[0].Aux + J[3].Aux + 8)
+    WB_MovImm(9)
+    WB_LdrSlot(10)
+    WB_Alu(11, Lsr)
+    WB_LdrSlot(12)
+    WB_Alu(13, Eor)
+    WB_StrSlot(14, J[0].Aux + J[3].Aux + J[9].Aux + 16)
+    WARIO_RETIRE(15);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcC1) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_LdrSlot(3)
+    WB_Alu(4, Eor)
+    WB_StrSlot(5, J[0].Aux + 6)
+    WB_LdrSlot(6)
+    WB_Alu(7, Lsr)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcC2) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_LdrSlot(3)
+    WB_Alu(4, Eor)
+    WB_StrSlot(5, J[0].Aux + 6)
+    WB_LdrSlot(6)
+    WB_Alu(7, Lsr)
+    WB_MovImm(8)
+    WB_Alu(9, Lsl)
+    WARIO_RETIRE(10);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcC3) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_LdrSlot(3)
+    WB_Alu(4, Eor)
+    WB_StrSlot(5, J[0].Aux + 6)
+    WB_LdrSlot(6)
+    WB_Alu(7, Lsr)
+    WB_MovImm(8)
+    WB_Alu(9, Lsl)
+    WB_Alu(10, Lsr)
+    WB_Alu(11, Lsl)
+    WARIO_RETIRE(12);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcC4) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_LdrSlot(3)
+    WB_Alu(4, Eor)
+    WB_StrSlot(5, J[0].Aux + 6)
+    WB_LdrSlot(6)
+    WB_Alu(7, Lsr)
+    WB_MovImm(8)
+    WB_Alu(9, Lsl)
+    WB_Alu(10, Lsr)
+    WB_Alu(11, Lsl)
+    WB_Alu(12, Lsr)
+    WARIO_RETIRE(13);
+  }
+  DISPATCH();
+
+  FK_CASE(CrcC5) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_LdrSlot(3)
+    WB_Alu(4, Eor)
+    WB_StrSlot(5, J[0].Aux + 6)
+    WB_LdrSlot(6)
+    WB_Alu(7, Lsr)
+    WB_MovImm(8)
+    WB_Alu(9, Lsl)
+    WB_Alu(10, Lsr)
+    WB_Alu(11, Lsl)
+    WB_Alu(12, Lsr)
+    WB_Str(13, J[0].Aux + J[8].Aux + 15)
+    WB_MovImm(14)
+    WB_Alu(15, Add)
+    WARIO_RETIRE(16);
+  }
+  DISPATCH();
+
+  FK_CASE(Str_MovImm_Add_LdrSlot_SetCond_CBr) {
+    WB_Str(0, 0)
+    WB_MovImm(1)
+    WB_Alu(2, Add)
+    WB_LdrSlot(3)
+    WB_SetCond(4)
+    WARIO_RETIRE_BR(6);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsl_Lsr_Lsl_Lsr) {
+    WB_Alu(0, Lsl)
+    WB_Alu(1, Lsr)
+    WB_Alu(2, Lsl)
+    WB_Alu(3, Lsr)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsl_Lsr_Str_MovImm_Add) {
+    WB_Alu(0, Lsl)
+    WB_Alu(1, Lsr)
+    WB_Str(2, 2)
+    WB_MovImm(3)
+    WB_Alu(4, Add)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsr_MovImm_Lsl_Lsr) {
+    WB_Alu(0, Lsr)
+    WB_MovImm(1)
+    WB_Alu(2, Lsl)
+    WB_Alu(3, Lsr)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(ShaA1) {
+    WB_Alu(0, Sub)
+    WB_MovImm(1)
+    WB_Alu(2, Lsl)
+    WB_Alu(3, Add)
+    WB_Mov(4)
+    WB_Ldr(5)
+    WB_Alu(6, Eor)
+    WB_MovImm(7)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_Mov_Mov_Mov_B) {
+    WB_Mov(0)
+    WB_Mov(1)
+    WB_Mov(2)
+    WB_Mov(3)
+    WARIO_RETIRE_B(5);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_MovImm_SetCond_CBr) {
+    WB_Mov(0)
+    WB_MovImm(1)
+    WB_SetCond(2)
+    WARIO_RETIRE_BR(4);
+  }
+  DISPATCH();
+
+  FK_CASE(StrSlot_B) {
+    WB_StrSlot(0, 0)
+    WARIO_RETIRE_B(2);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrMov4x2) {
+    WB_LdrSlot(0)
+    WB_Mov(1)
+    WB_LdrSlot(2)
+    WB_Mov(3)
+    WB_LdrSlot(4)
+    WB_Mov(5)
+    WB_LdrSlot(6)
+    WB_Mov(7)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Mov_StrSlot_LdrSlot) {
+    WB_LdrSlot(0)
+    WB_Mov(1)
+    WB_StrSlot(2, 3)
+    WB_LdrSlot(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_Mov_B) {
+    WB_MovImm(0)
+    WB_Mov(1)
+    WARIO_RETIRE_B(3);
+  }
+  DISPATCH();
+
+  FK_CASE(ShaB1) {
+    WB_Alu(0, Add)
+    WB_MovImm(1)
+    WB_MovImm(2)
+    WB_Alu(3, Lsl)
+    WB_Alu(4, Add)
+    WB_Mov(5)
+    WB_Ldr(6)
+    WARIO_RETIRE(7);
+  }
+  DISPATCH();
+
+  FK_CASE(ShaB2) {
+    WB_Alu(0, Add)
+    WB_MovImm(1)
+    WB_MovImm(2)
+    WB_Alu(3, Lsl)
+    WB_Alu(4, Add)
+    WB_Mov(5)
+    WB_Ldr(6)
+    WB_Alu(7, Add)
+    WB_MovImm(8)
+    WARIO_RETIRE(9);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsl_MovImm_Lsr_Orr_MovImm) {
+    WB_Alu(0, Lsl)
+    WB_MovImm(1)
+    WB_Alu(2, Lsr)
+    WB_Alu(3, Orr)
+    WB_MovImm(4)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(StrMov4x2) {
+    WB_StrSlot(0, 0)
+    WB_Mov(1)
+    WB_StrSlot(2, 3)
+    WB_Mov(3)
+    WB_StrSlot(4, 6)
+    WB_Mov(5)
+    WB_StrSlot(6, 9)
+    WB_Mov(7)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(StrMov4_StrMov) {
+    WB_StrSlot(0, 0)
+    WB_Mov(1)
+    WB_StrSlot(2, 3)
+    WB_Mov(3)
+    WB_StrSlot(4, 6)
+    WB_Mov(5)
+    WARIO_RETIRE(6);
+  }
+  DISPATCH();
+
+  FK_CASE(StrSlot_Mov_StrSlot) {
+    WB_StrSlot(0, 0)
+    WB_Mov(1)
+    WB_StrSlot(2, 3)
+    WARIO_RETIRE(3);
+  }
+  DISPATCH();
+
+  FK_CASE(Orr_Add_LdrSlot_Add) {
+    WB_Alu(0, Orr)
+    WB_Alu(1, Add)
+    WB_LdrSlot(2)
+    WB_Alu(3, Add)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_Mov_MovImm_Lsl) {
+    WB_Mov(0)
+    WB_Mov(1)
+    WB_MovImm(2)
+    WB_Alu(3, Lsl)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(AesA1) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_Alu(3, Lsr)
+    WB_StrSlot(4, J[0].Aux + 4)
+    WB_MovImm(5)
+    WB_LdrSlot(6)
+    WB_Alu(7, Lsl)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(AesA2) {
+    WB_MovImm(0)
+    WB_LdrSlot(1)
+    WB_Alu(2, Lsl)
+    WB_Alu(3, Lsr)
+    WB_StrSlot(4, J[0].Aux + 4)
+    WB_MovImm(5)
+    WB_LdrSlot(6)
+    WB_Alu(7, Lsl)
+    WB_MovImm(8)
+    WB_LdrSlot(9)
+    WB_Alu(10, Lsr)
+    WB_MovImm(11)
+    WB_Alu(12, Mul)
+    WARIO_RETIRE(13);
+  }
+  DISPATCH();
+
+  FK_CASE(AesB1) {
+    WB_Alu(0, Eor)
+    WB_Alu(1, Lsl)
+    WB_Alu(2, Lsr)
+    WB_Alu(3, Lsl)
+    WB_Alu(4, Lsr)
+    WB_StrSlot(5, 5)
+    WB_LdrSlot(6)
+    WB_Alu(7, Lsr)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(AesC1) {
+    WB_Alu(0, Lsl)
+    WB_Alu(1, Lsr)
+    WB_StrSlot(2, 2)
+    WB_Alu(3, Add)
+    WB_MovImm(4)
+    WB_SetCond(5)
+    WARIO_RETIRE_BR(7);
+  }
+  DISPATCH();
+
+  FK_CASE(AesD1) {
+    WB_LdrSlot(0)
+    WB_LdrSlot(1)
+    WB_Str(2, 4)
+    WB_LdrSlot(3)
+    WB_LdrSlot(4)
+    WB_Str(5, 10)
+    WB_LdrSlot(6)
+    WB_LdrSlot(7)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(AesE1) {
+    WB_LdrSlot(0)
+    WB_Str(1, 2)
+    WB_LdrSlot(2)
+    WB_Str(3, 6)
+    WB_LdrSlot(4)
+    WB_Str(5, 10)
+    WB_LdrSlot(6)
+    WB_Str(7, 14)
+    WARIO_RETIRE(8);
+  }
+  DISPATCH();
+
+  FK_CASE(MovImm_Add_Mov_Ldr) {
+    WB_MovImm(0)
+    WB_Alu(1, Add)
+    WB_Mov(2)
+    WB_Ldr(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(LdrSlot_Mov_MovImm_SetCond_CBr) {
+    WB_LdrSlot(0)
+    WB_Mov(1)
+    WB_MovImm(2)
+    WB_SetCond(3)
+    WARIO_RETIRE_BR(5);
+  }
+  DISPATCH();
+
+  FK_CASE(Mov_StrSlot_B) {
+    WB_Mov(0)
+    WB_StrSlot(1, 1)
+    WARIO_RETIRE_B(3);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsr_MovImm_Mul) {
+    WB_Alu(0, Lsr)
+    WB_MovImm(1)
+    WB_Alu(2, Mul)
+    WARIO_RETIRE(3);
+  }
+  DISPATCH();
+
+  FK_CASE(Eor_Lsl_Lsr_Lsl_Lsr) {
+    WB_Alu(0, Eor)
+    WB_Alu(1, Lsl)
+    WB_Alu(2, Lsr)
+    WB_Alu(3, Lsl)
+    WB_Alu(4, Lsr)
+    WARIO_RETIRE(5);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsr_MovImm_Lsl_MovImm) {
+    WB_Alu(0, Lsr)
+    WB_MovImm(1)
+    WB_Alu(2, Lsl)
+    WB_MovImm(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+  FK_CASE(Lsl_MovImm_Lsr_MovImm) {
+    WB_Alu(0, Lsl)
+    WB_MovImm(1)
+    WB_Alu(2, Lsr)
+    WB_MovImm(3)
+    WARIO_RETIRE(4);
+  }
+  DISPATCH();
+
+#if WARIO_THREADED_GOTO
+H_Bad:
+  assert(false && "padding kind dispatched");
+  goto bail;
+#else
+  default:
+    assert(false && "unknown kind dispatched");
+    goto bail;
+  }
+#endif
+
+bail:
+  // Something irregular at the current pc (counters already advanced
+  // past any retired components): sync, let the interpreter execute
+  // exactly one instruction through its own code, and resume. No
+  // outer-loop event can fire before that boundary — the caller's
+  // margin guarantees it — so going straight back to dispatch is
+  // exactly the interpreter's own sequencing.
+  flush();
+  ++BailSteps;
+  step();
+  reload();
+  if (Done || Failed)
+    goto out;
+  DISPATCH();
+
+out:
+  flush();
+  St.ThreadedInstructions = (Insts - Insts0) - BailSteps;
+  if (Stats)
+    *Stats += St;
+}

@@ -1,0 +1,205 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests for the two execution engines (label: `engine`):
+/// the direct-threaded fused-dispatch engine (ThreadedEngine.cpp) must
+/// be byte-identical — field-wise EmulatorResult operator==, including
+/// the final NVM image, output, event traces, and every counter — to
+/// the central-switch interpreter (the oracle) for every workload under
+/// continuous power, crash schedules, harvester traces, and interrupts.
+/// Also covers the WARIO_ENGINE environment kill switch and
+/// mixed-engine snapshot record/replay (a chain recorded under one
+/// engine must resume under the other, byte-for-byte).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "emu/PowerTrace.h"
+#include "emu/Snapshot.h"
+#include "emu/ThreadedEngine.h"
+#include "frontend/Frontend.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace wario;
+
+namespace {
+
+MModule buildWorkload(const std::string &Name) {
+  DiagnosticEngine Diags;
+  auto M = buildWorkloadIR(getWorkload(Name), Diags);
+  EXPECT_TRUE(M) << Name << ": " << Diags.formatAll();
+  if (!M)
+    return MModule{};
+  PipelineOptions PO; // WarioComplete, paper defaults.
+  return compile(*M, PO);
+}
+
+/// WARIO_CI_FAST=1 trims the matrix to one workload (the CI
+/// differential-engine job's fast mode; see tools/ci.sh).
+std::vector<Workload> matrixWorkloads() {
+  if (const char *F = std::getenv("WARIO_CI_FAST"))
+    if (F[0] == '1')
+      return {getWorkload("crc")};
+  return allWorkloads();
+}
+
+/// Runs the module under both engines and requires field-wise identical
+/// results. Returns the oracle result for further checks.
+EmulatorResult expectEngineIdentical(const Emulator &E,
+                                     const EmulatorOptions &Base,
+                                     const std::string &Tag) {
+  EmulatorOptions Interp = Base, Threaded = Base;
+  Interp.Engine = EngineKind::Interp;
+  Threaded.Engine = EngineKind::Threaded;
+  EngineStats IS, TS;
+  EmulatorResult RI = E.run(Interp, "main", nullptr, &IS);
+  EmulatorResult RT = E.run(Threaded, "main", nullptr, &TS);
+  EXPECT_TRUE(RI == RT) << Tag;
+  // The interpreter never dispatches through the threaded loop; the
+  // threaded engine must actually have used it (or the test proves
+  // nothing about equivalence).
+  EXPECT_EQ(IS.Dispatches, 0u) << Tag;
+  EXPECT_GT(TS.Dispatches, 0u) << Tag;
+  EXPECT_LE(TS.ThreadedInstructions, RT.InstructionsExecuted) << Tag;
+  return RI;
+}
+
+} // namespace
+
+/// Continuous power, with region sizes and the event trace collected:
+/// the widest observable surface (Commits, StoreCycles, RegionSizes).
+TEST(EngineEquivalenceTest, ContinuousRunsAreByteIdentical) {
+  for (const Workload &W : matrixWorkloads()) {
+    MModule MM = buildWorkload(W.Name);
+    ASSERT_FALSE(MM.Functions.empty()) << W.Name;
+    Emulator E(MM);
+    EmulatorOptions EO;
+    EO.CollectEventTrace = true;
+    EmulatorResult R = expectEngineIdentical(E, EO, W.Name);
+    EXPECT_TRUE(R.Ok) << W.Name << ": " << R.Error;
+  }
+}
+
+/// Intermittent power: fixed on-periods (every boot replays a region
+/// prefix) and the bursty harvester trace, at several budgets so the
+/// failure points land in different regions.
+TEST(EngineEquivalenceTest, IntermittentRunsAreByteIdentical) {
+  for (const Workload &W : matrixWorkloads()) {
+    MModule MM = buildWorkload(W.Name);
+    ASSERT_FALSE(MM.Functions.empty()) << W.Name;
+    Emulator E(MM);
+    for (uint64_t Budget : {7'000ull, 50'000ull, 333'333ull}) {
+      EmulatorOptions EO;
+      EO.Power = PowerSchedule::fixed(Budget);
+      EmulatorResult R = expectEngineIdentical(
+          E, EO, W.Name + " @ fixed " + std::to_string(Budget));
+      // The smallest budget legitimately stalls the large-region
+      // workloads (no forward progress); both engines must still agree
+      // on the failure, so only the successful runs assert Ok.
+      if (R.Ok)
+        EXPECT_GT(R.PowerFailures, 0u) << W.Name;
+    }
+    EmulatorOptions EO;
+    EO.Power = harvesterTraceAlpha();
+    expectEngineIdentical(E, EO, W.Name + " @ harvester");
+  }
+}
+
+/// Periodic interrupts exercise hardware stacking, the ISR path, and
+/// commit-on-interrupt — all interpreter-assisted on the threaded
+/// engine, so the cycle accounting must line up exactly.
+TEST(EngineEquivalenceTest, InterruptRunsAreByteIdentical) {
+  for (const Workload &W : matrixWorkloads()) {
+    MModule MM = buildWorkload(W.Name);
+    ASSERT_FALSE(MM.Functions.empty()) << W.Name;
+    Emulator E(MM);
+    EmulatorOptions EO;
+    EO.InterruptPeriod = 10'000;
+    EmulatorResult R = expectEngineIdentical(E, EO, W.Name);
+    EXPECT_TRUE(R.Ok) << W.Name << ": " << R.Error;
+    EXPECT_GT(R.InterruptsTaken, 0u) << W.Name;
+  }
+}
+
+/// The WARIO_ENGINE kill switch: with Engine = Auto, "interp" must
+/// force the oracle (zero threaded dispatches), anything else selects
+/// the threaded engine — and results must not depend on the choice.
+TEST(EngineEquivalenceTest, EnvKillSwitchSelectsEngine) {
+  MModule MM = buildWorkload("crc");
+  ASSERT_FALSE(MM.Functions.empty());
+  Emulator E(MM);
+  EmulatorOptions EO; // Engine = Auto.
+
+  ASSERT_EQ(setenv("WARIO_ENGINE", "interp", 1), 0);
+  EngineStats KillStats;
+  EmulatorResult Killed = E.run(EO, "main", nullptr, &KillStats);
+  EXPECT_EQ(KillStats.Dispatches, 0u)
+      << "WARIO_ENGINE=interp must disable threaded dispatch";
+
+  ASSERT_EQ(setenv("WARIO_ENGINE", "threaded", 1), 0);
+  EngineStats OnStats;
+  EmulatorResult Threaded = E.run(EO, "main", nullptr, &OnStats);
+  EXPECT_GT(OnStats.Dispatches, 0u);
+
+  ASSERT_EQ(unsetenv("WARIO_ENGINE"), 0);
+  EngineStats DefStats;
+  EmulatorResult Default = E.run(EO, "main", nullptr, &DefStats);
+  EXPECT_GT(DefStats.Dispatches, 0u) << "unset must default to threaded";
+
+  EXPECT_TRUE(Killed == Threaded);
+  EXPECT_TRUE(Killed == Default);
+
+  // An explicit option wins over the environment.
+  ASSERT_EQ(setenv("WARIO_ENGINE", "interp", 1), 0);
+  EmulatorOptions Explicit;
+  Explicit.Engine = EngineKind::Threaded;
+  EngineStats ExplStats;
+  EmulatorResult Expl = E.run(Explicit, "main", nullptr, &ExplStats);
+  EXPECT_GT(ExplStats.Dispatches, 0u) << "explicit Threaded beats env";
+  EXPECT_TRUE(Expl == Killed);
+  ASSERT_EQ(unsetenv("WARIO_ENGINE"), 0);
+}
+
+/// Mixed-engine snapshot resume: a chain recorded under either engine
+/// must replay under the other (chain compatibility is deliberately
+/// engine-blind), byte-identical to a cold run of the replaying engine.
+TEST(EngineEquivalenceTest, MixedEngineSnapshotResume) {
+  MModule MM = buildWorkload("crc");
+  ASSERT_FALSE(MM.Functions.empty());
+  Emulator E(MM);
+  EmulatorOptions Base;
+  Base.CollectRegionSizes = false;
+
+  for (EngineKind RecEngine : {EngineKind::Interp, EngineKind::Threaded}) {
+    EmulatorOptions RecEO = Base;
+    RecEO.Engine = RecEngine;
+    SnapshotChain Chain;
+    EmulatorResult Golden = E.record(RecEO, SnapshotSchedule{}, Chain);
+    ASSERT_TRUE(Golden.Ok) << Golden.Error;
+    ASSERT_TRUE(Chain.valid());
+
+    EngineKind Other = RecEngine == EngineKind::Interp
+                           ? EngineKind::Threaded
+                           : EngineKind::Interp;
+    for (uint64_t C : {Golden.TotalCycles / 3, 2 * Golden.TotalCycles / 3}) {
+      EmulatorOptions EO = Base;
+      EO.Engine = Other;
+      EO.Power = PowerSchedule::trace({C, UINT64_MAX}, "single-crash");
+      EmulatorResult Cold = E.run(EO);
+      ReplayPlan Plan;
+      Plan.Chain = &Chain;
+      EmulatorScratch Scratch;
+      ReplayOutcome Out;
+      EmulatorResult Warm = E.replay(EO, Plan, "main", &Scratch, &Out);
+      EXPECT_TRUE(Warm == Cold)
+          << "recorded " << engineName(RecEngine) << ", replayed "
+          << engineName(Other) << " @ crash " << C;
+      EXPECT_TRUE(Out.Resumed)
+          << "engine mismatch must not force a cold fallback";
+    }
+  }
+}

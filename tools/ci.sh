@@ -2,16 +2,21 @@
 # The one CI entry point (also what .github/workflows/ci.yml runs):
 #
 #   1. configure + build the default tree, run the full ctest suite;
-#   2. rebuild under ThreadSanitizer and run the `tsan`-labeled tests
+#   2. differential-engine pass: the `engine`-labeled equivalence suite
+#      (threaded engine vs interpreter oracle) on the default tree,
+#      then once more with WARIO_ENGINE=interp exported to prove the
+#      kill switch changes nothing observable;
+#   3. rebuild under ThreadSanitizer and run the `tsan`-labeled tests
 #      (the bench harness's parallel matrix driver);
-#   3. rebuild under AddressSanitizer and run the `asan`-labeled tests
+#   4. rebuild under AddressSanitizer and run the `asan`-labeled tests
 #      (module cloning, cache keying, snapshot page journal);
-#   4. re-run the docs lint standalone so a docs-only failure is
+#   5. re-run the docs lint standalone so a docs-only failure is
 #      reported even if a build step above broke first.
 #
 # The default-tree pass includes the `crash` label (the fault-injection
 # campaigns, the long pole of the suite). Set WARIO_CI_FAST=1 to exclude
-# it for a quick local pre-push check.
+# it — and to trim the differential-engine matrix to one workload — for
+# a quick local pre-push check.
 #
 # Usage: tools/ci.sh [build-root]   (default: build; sanitizer trees go
 # to <build-root>/tsan and <build-root>/asan)
@@ -31,6 +36,11 @@ echo "==> default build + full suite"
 cmake -B "$build" -S "$root"
 cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" $label_excludes
+
+echo "==> differential engine suite (engine label, both WARIO_ENGINE settings)"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L engine
+WARIO_ENGINE=interp \
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" -L engine
 
 echo "==> tsan build + tsan-labeled tests"
 cmake -B "$build/tsan" -S "$root" -DWARIO_SANITIZE=thread
