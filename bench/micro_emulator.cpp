@@ -201,4 +201,22 @@ BENCHMARK(BM_LateCrashResumed_CRC);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): stamps this tree's
+// build type into the JSON context. google-benchmark's own
+// library_build_type field describes how *libbenchmark* was built, not
+// this binary, and emit_bench_json.sh keys its debug-recording guard on
+// the wario_build_type field added here.
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::AddCustomContext("wario_build_type", WARIO_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("wario_assertions", "off");
+#else
+  benchmark::AddCustomContext("wario_assertions", "on");
+#endif
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,11 +11,14 @@ namespace {
 std::vector<BasicBlock *> nexts(const BasicBlock *BB, bool Post) {
   if (!Post)
     return BB->successors();
-  return BB->predecessors();
+  const auto &P = BB->predecessors();
+  return {P.begin(), P.end()};
 }
 std::vector<BasicBlock *> prevs(const BasicBlock *BB, bool Post) {
-  if (!Post)
-    return BB->predecessors();
+  if (!Post) {
+    const auto &P = BB->predecessors();
+    return {P.begin(), P.end()};
+  }
   return BB->successors();
 }
 

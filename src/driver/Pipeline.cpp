@@ -1,5 +1,6 @@
 #include "driver/Pipeline.h"
 
+#include "support/ThreadPool.h"
 #include "transforms/Inliner.h"
 #include "transforms/LoopUnroller.h"
 #include "transforms/Mem2Reg.h"
@@ -27,6 +28,18 @@ public:
 private:
   double &Sink;
   std::chrono::steady_clock::time_point Start;
+};
+
+/// Results of the function-local middle-end passes for one function.
+/// The parallel phases fill one slot per function; totals are reduced
+/// sequentially in function order afterwards, so stats are identical
+/// for every WARIO_JOBS value.
+struct PerFunctionStats {
+  LoopWriteClustererStats LWC;
+  unsigned AllocasPromoted = 0;
+  unsigned StoresSunk = 0;
+  CheckpointInserterStats Checkpoints;
+  unsigned RegionsBounded = 0;
 };
 
 } // namespace
@@ -99,60 +112,103 @@ BackendOptions wario::backendConfig(const PipelineOptions &Opts) {
 void wario::runFrontHalf(Module &M, PipelineStats &S) {
   // Shared "-O3" front half: basic inlining (the opt -always-inline
   // -inline prepass of Section 4.6), scalar promotion, and cleanup.
+  // Inlining rewrites bodies across function boundaries and must stay
+  // sequential; promotion and cleanup are function-local and fan out.
   StageTimer T(S.FrontHalfSeconds);
   S.InlinedPrepass = inlineSmallFunctions(M, /*MaxCalleeSize=*/24);
-  S.AllocasPromoted = promoteAllocasToSSA(M);
-  cleanupModule(M);
+  const auto &Fns = M.functions();
+  std::vector<unsigned> Promoted(Fns.size(), 0);
+  parallelFor(Fns.size(), [&](size_t I) {
+    Promoted[I] = promoteAllocasToSSA(*Fns[I]);
+    cleanup(*Fns[I]);
+  });
+  for (unsigned N : Promoted)
+    S.AllocasPromoted += N;
 }
 
 void wario::runMiddleEnd(Module &M, const PipelineOptions &Opts,
                          PipelineStats &S) {
   StageTimer T(S.MiddleEndSeconds);
   MiddleEndConfig C = middleEndConfig(Opts);
+  const auto &Fns = M.functions();
+
+  // Every middle-end pass except the Expander is function-local, and
+  // each function allocates from its own arena, interns constants/types
+  // through the context's value-keyed maps, and assigns ids from its own
+  // counter — so per-function work commutes and the fan-out below is
+  // byte-identical for every WARIO_JOBS value. The Expander rewrites
+  // call sites across function boundaries; it stays sequential and acts
+  // as the barrier between the two parallel phases.
 
   if (!C.Instrumented) {
-    unrollStandardLoops(M);
-    cleanupModule(M);
+    parallelFor(Fns.size(), [&](size_t I) {
+      unrollStandardLoops(*Fns[I], /*Factor=*/4, /*MaxBodyInsts=*/40);
+      cleanup(*Fns[I]);
+    });
     return;
   }
   AliasPrecision Precision = C.ConservativeAA
                                  ? AliasPrecision::Conservative
                                  : AliasPrecision::Precise;
+  std::vector<PerFunctionStats> FS(Fns.size());
 
-  // Middle end (Figure 2 order: Loop Write Clusterer, Expander,
-  // Write Clusterer, PDG Checkpoint Inserter).
-  if (C.LoopCluster) {
-    LoopWriteClustererOptions LWC;
-    LWC.UnrollFactor = C.UnrollFactor;
-    LWC.Precision = Precision;
-    S.LoopClusterer = runLoopWriteClusterer(M, LWC);
-    cleanupModule(M);
-  }
-  // The user-specified optimization level (-O3's unroller) runs after
-  // the Loop Write Clusterer and before the Expander (Section 4.6).
-  unrollStandardLoops(M);
-  cleanupModule(M);
+  // Phase A (Figure 2 order): Loop Write Clusterer, then the
+  // user-specified optimization level (-O3's unroller, Section 4.6).
+  parallelFor(Fns.size(), [&](size_t I) {
+    Function &F = *Fns[I];
+    if (C.LoopCluster) {
+      LoopWriteClustererOptions LWC;
+      LWC.UnrollFactor = C.UnrollFactor;
+      LWC.Precision = Precision;
+      FS[I].LWC = runLoopWriteClusterer(F, LWC);
+      cleanup(F);
+    }
+    unrollStandardLoops(F, /*Factor=*/4, /*MaxBodyInsts=*/40);
+    cleanup(F);
+  });
+
+  // Module-level barrier: the Expander clones callee bodies into
+  // callers, then the new allocas are promoted function-locally.
   if (C.Expand) {
     S.Expander = runExpander(M);
-    S.AllocasPromoted += promoteAllocasToSSA(M);
-    cleanupModule(M);
+    parallelFor(Fns.size(), [&](size_t I) {
+      FS[I].AllocasPromoted = promoteAllocasToSSA(*Fns[I]);
+      cleanup(*Fns[I]);
+    });
   }
-  if (C.Cluster) {
-    AliasAnalysis AA(Precision);
-    S.StoresSunk = runWriteClusterer(M, AA);
-  }
+
+  // Phase B: Write Clusterer, PDG Checkpoint Inserter, region bounding.
   CheckpointInserterOptions CI;
   CI.Precision = Precision;
   CI.Strategy = C.HittingSet ? PlacementStrategy::HittingSet
                              : PlacementStrategy::PerWrite;
   CI.DepthWeightedCost = C.DepthWeightedCost;
   CI.ResolveWars = C.ResolveWars;
-  S.MiddleEnd = insertCheckpoints(M, CI);
+  RegionBounderOptions RB;
+  RB.MaxRegionCycles = C.MaxRegionCycles;
+  parallelFor(Fns.size(), [&](size_t I) {
+    Function &F = *Fns[I];
+    if (C.Cluster) {
+      AliasAnalysis AA(Precision);
+      FS[I].StoresSunk = runWriteClusterer(F, AA);
+    }
+    FS[I].Checkpoints = insertCheckpoints(F, CI);
+    if (C.BoundRegions)
+      FS[I].RegionsBounded = boundRegions(F, RB).LoopsBounded;
+  });
 
-  if (C.BoundRegions) {
-    RegionBounderOptions RB;
-    RB.MaxRegionCycles = C.MaxRegionCycles;
-    S.RegionsBounded = boundRegions(M, RB).LoopsBounded;
+  // Sequential reduction in function order.
+  for (const PerFunctionStats &P : FS) {
+    S.LoopClusterer.LoopsTransformed += P.LWC.LoopsTransformed;
+    S.LoopClusterer.StoresPostponed += P.LWC.StoresPostponed;
+    S.LoopClusterer.ExitCopies += P.LWC.ExitCopies;
+    S.LoopClusterer.RuntimeChecks += P.LWC.RuntimeChecks;
+    S.AllocasPromoted += P.AllocasPromoted;
+    S.StoresSunk += P.StoresSunk;
+    S.MiddleEnd.WarsFound += P.Checkpoints.WarsFound;
+    S.MiddleEnd.WarsAlreadyCut += P.Checkpoints.WarsAlreadyCut;
+    S.MiddleEnd.Inserted += P.Checkpoints.Inserted;
+    S.RegionsBounded += P.RegionsBounded;
   }
 }
 

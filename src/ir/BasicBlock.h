@@ -3,6 +3,12 @@
 /// \file
 /// BasicBlock: a straight-line instruction sequence ended by a terminator.
 ///
+/// The instruction list is intrusive (prev/next pointers inside
+/// Instruction) so blocks stay trivially copyable for cloneModule's bulk
+/// copy. The iterator keeps std::list semantics where passes rely on them:
+/// dereferencing yields `Instruction *`, inserting before a held iterator
+/// keeps it valid, and end() can be decremented.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARIO_IR_BASICBLOCK_H
@@ -10,7 +16,7 @@
 
 #include "ir/Instruction.h"
 
-#include <list>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -25,26 +31,73 @@ class Function;
 /// resolution-set computation relies on.
 class BasicBlock {
 public:
-  using iterator = std::list<Instruction *>::iterator;
-  using const_iterator = std::list<Instruction *>::const_iterator;
+  /// Bidirectional iterator over the intrusive instruction list. Like a
+  /// std::list<Instruction *> iterator, `*it` is the Instruction pointer
+  /// and a held iterator survives inserts before it.
+  class iterator {
+  public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = Instruction *;
+    using difference_type = std::ptrdiff_t;
+    using pointer = Instruction *const *;
+    using reference = Instruction *;
 
-  BasicBlock(Function *Parent, std::string Name)
-      : Parent(Parent), Name(std::move(Name)) {}
+    iterator() = default;
+    iterator(Instruction *I, const BasicBlock *BB) : Cur(I), BB(BB) {}
+
+    Instruction *operator*() const { return Cur; }
+    iterator &operator++() {
+      Cur = Cur->NextI;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator T = *this;
+      ++*this;
+      return T;
+    }
+    iterator &operator--() {
+      Cur = Cur ? Cur->PrevI : BB->ILast;
+      return *this;
+    }
+    iterator operator--(int) {
+      iterator T = *this;
+      --*this;
+      return T;
+    }
+    bool operator==(const iterator &O) const { return Cur == O.Cur; }
+    bool operator!=(const iterator &O) const { return Cur != O.Cur; }
+
+  private:
+    friend class BasicBlock;
+    Instruction *Cur = nullptr;
+    const BasicBlock *BB = nullptr;
+  };
+  /// Const iteration still yields mutable Instruction pointers, exactly as
+  /// a const std::list<Instruction *> did.
+  using const_iterator = iterator;
+
+  BasicBlock(Function *Parent, std::string Name) : Parent(Parent) {
+    setName(std::move(Name));
+  }
   BasicBlock(const BasicBlock &) = delete;
   BasicBlock &operator=(const BasicBlock &) = delete;
 
   Function *getParent() const { return Parent; }
-  const std::string &getName() const { return Name; }
-  void setName(std::string N) { Name = std::move(N); }
+  const std::string &getName() const { return *Name; }
+  void setName(std::string N) { Name = &internedName(std::move(N)); }
 
-  iterator begin() { return Insts.begin(); }
-  iterator end() { return Insts.end(); }
-  const_iterator begin() const { return Insts.begin(); }
-  const_iterator end() const { return Insts.end(); }
-  bool empty() const { return Insts.empty(); }
-  size_t size() const { return Insts.size(); }
-  Instruction *front() const { return Insts.front(); }
-  Instruction *back() const { return Insts.back(); }
+  iterator begin() const { return iterator(IFirst, this); }
+  iterator end() const { return iterator(nullptr, this); }
+  bool empty() const { return NumInsts == 0; }
+  size_t size() const { return NumInsts; }
+  Instruction *front() const {
+    assert(IFirst && "front() on empty block");
+    return IFirst;
+  }
+  Instruction *back() const {
+    assert(ILast && "back() on empty block");
+    return ILast;
+  }
 
   /// Inserts \p I before \p Pos. \p I must be detached.
   iterator insert(iterator Pos, Instruction *I);
@@ -55,29 +108,34 @@ public:
 
   /// The block terminator, or nullptr if the block is not yet terminated.
   Instruction *getTerminator() const {
-    if (Insts.empty() || !Insts.back()->isTerminator())
+    if (!ILast || !ILast->isTerminator())
       return nullptr;
-    return Insts.back();
+    return ILast;
   }
 
   /// Successor blocks, read off the terminator.
   std::vector<BasicBlock *> successors() const;
   /// Predecessor blocks (maintained lazily by the parent Function).
-  const std::vector<BasicBlock *> &predecessors() const;
+  const ArenaVec<BasicBlock *> &predecessors() const;
 
   /// First non-phi position; phi nodes must be grouped at the block head.
-  iterator firstNonPhi();
+  iterator firstNonPhi() const;
 
   /// All phi instructions at the head of the block.
   std::vector<Instruction *> phis() const;
 
 private:
   friend class Function;
+  friend struct ModuleCloner;
 
   Function *Parent;
-  std::string Name;
-  std::list<Instruction *> Insts;
-  mutable std::vector<BasicBlock *> Preds; // Cache; see Function::ensureCFG.
+  const std::string *Name;
+  Instruction *IFirst = nullptr;
+  Instruction *ILast = nullptr;
+  uint32_t NumInsts = 0;
+  BasicBlock *PrevB = nullptr; ///< Intrusive function block list links.
+  BasicBlock *NextB = nullptr;
+  mutable ArenaVec<BasicBlock *> Preds; // Cache; see Function::ensureCFG.
 };
 
 } // namespace wario

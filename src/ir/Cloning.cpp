@@ -1,11 +1,27 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR cloning. cloneInstruction is a conventional per-node copy used by
+/// the unroller and inliner. cloneModule is a bulk arena copy: every node
+/// of a module lives in its IRContext's arenas, so the clone memcpys the
+/// slabs wholesale and then rewrites each interior pointer through a
+/// sorted slab-remap table. Ids, list orders, user-list orders, and the
+/// per-function id counters are copied *bytewise*, so the clone is
+/// behaviorally indistinguishable by construction — no per-field
+/// reconstruction, no user-order restoration pass.
+///
+//===----------------------------------------------------------------------===//
+
 #include "ir/Cloning.h"
+
+#include <algorithm>
 
 using namespace wario;
 
 namespace {
 
 /// Copies the opcode-specific payload of \p I onto \p NI. The Call callee
-/// is copied verbatim; cloneModule remaps it afterwards.
+/// is copied verbatim; callers remap it if needed.
 void copyPayload(Instruction *NI, const Instruction *I) {
   switch (I->getOpcode()) {
   case Opcode::Alloca:
@@ -45,105 +61,222 @@ Instruction *wario::cloneInstruction(const Instruction *I, Function &F,
   for (unsigned J = 0, E = I->getNumOperands(); J != E; ++J)
     Ops.push_back(VM.lookup(I->getOperand(J)));
 
-  auto NI = std::make_unique<Instruction>(I->getOpcode(), std::move(Ops));
+  Instruction *NI = F.createInstruction(I->getOpcode(), Ops);
   NI->setName(I->getName());
-  copyPayload(NI.get(), I);
+  copyPayload(NI, I);
   for (unsigned J = 0, E = I->getNumBlockOperands(); J != E; ++J)
     NI->addBlockOperand(I->getBlockOperand(J));
-  return F.adopt(std::move(NI));
+  return NI;
 }
+
+namespace wario {
+
+/// The bulk-copy engine. Friend of every IR class so it can rewrite
+/// private pointer fields in place.
+struct ModuleCloner {
+  /// One contiguous source→destination byte range. Ranges cover every
+  /// arena slab of the source module plus the three inline singleton
+  /// types of its context.
+  struct Range {
+    const char *SrcBase;
+    char *DstBase;
+    size_t Size;
+  };
+
+  const Module &Src;
+  Module &Dst;
+  std::vector<Range> Ranges;
+  /// Last range a remap resolved to. The fixup walks nodes in
+  /// allocation order, so consecutive lookups almost always land in the
+  /// same slab; this turns the binary search into one range check.
+  mutable const Range *LastHit = nullptr;
+
+  ModuleCloner(const Module &Src, Module &Dst) : Src(Src), Dst(Dst) {}
+
+  void addRange(const void *SrcBase, void *DstBase, size_t Size) {
+    if (Size)
+      Ranges.push_back(
+          {static_cast<const char *>(SrcBase), static_cast<char *>(DstBase),
+           Size});
+  }
+
+  /// Copies every arena of Src's context into Dst's (empty) context and
+  /// records the address ranges.
+  void copyArenas() {
+    IRContext &SC = Src.getContext();
+    IRContext &DC = Dst.getContext();
+
+    auto CopyOne = [&](const Arena &From, Arena &To) {
+      To.adoptCopyOf(From);
+      const auto &FS = From.slabs();
+      const auto &TS = To.slabs();
+      assert(FS.size() == TS.size());
+      for (size_t I = 0; I != FS.size(); ++I)
+        addRange(FS[I].Base, TS[I].Base, FS[I].Used);
+    };
+
+    CopyOne(SC.ModArena, DC.ModArena);
+    for (const Arena &FA : SC.FnArenas)
+      CopyOne(FA, DC.newFunctionArena());
+
+    // The singleton types live inline in the context object, not in an
+    // arena; map them as three one-object ranges.
+    addRange(&SC.VoidTy, &DC.VoidTy, sizeof(Type));
+    addRange(&SC.I32Ty, &DC.I32Ty, sizeof(Type));
+    addRange(&SC.PtrTy, &DC.PtrTy, sizeof(Type));
+
+    std::sort(Ranges.begin(), Ranges.end(),
+              [](const Range &A, const Range &B) {
+                return A.SrcBase < B.SrcBase;
+              });
+  }
+
+  /// Maps a pointer into the source module onto its clone. The Module
+  /// object itself is the only heap object nodes point at; everything
+  /// else must fall inside a copied range. Pointers that are not part of
+  /// the module (interned name strings) must not be passed here.
+  template <typename T> T *remap(const T *P) const {
+    if (!P)
+      return nullptr;
+    if (static_cast<const void *>(P) == static_cast<const void *>(&Src))
+      return reinterpret_cast<T *>(const_cast<Module *>(&Dst));
+    const char *CP = reinterpret_cast<const char *>(P);
+    if (LastHit && CP >= LastHit->SrcBase &&
+        CP < LastHit->SrcBase + LastHit->Size)
+      return reinterpret_cast<T *>(LastHit->DstBase +
+                                   (CP - LastHit->SrcBase));
+    auto It = std::upper_bound(Ranges.begin(), Ranges.end(), CP,
+                               [](const char *V, const Range &R) {
+                                 return V < R.SrcBase;
+                               });
+    assert(It != Ranges.begin() &&
+           "clone fixup: pointer does not map into the source module");
+    const Range &R = *std::prev(It);
+    assert(CP < R.SrcBase + R.Size &&
+           "clone fixup: pointer does not map into the source module");
+    LastHit = &R;
+    return reinterpret_cast<T *>(R.DstBase + (CP - R.SrcBase));
+  }
+
+  /// Rewrites an ArenaVec whose storage was bulk-copied: \p DstVec is
+  /// the clone's vec (already located by the caller via its remapped
+  /// parent node); its Data pointer and each pointer element are
+  /// remapped in place. Sizes/capacities came along bytewise.
+  template <typename T>
+  void fixVec(ArenaVec<T *> &DstVec, const ArenaVec<T *> &SrcVec) const {
+    DstVec.Data = remap(SrcVec.Data);
+    for (size_t I = 0, E = SrcVec.Sz; I != E; ++I)
+      DstVec.Data[I] = remap(SrcVec.Data[I]);
+  }
+
+  /// Same for a plain byte vec (global initializers): only the Data
+  /// pointer needs remapping.
+  void fixBytes(ArenaVec<uint8_t> &DstVec,
+                const ArenaVec<uint8_t> &SrcVec) const {
+    DstVec.Data = remap(SrcVec.Data);
+  }
+
+  void fixValueCommon(Value *NV, const Value &V) const {
+    NV->Ty = remap(V.Ty);
+    // Name is an interned-string pointer — process-global, shared as-is.
+    fixVec(NV->Users, V.Users);
+  }
+
+  void fixInstruction(Instruction *NI, const Instruction &I) const {
+    fixValueCommon(NI, I);
+    fixVec(NI->Operands, I.Operands);
+    fixVec(NI->BlockOps, I.BlockOps);
+    NI->Parent = remap(I.Parent);
+    NI->PrevI = remap(I.PrevI);
+    NI->NextI = remap(I.NextI);
+    NI->Func = remap(I.Func);
+    NI->Callee = remap(I.Callee);
+  }
+
+  void fixBlock(BasicBlock *NB, const BasicBlock &BB) const {
+    NB->Parent = remap(BB.Parent);
+    NB->IFirst = remap(BB.IFirst);
+    NB->ILast = remap(BB.ILast);
+    NB->PrevB = remap(BB.PrevB);
+    NB->NextB = remap(BB.NextB);
+    fixVec(NB->Preds, BB.Preds);
+  }
+
+  void fixFunction(Function *NF, const Function &F) const {
+    NF->Parent = &Dst;
+    // NF->A is fixed separately (fixArenaPointers): arenas live in the
+    // context's deque, not in any copied byte range.
+    fixVec(NF->Args, F.Args);
+    NF->BFirst = remap(F.BFirst);
+    NF->BLast = remap(F.BLast);
+    fixVec(NF->AllBlocks, F.AllBlocks);
+    fixVec(NF->AllInsts, F.AllInsts);
+    for (size_t I = 0, E = F.Args.Sz; I != E; ++I) {
+      Argument *NArg = NF->Args.Data[I];
+      fixValueCommon(NArg, *F.Args.Data[I]);
+      NArg->Parent = NF;
+    }
+    // Walk the full enumeration lists, not just attached nodes: detached
+    // instructions and erased blocks were copied too and may still hold
+    // pointers a later pass resurrects. The dst lists were remapped just
+    // above, so they pair index-wise with the source lists.
+    for (size_t I = 0, E = F.AllBlocks.Sz; I != E; ++I)
+      fixBlock(NF->AllBlocks.Data[I], *F.AllBlocks.Data[I]);
+    for (size_t I = 0, E = F.AllInsts.Sz; I != E; ++I)
+      fixInstruction(NF->AllInsts.Data[I], *F.AllInsts.Data[I]);
+  }
+
+  /// Remap the Arena::A pointers: function arenas live in the context's
+  /// deque (heap), so they are not covered by byte ranges. Resolved by
+  /// index instead.
+  void fixArenaPointers() const {
+    IRContext &SC = Src.getContext();
+    IRContext &DC = Dst.getContext();
+    assert(SC.FnArenas.size() == DC.FnArenas.size());
+    for (size_t I = 0, E = SC.FnArenas.size(); I != E; ++I) {
+      const Arena *From = &SC.FnArenas[I];
+      Arena *To = &DC.FnArenas[I];
+      for (Function *SF : Src.Functions)
+        if (SF->A == From)
+          remap(SF)->A = To;
+    }
+  }
+
+  void run() {
+    copyArenas();
+
+    IRContext &SC = Src.getContext();
+    IRContext &DC = Dst.getContext();
+
+    // Rebuild the module- and context-level tables by remapping the
+    // source's entries (both are std::maps on the heap, not arena bytes).
+    for (const auto &[Bytes, T] : SC.ArrayTypes)
+      DC.ArrayTypes.emplace(Bytes, remap(T));
+    for (const auto &[Val, C] : SC.Constants) {
+      Constant *NC = remap(C);
+      DC.Constants.emplace(Val, NC);
+      fixValueCommon(NC, *C);
+    }
+    for (GlobalVariable *G : Src.Globals) {
+      GlobalVariable *NG = remap(G);
+      fixValueCommon(NG, *G);
+      NG->ValueTy = remap(G->ValueTy);
+      fixBytes(NG->Init, G->Init);
+      Dst.Globals.push_back(NG);
+    }
+    for (Function *F : Src.Functions) {
+      Function *NF = remap(F);
+      fixFunction(NF, *F);
+      Dst.Functions.push_back(NF);
+    }
+    fixArenaPointers();
+  }
+};
+
+} // namespace wario
 
 std::unique_ptr<Module> wario::cloneModule(const Module &M) {
   auto NewM = std::make_unique<Module>(M.getName());
-  ValueMapper VM;
-  std::unordered_map<const Function *, Function *> FnMap;
-  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
-
-  // Globals and uniqued constants, in the source's creation/value order.
-  for (const auto &G : M.globals())
-    VM.map(G.get(),
-           NewM->createGlobal(G->getName(), G->getSizeBytes(), G->getInit()));
-  for (const auto &[Val, C] : M.constants())
-    VM.map(C.get(), NewM->getConstant(Val));
-
-  // Declare every function (and map its arguments) before cloning bodies,
-  // so calls and cross-function references resolve in one pass.
-  for (const auto &F : M.functions()) {
-    Function *NF = NewM->createFunction(F->getName(), F->getNumParams(),
-                                        F->returnsValue());
-    FnMap[F.get()] = NF;
-    for (unsigned I = 0, E = F->getNumParams(); I != E; ++I) {
-      NF->getArg(I)->setName(F->getArg(I)->getName());
-      VM.map(F->getArg(I), NF->getArg(I));
-    }
-  }
-
-  for (const auto &F : M.functions()) {
-    Function *NF = FnMap[F.get()];
-
-    // Blocks first (branch targets may be forward references).
-    for (const BasicBlock *BB : *F)
-      BlockMap[BB] = NF->createBlock(BB->getName());
-
-    // Materialize every attached instruction operand-less, preserving its
-    // id (passes iterate in id order; a renumbered clone could compile
-    // differently).
-    for (const BasicBlock *BB : *F) {
-      for (const Instruction *I : *BB) {
-        auto NI = std::make_unique<Instruction>(I->getOpcode(),
-                                                std::vector<Value *>{});
-        NI->setName(I->getName());
-        copyPayload(NI.get(), I);
-        Instruction *Raw = NF->adopt(std::move(NI), I->getId());
-        if (I->getOpcode() == Opcode::Call)
-          Raw->setCallee(FnMap.at(I->getCallee()));
-        BlockMap.at(BB)->push_back(Raw);
-        VM.map(I, Raw);
-      }
-    }
-    NF->reserveInstIds(F->nextInstId());
-
-    // Second pass: connect operands and block operands through the maps.
-    // Every operand must resolve into the clone — an unmapped value would
-    // silently tie the clone to the source module.
-    for (const BasicBlock *BB : *F) {
-      for (const Instruction *I : *BB) {
-        Instruction *NI = cast<Instruction>(VM.lookup(const_cast<Instruction *>(I)));
-        for (unsigned J = 0, E = I->getNumOperands(); J != E; ++J) {
-          Value *Mapped = VM.lookup(I->getOperand(J));
-          assert(Mapped != I->getOperand(J) &&
-                 "module clone operand still points into the source");
-          NI->addOperand(Mapped);
-        }
-        for (unsigned J = 0, E = I->getNumBlockOperands(); J != E; ++J)
-          NI->addBlockOperand(BlockMap.at(I->getBlockOperand(J)));
-      }
-    }
-  }
-
-  // The operand pass above built user lists in program order, but the
-  // source's lists are in historical (creation/mutation) order, and some
-  // passes iterate them. Reproduce the source order exactly.
-  auto RestoreUserOrder = [&](const Value *Old) {
-    Value *New = VM.lookup(const_cast<Value *>(Old));
-    assert(New != Old && "value was never cloned");
-    std::vector<Instruction *> Order;
-    Order.reserve(Old->users().size());
-    for (Instruction *U : Old->users())
-      Order.push_back(cast<Instruction>(VM.lookup(U)));
-    New->setUserOrder(std::move(Order));
-  };
-  for (const auto &G : M.globals())
-    RestoreUserOrder(G.get());
-  for (const auto &[Val, C] : M.constants())
-    RestoreUserOrder(C.get());
-  for (const auto &F : M.functions()) {
-    for (unsigned I = 0, E = F->getNumParams(); I != E; ++I)
-      RestoreUserOrder(F->getArg(I));
-    for (const BasicBlock *BB : *F)
-      for (const Instruction *I : *BB)
-        RestoreUserOrder(I);
-  }
-
+  ModuleCloner(M, *NewM).run();
   return NewM;
 }

@@ -46,15 +46,15 @@ private:
 Instruction *cloneInstruction(const Instruction *I, Function &F,
                               const ValueMapper &VM);
 
-/// Deep-copies \p M: globals, uniqued constants, and functions (arguments,
-/// blocks, attached instructions), with every cross-reference remapped
-/// into the clone. The clone shares no Value, BasicBlock, or Function
-/// pointer with the source.
+/// Copies \p M wholesale: every node of a module lives in its IRContext's
+/// bump arenas, so the clone memcpys the arena slabs and rewrites each
+/// interior pointer through a slab remap table. The clone shares no
+/// Value, BasicBlock, or Function pointer with the source.
 ///
-/// The copy is behaviorally indistinguishable from the source, not merely
-/// semantically equivalent: instruction ids, the per-function id counter,
-/// block order, and even the order of every value's user list are
-/// reproduced exactly. Passes use ids and user lists for deterministic
+/// The copy is behaviorally indistinguishable from the source *by
+/// construction*: instruction ids, the per-function id counters, block
+/// order, and even the order of every value's user list are byte-copies
+/// of the original. Passes use ids and user lists for deterministic
 /// iteration, so a weaker clone could compile to a different (equally
 /// correct) machine module — which would break the experiment harness's
 /// guarantee that cached-and-cloned builds emit byte-identical numbers.

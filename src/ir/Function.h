@@ -1,8 +1,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Function: a CFG of basic blocks plus the arenas owning blocks and
-/// instructions.
+/// Function: a CFG of basic blocks plus the per-function bump arena owning
+/// every block and instruction.
+///
+/// Each function has its own arena so parallel per-function passes can
+/// create instructions lock-free; all enumeration lists (AllBlocks,
+/// AllInsts) are function-local too. The function object itself lives in
+/// its arena, which keeps the whole ownership graph inside IRContext's
+/// slab set — that is what cloneModule bulk-copies.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -11,8 +17,9 @@
 
 #include "ir/BasicBlock.h"
 
-#include <algorithm>
-#include <memory>
+#include <iterator>
+#include <string>
+#include <vector>
 
 namespace wario {
 
@@ -25,37 +32,76 @@ class Module;
 /// instructions around freely (the write-clustering passes depend on this).
 class Function {
 public:
-  Function(Module *Parent, std::string Name, unsigned NumParams,
+  Function(Module *Parent, Arena *A, std::string Name, unsigned NumParams,
            bool ReturnsVal);
   Function(const Function &) = delete;
   Function &operator=(const Function &) = delete;
-  ~Function();
 
   Module *getParent() const { return Parent; }
-  const std::string &getName() const { return Name; }
+  const std::string &getName() const { return *Name; }
 
-  unsigned getNumParams() const { return Args.size(); }
+  unsigned getNumParams() const { return unsigned(Args.size()); }
   Argument *getArg(unsigned I) const {
     assert(I < Args.size() && "argument index out of range");
-    return Args[I].get();
+    return Args[I];
   }
   bool returnsValue() const { return ReturnsVal; }
 
-  bool isDeclaration() const { return Blocks.empty(); }
+  bool isDeclaration() const { return NumBlocks == 0; }
+
+  /// The arena every node of this function lives in. Per-function so
+  /// parallel passes allocate without locks.
+  Arena &localArena() const { return *A; }
 
   // -- Blocks ----------------------------------------------------------------
-  using block_iterator = std::list<BasicBlock *>::iterator;
-  using const_block_iterator = std::list<BasicBlock *>::const_iterator;
+  /// Bidirectional iterator over the intrusive block list; `*it` is the
+  /// BasicBlock pointer, matching the old std::list<BasicBlock *>.
+  class block_iterator {
+  public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = BasicBlock *;
+    using difference_type = std::ptrdiff_t;
+    using pointer = BasicBlock *const *;
+    using reference = BasicBlock *;
 
-  block_iterator begin() { return Blocks.begin(); }
-  block_iterator end() { return Blocks.end(); }
-  const_block_iterator begin() const { return Blocks.begin(); }
-  const_block_iterator end() const { return Blocks.end(); }
-  size_t size() const { return Blocks.size(); }
+    block_iterator() = default;
+    block_iterator(BasicBlock *BB, const Function *F) : Cur(BB), F(F) {}
+
+    BasicBlock *operator*() const { return Cur; }
+    block_iterator &operator++() {
+      Cur = Cur->NextB;
+      return *this;
+    }
+    block_iterator operator++(int) {
+      block_iterator T = *this;
+      ++*this;
+      return T;
+    }
+    block_iterator &operator--() {
+      Cur = Cur ? Cur->PrevB : F->BLast;
+      return *this;
+    }
+    block_iterator operator--(int) {
+      block_iterator T = *this;
+      --*this;
+      return T;
+    }
+    bool operator==(const block_iterator &O) const { return Cur == O.Cur; }
+    bool operator!=(const block_iterator &O) const { return Cur != O.Cur; }
+
+  private:
+    BasicBlock *Cur = nullptr;
+    const Function *F = nullptr;
+  };
+  using const_block_iterator = block_iterator;
+
+  block_iterator begin() const { return block_iterator(BFirst, this); }
+  block_iterator end() const { return block_iterator(nullptr, this); }
+  size_t size() const { return NumBlocks; }
 
   BasicBlock *getEntryBlock() const {
-    assert(!Blocks.empty() && "function has no body");
-    return Blocks.front();
+    assert(BFirst && "function has no body");
+    return BFirst;
   }
 
   /// Creates a new block appended to the block list.
@@ -66,25 +112,18 @@ public:
   /// The block must have no predecessors.
   void eraseBlock(BasicBlock *BB);
 
-  // -- Instruction arena -------------------------------------------------------
-  /// Takes ownership of \p I; returns the raw pointer for insertion into a
-  /// block. Assigns the per-function instruction id.
-  Instruction *adopt(std::unique_ptr<Instruction> I);
+  // -- Instructions -----------------------------------------------------------
+  /// Bump-allocates a detached instruction in this function's arena,
+  /// assigns the next per-function id, and attaches the operands. The
+  /// caller inserts it into a block.
+  Instruction *createInstruction(Opcode Op,
+                                 const std::vector<Value *> &Ops = {});
 
-  /// adopt() with an explicit id instead of the next free one; the id
-  /// counter is raised past \p Id. cloneModule uses this to reproduce the
-  /// source function's ids (passes iterate in id order).
-  Instruction *adopt(std::unique_ptr<Instruction> I, unsigned Id);
-
-  /// The id the next adopted instruction would receive.
+  /// The id the next created instruction would receive.
   unsigned nextInstId() const { return NextInstId; }
-  /// Raises the id counter to at least \p Next (no-op if already past).
-  /// cloneModule uses this to reproduce the source's counter even when
-  /// the highest-id instructions were erased before the clone.
-  void reserveInstIds(unsigned Next) { NextInstId = std::max(NextInstId, Next); }
 
   /// Detaches \p I from its block and drops its operands. The value must
-  /// have no remaining users. Memory is reclaimed when the function dies.
+  /// have no remaining users. Memory is reclaimed when the module dies.
   void eraseInstruction(Instruction *I);
 
   // -- CFG cache ----------------------------------------------------------------
@@ -98,14 +137,22 @@ public:
   unsigned countInstructions() const;
 
 private:
+  friend class Module;
+  friend struct ModuleCloner;
+
   Module *Parent;
-  std::string Name;
+  Arena *A;
+  const std::string *Name;
   bool ReturnsVal;
 
-  std::vector<std::unique_ptr<Argument>> Args;
-  std::list<BasicBlock *> Blocks;
-  std::vector<std::unique_ptr<BasicBlock>> BlockArena;
-  std::vector<std::unique_ptr<Instruction>> InstArena;
+  ArenaVec<Argument *> Args;
+  BasicBlock *BFirst = nullptr;
+  BasicBlock *BLast = nullptr;
+  uint32_t NumBlocks = 0;
+  /// Every block/instruction ever created, attached or not — the clone
+  /// fixup walk and teardown-free ownership both need full enumeration.
+  ArenaVec<BasicBlock *> AllBlocks;
+  ArenaVec<Instruction *> AllInsts;
   unsigned NextInstId = 0;
   mutable bool CFGDirty = true;
 };

@@ -2,7 +2,7 @@
 ///
 /// \file
 /// Implementation of the core IR classes (Value, Instruction, BasicBlock,
-/// Function, Module).
+/// Function, Module, IRContext).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,31 +12,43 @@
 
 using namespace wario;
 
+// Arena teardown never runs destructors, so every arena-resident node must
+// be trivially destructible — this is also what entitles cloneModule to
+// duplicate them with memcpy.
+static_assert(std::is_trivially_destructible_v<Constant>);
+static_assert(std::is_trivially_destructible_v<GlobalVariable>);
+static_assert(std::is_trivially_destructible_v<Argument>);
+static_assert(std::is_trivially_destructible_v<Instruction>);
+static_assert(std::is_trivially_destructible_v<BasicBlock>);
+static_assert(std::is_trivially_destructible_v<Function>);
+
 //===----------------------------------------------------------------------===//
 // Value
 //===----------------------------------------------------------------------===//
 
-void Value::removeUser(Instruction *I) {
-  auto It = std::find(Users.begin(), Users.end(), I);
-  assert(It != Users.end() && "removing a user that was never added");
-  Users.erase(It);
+void Value::addUser(Instruction *I) {
+  if (!tracksUsers())
+    return;
+  Users.push_back(I->arena(), I);
 }
 
-void Value::setUserOrder(std::vector<Instruction *> Order) {
-#ifndef NDEBUG
-  // Must be a permutation: same users, same per-user multiplicity.
-  std::vector<Instruction *> A = Users, B = Order;
-  std::sort(A.begin(), A.end());
-  std::sort(B.begin(), B.end());
-  assert(A == B && "setUserOrder with a non-permutation of the user list");
-#endif
-  Users = std::move(Order);
+void Value::removeUser(Instruction *I) {
+  if (!tracksUsers())
+    return;
+  for (size_t J = 0, E = Users.size(); J != E; ++J) {
+    if (Users[J] == I) {
+      Users.erase(J); // Order-preserving, like the old vector::erase.
+      return;
+    }
+  }
+  assert(false && "removing a user that was never added");
 }
 
 void Value::replaceAllUsesWith(Value *New) {
   assert(New != this && "replacing a value with itself");
+  assert(tracksUsers() && "value kind does not track users");
   // Copy: setOperand mutates the user list.
-  std::vector<Instruction *> Snapshot = Users;
+  std::vector<Instruction *> Snapshot(Users.begin(), Users.end());
   for (Instruction *U : Snapshot)
     for (unsigned I = 0, E = U->getNumOperands(); I != E; ++I)
       if (U->getOperand(I) == this)
@@ -106,13 +118,29 @@ const char *wario::predName(CmpPred P) {
   return "<bad pred>";
 }
 
-Instruction::Instruction(Opcode Op, std::vector<Value *> Ops)
-    : Value(ValueKind::Instruction), Op(Op) {
-  for (Value *V : Ops)
-    addOperand(V);
+namespace {
+const Type *typeForOpcode(const IRContext &Ctx, Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Out:
+  case Opcode::Checkpoint:
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+  case Opcode::Call: // Refined by setCallee.
+    return Ctx.getVoidType();
+  default:
+    return Ctx.getI32Type();
+  }
 }
+} // namespace
 
-Instruction::~Instruction() { dropAllOperands(); }
+Instruction::Instruction(Function *F, Opcode Op)
+    : Value(ValueKind::Instruction,
+            typeForOpcode(F->getParent()->getContext(), Op)),
+      Op(Op), Func(F) {}
+
+Arena &Instruction::arena() const { return Func->localArena(); }
 
 void Instruction::setOperand(unsigned I, Value *V) {
   assert(I < Operands.size() && "operand index out of range");
@@ -127,26 +155,26 @@ void Instruction::setOperand(unsigned I, Value *V) {
 
 void Instruction::addOperand(Value *V) {
   assert(V && "operand must not be null");
-  Operands.push_back(V);
+  Operands.push_back(arena(), V);
   V->addUser(this);
 }
 
 void Instruction::removeOperand(unsigned I) {
   assert(I < Operands.size() && "operand index out of range");
   Operands[I]->removeUser(this);
-  Operands.erase(Operands.begin() + I);
+  Operands.erase(I);
 }
 
 void Instruction::removeBlockOperand(unsigned I) {
   assert(I < BlockOps.size() && "block operand index out of range");
-  BlockOps.erase(BlockOps.begin() + I);
+  BlockOps.erase(I);
   if (Parent)
     Parent->getParent()->invalidateCFG();
 }
 
 void Instruction::removePhiIncomingFor(const BasicBlock *Pred) {
   assert(Op == Opcode::Phi && "not a phi");
-  for (unsigned I = 0, E = BlockOps.size(); I != E; ++I) {
+  for (unsigned I = 0, E = unsigned(BlockOps.size()); I != E; ++I) {
     if (BlockOps[I] == Pred) {
       removeOperand(I);
       removeBlockOperand(I);
@@ -158,7 +186,7 @@ void Instruction::removePhiIncomingFor(const BasicBlock *Pred) {
 
 Value *Instruction::getPhiIncomingFor(const BasicBlock *Pred) const {
   assert(Op == Opcode::Phi && "not a phi");
-  for (unsigned I = 0, E = BlockOps.size(); I != E; ++I)
+  for (unsigned I = 0, E = unsigned(BlockOps.size()); I != E; ++I)
     if (BlockOps[I] == Pred)
       return Operands[I];
   assert(false && "phi has no incoming entry for this block");
@@ -180,9 +208,15 @@ void Instruction::setBlockOperand(unsigned I, BasicBlock *BB) {
 }
 
 void Instruction::addBlockOperand(BasicBlock *BB) {
-  BlockOps.push_back(BB);
+  BlockOps.push_back(arena(), BB);
   if (Parent)
     Parent->getParent()->invalidateCFG();
+}
+
+void Instruction::setCallee(Function *F) {
+  Callee = F;
+  const IRContext &Ctx = Func->getParent()->getContext();
+  setType(F && F->returnsValue() ? Ctx.getI32Type() : Ctx.getVoidType());
 }
 
 bool Instruction::producesValue() const {
@@ -211,10 +245,6 @@ bool Instruction::mayWriteMemory() const {
   return Op == Opcode::Store || Op == Opcode::Call;
 }
 
-Function *Instruction::getFunction() const {
-  return Parent ? Parent->getParent() : nullptr;
-}
-
 void Instruction::removeFromParent() {
   assert(Parent && "instruction is not attached to a block");
   Parent->remove(this);
@@ -225,7 +255,7 @@ void Instruction::moveBefore(Instruction *Other) {
   if (Parent)
     removeFromParent();
   BasicBlock *BB = Other->Parent;
-  BB->insert(Other->SelfIt, this);
+  BB->insert(BasicBlock::iterator(Other, BB), this);
 }
 
 void Instruction::moveBeforeTerminator(BasicBlock *BB) {
@@ -233,7 +263,7 @@ void Instruction::moveBeforeTerminator(BasicBlock *BB) {
     removeFromParent();
   Instruction *Term = BB->getTerminator();
   if (Term && !isTerminator())
-    BB->insert(Term->SelfIt, this);
+    BB->insert(BasicBlock::iterator(Term, BB), this);
   else
     BB->push_back(this);
 }
@@ -244,19 +274,29 @@ void Instruction::moveBeforeTerminator(BasicBlock *BB) {
 
 BasicBlock::iterator BasicBlock::insert(iterator Pos, Instruction *I) {
   assert(!I->Parent && "instruction already attached to a block");
+  assert(I->Func == Parent && "instruction belongs to another function");
+  Instruction *Next = Pos.Cur;
+  Instruction *Prev = Next ? Next->PrevI : ILast;
   I->Parent = this;
-  I->SelfIt = Insts.insert(Pos, I);
+  I->PrevI = Prev;
+  I->NextI = Next;
+  (Prev ? Prev->NextI : IFirst) = I;
+  (Next ? Next->PrevI : ILast) = I;
+  ++NumInsts;
   if (I->isTerminator())
     Parent->invalidateCFG();
-  return I->SelfIt;
+  return iterator(I, this);
 }
 
 void BasicBlock::remove(Instruction *I) {
   assert(I->Parent == this && "instruction not attached to this block");
   if (I->isTerminator())
     Parent->invalidateCFG();
-  Insts.erase(I->SelfIt);
+  (I->PrevI ? I->PrevI->NextI : IFirst) = I->NextI;
+  (I->NextI ? I->NextI->PrevI : ILast) = I->PrevI;
+  I->PrevI = I->NextI = nullptr;
   I->Parent = nullptr;
+  --NumInsts;
 }
 
 std::vector<BasicBlock *> BasicBlock::successors() const {
@@ -267,21 +307,21 @@ std::vector<BasicBlock *> BasicBlock::successors() const {
   return Succs;
 }
 
-const std::vector<BasicBlock *> &BasicBlock::predecessors() const {
+const ArenaVec<BasicBlock *> &BasicBlock::predecessors() const {
   Parent->ensureCFG();
   return Preds;
 }
 
-BasicBlock::iterator BasicBlock::firstNonPhi() {
-  iterator It = Insts.begin();
-  while (It != Insts.end() && (*It)->getOpcode() == Opcode::Phi)
+BasicBlock::iterator BasicBlock::firstNonPhi() const {
+  iterator It = begin();
+  while (It != end() && (*It)->getOpcode() == Opcode::Phi)
     ++It;
   return It;
 }
 
 std::vector<Instruction *> BasicBlock::phis() const {
   std::vector<Instruction *> Result;
-  for (Instruction *I : Insts) {
+  for (Instruction *I : *this) {
     if (I->getOpcode() != Opcode::Phi)
       break;
     Result.push_back(I);
@@ -293,42 +333,41 @@ std::vector<Instruction *> BasicBlock::phis() const {
 // Function
 //===----------------------------------------------------------------------===//
 
-Function::Function(Module *Parent, std::string Name, unsigned NumParams,
-                   bool ReturnsVal)
-    : Parent(Parent), Name(std::move(Name)), ReturnsVal(ReturnsVal) {
+Function::Function(Module *Parent, Arena *A, std::string Name,
+                   unsigned NumParams, bool ReturnsVal)
+    : Parent(Parent), A(A), Name(&internedName(std::move(Name))),
+      ReturnsVal(ReturnsVal) {
+  const Type *I32 = Parent->getContext().getI32Type();
   for (unsigned I = 0; I != NumParams; ++I) {
-    auto Arg = std::make_unique<Argument>(this, I);
+    Argument *Arg = A->create<Argument>(I32, this, I);
     Arg->setName("arg" + std::to_string(I));
-    Args.push_back(std::move(Arg));
+    Args.push_back(*A, Arg);
   }
 }
 
-Function::~Function() {
-  // Instructions reference each other through use lists; drop all operands
-  // first so destruction order does not matter.
-  for (auto &I : InstArena)
-    I->dropAllOperands();
-}
-
 BasicBlock *Function::createBlock(std::string BlockName) {
-  auto BB = std::make_unique<BasicBlock>(this, std::move(BlockName));
-  BasicBlock *Raw = BB.get();
-  BlockArena.push_back(std::move(BB));
-  Blocks.push_back(Raw);
+  BasicBlock *BB = A->create<BasicBlock>(this, std::move(BlockName));
+  AllBlocks.push_back(*A, BB);
+  BB->PrevB = BLast;
+  (BLast ? BLast->NextB : BFirst) = BB;
+  BLast = BB;
+  ++NumBlocks;
   invalidateCFG();
-  return Raw;
+  return BB;
 }
 
 BasicBlock *Function::createBlockAfter(BasicBlock *After,
                                        std::string BlockName) {
-  auto BB = std::make_unique<BasicBlock>(this, std::move(BlockName));
-  BasicBlock *Raw = BB.get();
-  BlockArena.push_back(std::move(BB));
-  auto It = std::find(Blocks.begin(), Blocks.end(), After);
-  assert(It != Blocks.end() && "anchor block not in this function");
-  Blocks.insert(std::next(It), Raw);
+  assert(After && After->Parent == this && "anchor block not in this function");
+  BasicBlock *BB = A->create<BasicBlock>(this, std::move(BlockName));
+  AllBlocks.push_back(*A, BB);
+  BB->PrevB = After;
+  BB->NextB = After->NextB;
+  (After->NextB ? After->NextB->PrevB : BLast) = BB;
+  After->NextB = BB;
+  ++NumBlocks;
   invalidateCFG();
-  return Raw;
+  return BB;
 }
 
 void Function::eraseBlock(BasicBlock *BB) {
@@ -340,23 +379,21 @@ void Function::eraseBlock(BasicBlock *BB) {
     I->dropAllOperands();
     assert(!I->hasUsers() && "erased block defines a live value");
   }
-  Blocks.remove(BB);
+  (BB->PrevB ? BB->PrevB->NextB : BFirst) = BB->NextB;
+  (BB->NextB ? BB->NextB->PrevB : BLast) = BB->PrevB;
+  BB->PrevB = BB->NextB = nullptr;
+  --NumBlocks;
   invalidateCFG();
 }
 
-Instruction *Function::adopt(std::unique_ptr<Instruction> I) {
+Instruction *Function::createInstruction(Opcode Op,
+                                         const std::vector<Value *> &Ops) {
+  Instruction *I = A->create<Instruction>(this, Op);
   I->Id = NextInstId++;
-  Instruction *Raw = I.get();
-  InstArena.push_back(std::move(I));
-  return Raw;
-}
-
-Instruction *Function::adopt(std::unique_ptr<Instruction> I, unsigned Id) {
-  I->Id = Id;
-  NextInstId = std::max(NextInstId, Id + 1);
-  Instruction *Raw = I.get();
-  InstArena.push_back(std::move(I));
-  return Raw;
+  AllInsts.push_back(*A, I);
+  for (Value *V : Ops)
+    I->addOperand(V);
+  return I;
 }
 
 void Function::eraseInstruction(Instruction *I) {
@@ -369,19 +406,19 @@ void Function::eraseInstruction(Instruction *I) {
 void Function::ensureCFG() const {
   if (!CFGDirty)
     return;
-  for (BasicBlock *BB : Blocks)
+  for (BasicBlock *BB : *this)
     BB->Preds.clear();
-  for (BasicBlock *BB : Blocks)
+  for (BasicBlock *BB : *this)
     if (const Instruction *Term = BB->getTerminator())
       for (unsigned I = 0, E = Term->getNumBlockOperands(); I != E; ++I)
-        Term->getBlockOperand(I)->Preds.push_back(BB);
+        Term->getBlockOperand(I)->Preds.push_back(*A, BB);
   CFGDirty = false;
 }
 
 unsigned Function::countInstructions() const {
   unsigned N = 0;
-  for (const BasicBlock *BB : Blocks)
-    N += BB->size();
+  for (const BasicBlock *BB : *this)
+    N += unsigned(BB->size());
   return N;
 }
 
@@ -392,41 +429,64 @@ unsigned Function::countInstructions() const {
 Function *Module::createFunction(std::string FnName, unsigned NumParams,
                                  bool ReturnsVal) {
   assert(!getFunction(FnName) && "duplicate function name");
-  Functions.push_back(std::make_unique<Function>(this, std::move(FnName),
-                                                 NumParams, ReturnsVal));
-  return Functions.back().get();
+  Arena &FA = Ctx->newFunctionArena();
+  Function *F =
+      FA.create<Function>(this, &FA, std::move(FnName), NumParams, ReturnsVal);
+  Functions.push_back(F);
+  return F;
 }
 
 Function *Module::getFunction(const std::string &FnName) const {
-  for (const auto &F : Functions)
+  for (Function *F : Functions)
     if (F->getName() == FnName)
-      return F.get();
+      return F;
   return nullptr;
 }
 
 GlobalVariable *Module::createGlobal(std::string GlobalName,
                                      uint32_t SizeBytes,
-                                     std::vector<uint8_t> Init) {
+                                     const std::vector<uint8_t> &Init) {
   assert(!getGlobal(GlobalName) && "duplicate global name");
-  Globals.push_back(std::make_unique<GlobalVariable>(std::move(GlobalName),
-                                                     SizeBytes,
-                                                     std::move(Init)));
-  return Globals.back().get();
+  assert((Init.empty() || Init.size() == SizeBytes) &&
+         "initializer size mismatch");
+  Arena &MA = Ctx->moduleArena();
+  GlobalVariable *G = MA.create<GlobalVariable>(
+      Ctx->getPtrType(), Ctx->getArrayType(SizeBytes), std::move(GlobalName));
+  if (!Init.empty())
+    G->Init.assign(MA, Init.data(), Init.data() + Init.size());
+  Globals.push_back(G);
+  return G;
 }
 
 GlobalVariable *Module::getGlobal(const std::string &GlobalName) const {
-  for (const auto &G : Globals)
+  for (GlobalVariable *G : Globals)
     if (G->getName() == GlobalName)
-      return G.get();
+      return G;
   return nullptr;
 }
 
-Constant *Module::getConstant(int32_t V) {
+//===----------------------------------------------------------------------===//
+// IRContext
+//===----------------------------------------------------------------------===//
+
+const Type *IRContext::getArrayType(uint32_t Bytes) {
+  std::lock_guard<std::mutex> Lock(InternMutex);
+  auto It = ArrayTypes.find(Bytes);
+  if (It != ArrayTypes.end())
+    return It->second;
+  void *Mem = ModArena.allocate(sizeof(Type), alignof(Type));
+  Type *T = new (Mem) Type(Type::Kind::Array, Bytes);
+  ArrayTypes.emplace(Bytes, T);
+  return T;
+}
+
+Constant *IRContext::getConstant(int32_t V) {
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto It = Constants.find(V);
   if (It != Constants.end())
-    return It->second.get();
-  auto C = std::make_unique<Constant>(V);
-  Constant *Raw = C.get();
-  Constants.emplace(V, std::move(C));
-  return Raw;
+    return It->second;
+  void *Mem = ModArena.allocate(sizeof(Constant), alignof(Constant));
+  Constant *C = new (Mem) Constant(&I32Ty, V);
+  Constants.emplace(V, C);
+  return C;
 }

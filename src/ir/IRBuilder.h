@@ -155,11 +155,10 @@ public:
   }
 
 private:
-  Instruction *create(Opcode Op, std::vector<Value *> Ops) {
+  Instruction *create(Opcode Op, const std::vector<Value *> &Ops) {
     assert(InsertBB && "no insertion point set");
     Function *F = InsertBB->getParent();
-    Instruction *I = F->adopt(
-        std::make_unique<Instruction>(Op, std::move(Ops)));
+    Instruction *I = F->createInstruction(Op, Ops);
     InsertBB->insert(InsertPos, I);
     return I;
   }

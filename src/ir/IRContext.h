@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRContext: per-module home of the arenas and the interning tables.
+///
+/// One IRContext backs one Module. It owns the module arena (globals,
+/// constants, array types, global initializers) and one arena per
+/// function (blocks, instructions, operand/user lists). Node allocation
+/// is pointer-bump; dropping the module releases whole slabs back to the
+/// global pool; and because every owning pointer leads into these arenas,
+/// cloneModule can duplicate the module by memcpying slabs and fixing
+/// pointers up.
+///
+/// Interning tables (integer constants, array types) are mutex-guarded:
+/// parallel per-function passes may request constants concurrently. Both
+/// tables are ordered by *value*, so the iteration order observable by
+/// printing or cloning is independent of creation order — one of the
+/// invariants behind byte-identical results at any WARIO_JOBS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_IR_IRCONTEXT_H
+#define WARIO_IR_IRCONTEXT_H
+
+#include "ir/Type.h"
+#include "ir/Value.h"
+#include "support/Arena.h"
+
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace wario {
+
+class IRContext {
+public:
+  IRContext() = default;
+  IRContext(const IRContext &) = delete;
+  IRContext &operator=(const IRContext &) = delete;
+
+  // -- Arenas -----------------------------------------------------------------
+  /// The arena for module-scoped nodes: globals, constants, array types.
+  Arena &moduleArena() { return ModArena; }
+  /// Creates the arena for a new function. Arenas live in a deque so their
+  /// addresses are stable.
+  Arena &newFunctionArena() { return FnArenas.emplace_back(); }
+
+  // -- Types (interned; equal types are pointer-equal) ------------------------
+  const Type *getVoidType() const { return &VoidTy; }
+  const Type *getI32Type() const { return &I32Ty; }
+  const Type *getPtrType() const { return &PtrTy; }
+  /// The interned array-of-\p Bytes type (storage shape of a global).
+  const Type *getArrayType(uint32_t Bytes);
+
+  // -- Constants (interned) ---------------------------------------------------
+  /// Returns the interned Constant for \p V. Thread-safe: parallel
+  /// per-function passes may materialize constants concurrently.
+  Constant *getConstant(int32_t V);
+  /// All interned constants, ordered by value (printing and cloning walk
+  /// these, so the order must not depend on creation order).
+  const std::map<int32_t, Constant *> &constants() const { return Constants; }
+
+private:
+  friend struct ModuleCloner;
+
+  Arena ModArena;
+  std::deque<Arena> FnArenas;
+
+  // The three singleton types live inline (not in the arena): they are
+  // plain data, and the clone fixup maps them as three tiny ranges.
+  Type VoidTy{Type::Kind::Void};
+  Type I32Ty{Type::Kind::I32};
+  Type PtrTy{Type::Kind::Ptr};
+  std::map<uint32_t, Type *> ArrayTypes;
+  std::map<int32_t, Constant *> Constants;
+  std::mutex InternMutex;
+};
+
+} // namespace wario
+
+#endif // WARIO_IR_IRCONTEXT_H

@@ -9,14 +9,16 @@
 /// control-flow targets and phi incoming blocks are kept in a separate
 /// block-operand list.
 ///
+/// Instructions are bump-allocated in their function's arena and linked
+/// into blocks through intrusive prev/next pointers, so the whole node is
+/// trivially copyable for cloneModule's bulk copy.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARIO_IR_INSTRUCTION_H
 #define WARIO_IR_INSTRUCTION_H
 
 #include "ir/Value.h"
-
-#include <list>
 
 namespace wario {
 
@@ -74,19 +76,22 @@ const char *predName(CmpPred P);
 /// BasicBlock's instruction list while attached.
 class Instruction : public Value {
 public:
-  Instruction(Opcode Op, std::vector<Value *> Ops);
-  ~Instruction() override;
+  /// Instructions are created through Function::createInstruction (or
+  /// IRBuilder); the constructor only wires the owning function so operand
+  /// bookkeeping has an arena from the first addOperand on.
+  Instruction(Function *F, Opcode Op);
 
   Opcode getOpcode() const { return Op; }
   BasicBlock *getParent() const { return Parent; }
-  Function *getFunction() const;
+  /// The owning function. Valid even while detached from any block.
+  Function *getFunction() const { return Func; }
 
   /// Monotonically increasing creation index within the parent function;
   /// used for deterministic iteration orders.
   unsigned getId() const { return Id; }
 
   // -- Operands ------------------------------------------------------------
-  unsigned getNumOperands() const { return Operands.size(); }
+  unsigned getNumOperands() const { return unsigned(Operands.size()); }
   Value *getOperand(unsigned I) const {
     assert(I < Operands.size() && "operand index out of range");
     return Operands[I];
@@ -100,7 +105,7 @@ public:
   void dropAllOperands();
 
   // -- Block operands (branch targets / phi incoming blocks) ---------------
-  unsigned getNumBlockOperands() const { return BlockOps.size(); }
+  unsigned getNumBlockOperands() const { return unsigned(BlockOps.size()); }
   BasicBlock *getBlockOperand(unsigned I) const {
     assert(I < BlockOps.size() && "block operand index out of range");
     return BlockOps[I];
@@ -200,7 +205,7 @@ public:
     assert(Op == Opcode::Call);
     return Callee;
   }
-  void setCallee(Function *F) { Callee = F; }
+  void setCallee(Function *F);
 
   CheckpointCause getCheckpointCause() const {
     assert(Op == Opcode::Checkpoint);
@@ -229,12 +234,19 @@ public:
 private:
   friend class BasicBlock;
   friend class Function;
+  friend class Value; // addUser/removeUser need the arena.
+  friend struct ModuleCloner;
+
+  /// The owning function's arena — where operand/user lists grow.
+  Arena &arena() const;
 
   Opcode Op;
-  std::vector<Value *> Operands;
-  std::vector<BasicBlock *> BlockOps;
+  ArenaVec<Value *> Operands;
+  ArenaVec<BasicBlock *> BlockOps;
   BasicBlock *Parent = nullptr;
-  std::list<Instruction *>::iterator SelfIt;
+  Instruction *PrevI = nullptr; ///< Intrusive block list links.
+  Instruction *NextI = nullptr;
+  Function *Func;
   unsigned Id = 0;
 
   // Payload (interpretation depends on Op).

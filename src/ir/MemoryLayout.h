@@ -38,9 +38,9 @@ class MemoryLayout {
 public:
   explicit MemoryLayout(const Module &M) {
     uint32_t Addr = memmap::GlobalBase;
-    for (const auto &G : M.globals()) {
+    for (const GlobalVariable *G : M.globals()) {
       Addr = (Addr + 3u) & ~3u; // 4-byte alignment.
-      Addresses[G.get()] = Addr;
+      Addresses[G] = Addr;
       Addr += G->getSizeBytes();
     }
     DataEnd = Addr;
@@ -60,10 +60,10 @@ public:
   /// variables without an explicit image). \p Mem must cover the data
   /// segment.
   void materialize(const Module &M, std::vector<uint8_t> &Mem) const {
-    for (const auto &G : M.globals()) {
-      uint32_t Addr = addressOf(G.get());
+    for (const GlobalVariable *G : M.globals()) {
+      uint32_t Addr = addressOf(G);
       assert(Addr + G->getSizeBytes() <= Mem.size());
-      const std::vector<uint8_t> &Init = G->getInit();
+      const ArenaVec<uint8_t> &Init = G->getInit();
       for (uint32_t I = 0; I != G->getSizeBytes(); ++I)
         Mem[Addr + I] = I < Init.size() ? Init[I] : 0;
     }

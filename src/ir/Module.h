@@ -11,54 +11,56 @@
 #define WARIO_IR_MODULE_H
 
 #include "ir/Function.h"
+#include "ir/IRContext.h"
 
 #include <map>
 #include <memory>
+#include <vector>
 
 namespace wario {
 
-/// Owns all functions, global variables, and uniqued integer constants of
-/// one program.
+/// Owns all functions, global variables, and interned integer constants of
+/// one program — physically, everything lives in the IRContext's arenas,
+/// and dropping the Module releases those arenas wholesale (no per-node
+/// destruction).
 class Module {
 public:
-  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  explicit Module(std::string Name)
+      : Name(std::move(Name)), Ctx(std::make_unique<IRContext>()) {}
   Module(const Module &) = delete;
   Module &operator=(const Module &) = delete;
 
   const std::string &getName() const { return Name; }
 
+  IRContext &getContext() const { return *Ctx; }
+
   // -- Functions ---------------------------------------------------------------
   Function *createFunction(std::string FnName, unsigned NumParams,
                            bool ReturnsVal);
   Function *getFunction(const std::string &FnName) const;
-  const std::vector<std::unique_ptr<Function>> &functions() const {
-    return Functions;
-  }
+  const std::vector<Function *> &functions() const { return Functions; }
 
   // -- Globals ------------------------------------------------------------------
   GlobalVariable *createGlobal(std::string GlobalName, uint32_t SizeBytes,
-                               std::vector<uint8_t> Init = {});
+                               const std::vector<uint8_t> &Init = {});
   GlobalVariable *getGlobal(const std::string &GlobalName) const;
-  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
-    return Globals;
-  }
+  const std::vector<GlobalVariable *> &globals() const { return Globals; }
 
   // -- Constants -----------------------------------------------------------------
-  /// Returns the uniqued Constant for \p V.
-  Constant *getConstant(int32_t V);
-  /// All uniqued constants, ordered by value (cloneModule walks these).
-  const std::map<int32_t, std::unique_ptr<Constant>> &constants() const {
-    return Constants;
+  /// Returns the interned Constant for \p V.
+  Constant *getConstant(int32_t V) { return Ctx->getConstant(V); }
+  /// All interned constants, ordered by value (cloneModule walks these).
+  const std::map<int32_t, Constant *> &constants() const {
+    return Ctx->constants();
   }
 
 private:
+  friend struct ModuleCloner;
+
   std::string Name;
-  // Destruction order matters: functions reference constants and globals
-  // through instruction use lists, so they must be destroyed first (members
-  // are destroyed in reverse declaration order).
-  std::map<int32_t, std::unique_ptr<Constant>> Constants;
-  std::vector<std::unique_ptr<GlobalVariable>> Globals;
-  std::vector<std::unique_ptr<Function>> Functions;
+  std::unique_ptr<IRContext> Ctx;
+  std::vector<GlobalVariable *> Globals;
+  std::vector<Function *> Functions;
 };
 
 } // namespace wario

@@ -9,15 +9,23 @@
 /// of the values being typed. This matches what the WARio transformations
 /// need: they reason about *memory dependencies*, not about types.
 ///
+/// Every Value lives in a bump arena owned by its module's IRContext and
+/// is trivially destructible: names are pointers into the process-wide
+/// string interner, and all growable lists are ArenaVecs. That layout is
+/// what lets cloneModule bulk-copy arenas and lets module teardown be a
+/// handful of slab releases.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARIO_IR_VALUE_H
 #define WARIO_IR_VALUE_H
 
+#include "ir/Type.h"
+#include "support/Arena.h"
+
 #include <cassert>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace wario {
 
@@ -38,39 +46,52 @@ public:
 
   Value(const Value &) = delete;
   Value &operator=(const Value &) = delete;
-  virtual ~Value() = default;
 
   ValueKind getKind() const { return Kind; }
+  const Type *getType() const { return Ty; }
 
-  const std::string &getName() const { return Name; }
-  void setName(std::string N) { Name = std::move(N); }
+  const std::string &getName() const { return *Name; }
+  void setName(std::string N) { Name = &internedName(std::move(N)); }
+
+  /// Whether this value maintains a user list. Function-local values
+  /// (instructions, arguments) do; constants and globals are shared across
+  /// functions and do not — parallel per-function passes would race on the
+  /// list, and no transformation needs it.
+  bool tracksUsers() const {
+    return Kind == ValueKind::Instruction || Kind == ValueKind::Argument;
+  }
 
   /// All instructions that use this value as an operand. An instruction
-  /// appears once per use (so it can appear multiple times).
-  const std::vector<Instruction *> &users() const { return Users; }
+  /// appears once per use (so it can appear multiple times). Only valid
+  /// for values that track users; passes iterate this list, and its order
+  /// is part of the deterministic-compile contract.
+  const ArenaVec<Instruction *> &users() const {
+    assert(tracksUsers() && "this value kind does not track users");
+    return Users;
+  }
   bool hasUsers() const { return !Users.empty(); }
 
-  /// Rewrites every use of this value to use \p New instead.
+  /// Rewrites every use of this value to use \p New instead. Only valid
+  /// for values that track users.
   void replaceAllUsesWith(Value *New);
 
-  /// Replaces the user list with \p Order, which must be a permutation of
-  /// the current list (asserted). Only cloneModule uses this, to reproduce
-  /// the source module's historical user order — passes iterate user lists,
-  /// so clones must present them in the same order to compile identically.
-  void setUserOrder(std::vector<Instruction *> Order);
-
 protected:
-  explicit Value(ValueKind K) : Kind(K) {}
+  Value(ValueKind K, const Type *Ty)
+      : Kind(K), Ty(Ty), Name(&internedName(std::string())) {}
+
+  void setType(const Type *T) { Ty = T; }
 
 private:
   friend class Instruction;
+  friend struct ModuleCloner;
 
-  void addUser(Instruction *I) { Users.push_back(I); }
+  void addUser(Instruction *I);
   void removeUser(Instruction *I);
 
   ValueKind Kind;
-  std::string Name;
-  std::vector<Instruction *> Users;
+  const Type *Ty;
+  const std::string *Name;
+  ArenaVec<Instruction *> Users;
 };
 
 /// LLVM-style RTTI helpers.
@@ -92,10 +113,12 @@ template <typename To> const To *dyn_cast(const Value *V) {
   return V && isa<To>(V) ? static_cast<const To *>(V) : nullptr;
 }
 
-/// A 32-bit integer constant. Constants are uniqued per Module.
+/// A 32-bit integer constant. Constants are interned per IRContext: equal
+/// values are pointer-equal within a module.
 class Constant : public Value {
 public:
-  explicit Constant(int32_t V) : Value(ValueKind::Constant), Val(V) {}
+  Constant(const Type *Ty, int32_t V)
+      : Value(ValueKind::Constant, Ty), Val(V) {}
 
   int32_t getValue() const { return Val; }
   uint32_t getZExtValue() const { return static_cast<uint32_t>(Val); }
@@ -110,29 +133,32 @@ private:
 
 /// A module-level variable living in non-volatile main memory.
 ///
-/// Its value as an SSA operand is its (link-time) address. The initializer
-/// is a raw byte image; zero-initialized variables keep \c Init empty and
-/// use \c SizeBytes.
+/// Its value as an SSA operand is its (link-time) address, so its SSA type
+/// is ptr; the storage shape is an interned array type. The initializer is
+/// a raw byte image; zero-initialized variables keep \c Init empty and use
+/// \c SizeBytes.
 class GlobalVariable : public Value {
 public:
-  GlobalVariable(std::string Name, uint32_t SizeBytes,
-                 std::vector<uint8_t> Init = {})
-      : Value(ValueKind::GlobalVariable), SizeBytes(SizeBytes),
-        Init(std::move(Init)) {
-    assert(this->Init.empty() || this->Init.size() == SizeBytes);
+  GlobalVariable(const Type *PtrTy, const Type *ValueTy, std::string Name)
+      : Value(ValueKind::GlobalVariable, PtrTy), ValueTy(ValueTy) {
     setName(std::move(Name));
   }
 
-  uint32_t getSizeBytes() const { return SizeBytes; }
-  const std::vector<uint8_t> &getInit() const { return Init; }
+  uint32_t getSizeBytes() const { return ValueTy->getArrayBytes(); }
+  /// The interned array type describing this global's storage.
+  const Type *getValueType() const { return ValueTy; }
+  const ArenaVec<uint8_t> &getInit() const { return Init; }
 
   static bool classof(const Value *V) {
     return V->getKind() == ValueKind::GlobalVariable;
   }
 
 private:
-  uint32_t SizeBytes;
-  std::vector<uint8_t> Init;
+  friend class Module;
+  friend struct ModuleCloner;
+
+  const Type *ValueTy;
+  ArenaVec<uint8_t> Init;
 };
 
 class Function;
@@ -140,8 +166,8 @@ class Function;
 /// A formal parameter of a Function.
 class Argument : public Value {
 public:
-  Argument(Function *Parent, unsigned Index)
-      : Value(ValueKind::Argument), Parent(Parent), Index(Index) {}
+  Argument(const Type *Ty, Function *Parent, unsigned Index)
+      : Value(ValueKind::Argument, Ty), Parent(Parent), Index(Index) {}
 
   Function *getParent() const { return Parent; }
   unsigned getIndex() const { return Index; }
@@ -151,6 +177,8 @@ public:
   }
 
 private:
+  friend struct ModuleCloner;
+
   Function *Parent;
   unsigned Index;
 };

@@ -45,7 +45,7 @@ ExpanderStats wario::runExpander(Module &M, const ExpanderOptions &Opts) {
   std::unordered_set<const Function *> Candidates;
   for (const auto &F : M.functions())
     if (usesArgumentAsPointer(*F)) {
-      Candidates.insert(F.get());
+      Candidates.insert(F);
       ++Stats.CandidateFunctions;
     }
   if (Candidates.empty())
@@ -69,7 +69,7 @@ ExpanderStats wario::runExpander(Module &M, const ExpanderOptions &Opts) {
           if (I->getOpcode() != Opcode::Call)
             continue;
           Function *Callee = I->getCallee();
-          if (!Candidates.count(Callee) || Callee == F.get() ||
+          if (!Candidates.count(Callee) || Callee == F ||
               Callee->countInstructions() > Opts.MaxCalleeSize)
             continue;
           if (inlineCall(I)) {

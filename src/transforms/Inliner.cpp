@@ -131,7 +131,7 @@ unsigned wario::inlineSmallFunctions(Module &M, unsigned MaxCalleeSize) {
         for (Instruction *I : *BB)
           if (I->getOpcode() == Opcode::Call &&
               !I->getCallee()->isDeclaration() &&
-              I->getCallee() != F.get() &&
+              I->getCallee() != F &&
               I->getCallee()->countInstructions() <= MaxCalleeSize)
             Sites.push_back(I);
       for (Instruction *Site : Sites)

@@ -23,7 +23,8 @@ Value *SSAUpdater::getValueAtEntry(BasicBlock *BB) {
   if (It != AtEntry.end())
     return It->second;
 
-  std::vector<BasicBlock *> Preds = BB->predecessors();
+  const auto &PredList = BB->predecessors();
+  std::vector<BasicBlock *> Preds(PredList.begin(), PredList.end());
   if (Preds.empty()) {
     AtEntry[BB] = Default;
     return Default;

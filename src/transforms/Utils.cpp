@@ -191,7 +191,8 @@ bool foldForwarders(Function &F) {
     BasicBlock *S = Term->getBlockOperand(0);
     if (S == BB)
       continue;
-    std::vector<BasicBlock *> Preds = BB->predecessors();
+    const auto &PredList = BB->predecessors();
+    std::vector<BasicBlock *> Preds(PredList.begin(), PredList.end());
     if (Preds.empty())
       continue; // Unreachable; handled elsewhere.
     // If the successor has phis, retargeting is only simple when BB has a

@@ -57,11 +57,11 @@ std::unique_ptr<Module> buildWorkload(const std::string &Name) {
 /// their address).
 void collectOwned(const Module &M, std::set<const void *> &Out) {
   for (const auto &G : M.globals())
-    Out.insert(G.get());
+    Out.insert(G);
   for (const auto &[Val, C] : M.constants())
-    Out.insert(C.get());
+    Out.insert(C);
   for (const auto &F : M.functions()) {
-    Out.insert(F.get());
+    Out.insert(F);
     for (unsigned I = 0; I != F->getNumParams(); ++I)
       Out.insert(F->getArg(I));
     for (const BasicBlock *BB : *F) {

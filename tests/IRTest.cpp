@@ -25,10 +25,19 @@ TEST(ValueTest, ConstantsAreUniqued) {
 
 TEST(ValueTest, UseListsTrackOperands) {
   auto M = buildFigure1Module();
+  // Globals (and constants) are shared across functions and intentionally
+  // do not track users: parallel per-function passes would race on the
+  // list, and no transformation consumes it.
   GlobalVariable *A = M->getGlobal("a");
   ASSERT_NE(A, nullptr);
-  // a is used by: load, store (address).
-  EXPECT_EQ(A->users().size(), 2u);
+  EXPECT_FALSE(A->tracksUsers());
+  EXPECT_FALSE(M->getConstant(1)->tracksUsers());
+  // Function-local values do: the first load feeds exactly one add.
+  Function *Main = M->getFunction("main");
+  Instruction *Load = Main->getEntryBlock()->front();
+  ASSERT_EQ(Load->getOpcode(), Opcode::Load);
+  EXPECT_TRUE(Load->tracksUsers());
+  EXPECT_EQ(Load->users().size(), 1u);
 }
 
 TEST(ValueTest, ReplaceAllUsesWith) {

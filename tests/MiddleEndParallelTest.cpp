@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determinism regression test for the per-function-parallel middle end:
+/// for every workload and every instrumented environment shape, the IR
+/// printed after runFrontHalf + runMiddleEnd must be byte-identical
+/// between WARIO_JOBS=1 (exactly sequential, runs on the calling
+/// thread in function order) and WARIO_JOBS=8. Any divergence means a
+/// pass leaked cross-function state, ordered an interned table by
+/// creation time, or raced on a shared structure.
+///
+/// Tagged with the `tsan` CTest label so a WARIO_SANITIZE=thread build
+/// can single it out: ctest -L tsan.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/IRPrinter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace wario;
+
+namespace {
+
+/// Front half + middle end on a fresh build of \p W under \p Jobs
+/// worker threads, returning the printed IR plus every middle-end stat
+/// (stats totals must be job-count-invariant too).
+std::string middleEndFingerprint(const Workload &W, Environment Env,
+                                 const char *Jobs) {
+  setenv("WARIO_JOBS", Jobs, /*overwrite=*/1);
+  DiagnosticEngine Diags;
+  std::unique_ptr<Module> M = buildWorkloadIR(W, Diags);
+  PipelineOptions PO;
+  PO.Env = Env;
+  PipelineStats S;
+  runFrontHalf(*M, S);
+  runMiddleEnd(*M, PO, S);
+  unsetenv("WARIO_JOBS");
+
+  std::string FP = printModule(*M);
+  FP += "\ninlined=" + std::to_string(S.InlinedPrepass);
+  FP += " promoted=" + std::to_string(S.AllocasPromoted);
+  FP += " lwc=" + std::to_string(S.LoopClusterer.LoopsTransformed) + "/" +
+        std::to_string(S.LoopClusterer.StoresPostponed) + "/" +
+        std::to_string(S.LoopClusterer.ExitCopies) + "/" +
+        std::to_string(S.LoopClusterer.RuntimeChecks);
+  FP += " sunk=" + std::to_string(S.StoresSunk);
+  FP += " wars=" + std::to_string(S.MiddleEnd.WarsFound) + "/" +
+        std::to_string(S.MiddleEnd.WarsAlreadyCut) + "/" +
+        std::to_string(S.MiddleEnd.Inserted);
+  FP += " bounded=" + std::to_string(S.RegionsBounded);
+  return FP;
+}
+
+class MiddleEndParallelTest
+    : public ::testing::TestWithParam<Environment> {};
+
+TEST_P(MiddleEndParallelTest, SequentialAndParallelAgreeOnAllWorkloads) {
+  for (const Workload &W : allWorkloads()) {
+    std::string Seq = middleEndFingerprint(W, GetParam(), "1");
+    std::string Par = middleEndFingerprint(W, GetParam(), "8");
+    EXPECT_EQ(Seq, Par)
+        << "workload " << W.Name << " env "
+        << environmentName(GetParam())
+        << " diverged between WARIO_JOBS=1 and WARIO_JOBS=8";
+  }
+}
+
+// The environment shapes that exercise distinct middle-end phase
+// combinations: uninstrumented (unroll only), conservative AA with no
+// clustering, clustering without the loop clusterer, the full WARio
+// pipeline, and WARio + the module-level Expander barrier.
+INSTANTIATE_TEST_SUITE_P(
+    Environments, MiddleEndParallelTest,
+    ::testing::Values(Environment::PlainC, Environment::Ratchet,
+                      Environment::WriteClustererOnly,
+                      Environment::WarioComplete,
+                      Environment::WarioExpander),
+    [](const ::testing::TestParamInfo<Environment> &Info) {
+      std::string Name = environmentName(Info.param);
+      for (char &C : Name)
+        if (C == '-' || C == '+')
+          C = '_';
+      return Name;
+    });
+
+TEST(MiddleEndParallelTest, BoundRegionsStatsAreJobCountInvariant) {
+  const Workload &W = getWorkload("crc");
+  auto Run = [&](const char *Jobs) {
+    setenv("WARIO_JOBS", Jobs, 1);
+    DiagnosticEngine Diags;
+    std::unique_ptr<Module> M = buildWorkloadIR(W, Diags);
+    PipelineOptions PO;
+    PO.Env = Environment::WarioComplete;
+    PO.BoundRegions = true;
+    PipelineStats S;
+    runFrontHalf(*M, S);
+    runMiddleEnd(*M, PO, S);
+    unsetenv("WARIO_JOBS");
+    return printModule(*M) + "#" + std::to_string(S.RegionsBounded);
+  };
+  EXPECT_EQ(Run("1"), Run("8"));
+}
+
+} // namespace

@@ -10,7 +10,13 @@
 #      (the bench harness's parallel matrix driver);
 #   4. rebuild under AddressSanitizer and run the `asan`-labeled tests
 #      (module cloning, cache keying, snapshot page journal);
-#   5. re-run the docs lint standalone so a docs-only failure is
+#   5. release-configuration pass: build -DCMAKE_BUILD_TYPE=Release and
+#      run the `asan`- and `engine`-labeled subsets there plus a
+#      one-workload bench smoke. The default tree keeps asserts on;
+#      this pass is what catches NDEBUG-only bugs (assert-side-effects,
+#      codepaths that only assert-guard an invariant) and broken
+#      release benchmark binaries before a BENCH recording does;
+#   6. re-run the docs lint standalone so a docs-only failure is
 #      reported even if a build step above broke first.
 #
 # The default-tree pass includes the `crash` label (the fault-injection
@@ -51,6 +57,15 @@ echo "==> asan build + asan-labeled tests"
 cmake -B "$build/asan" -S "$root" -DWARIO_SANITIZE=address
 cmake --build "$build/asan" -j "$jobs"
 ctest --test-dir "$build/asan" --output-on-failure -j "$jobs" -L asan
+
+echo "==> release build + asan/engine subsets + bench smoke"
+cmake -B "$build/release" -S "$root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build/release" -j "$jobs"
+ctest --test-dir "$build/release" --output-on-failure -j "$jobs" \
+  -L 'asan|engine'
+"$build/release/bench/micro_compiler" \
+  --benchmark_filter='BM_Arena|BM_ModuleTeardown|BM_StageCloneModule' \
+  --benchmark_min_time=0.05
 
 echo "==> docs lint"
 "$root/tools/check_docs.sh" "$root"
