@@ -1,7 +1,6 @@
 #include "Harness.h"
 
 #include "emu/Snapshot.h"
-#include "ir/Cloning.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -55,22 +54,17 @@ void addHits(Store S, unsigned N) {
   T.Hits[S] += N;
 }
 
-/// Times a scope and books it under one stage.
-class ScopeTimer {
-public:
-  explicit ScopeTimer(Stage S)
-      : S(S), Start(std::chrono::steady_clock::now()) {}
-  ~ScopeTimer() { addStage(S, seconds()); }
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         Start)
-        .count();
+Stage stageFor(serve::CacheStage S) {
+  switch (S) {
+  case serve::CacheStage::Frontend: return StFrontend;
+  case serve::CacheStage::FrontHalf: return StFrontHalf;
+  case serve::CacheStage::MiddleEnd: return StMiddleEnd;
+  case serve::CacheStage::Backend: return StBackend;
+  case serve::CacheStage::Emulate: return StEmulate;
+  case serve::CacheStage::Clone: return StClone;
   }
-
-private:
-  Stage S;
-  std::chrono::steady_clock::time_point Start;
-};
+  return StFrontend;
+}
 
 void printTimingSummary() {
   HarnessTiming &T = timing();
@@ -133,18 +127,10 @@ std::unique_ptr<Module> buildIRorDie(const Workload &W) {
   return M;
 }
 
-/// PlainC builds carry no checkpoints, so WAR "violations" are expected
-/// and non-fatal there; everywhere else they abort the regenerator.
-EmulatorOptions effectiveEO(const PipelineOptions &PO,
-                            const EmulatorOptions &EOpts) {
-  EmulatorOptions EO = EOpts;
-  if (PO.Env == Environment::PlainC)
-    EO.WarIsFatal = false;
-  return EO;
-}
-
 /// The harness's hard failure policy (shared by the cached and uncached
-/// paths): experiment regenerators have no use for partial data.
+/// paths): experiment regenerators have no use for partial data. The
+/// staged cache stores failures as data (the daemon turns them into
+/// error replies); here any cached error aborts the process.
 void checkRunOrDie(const EmulatorResult &R, const std::string &Workload,
                    const PipelineOptions &PO) {
   if (!R.Ok) {
@@ -165,7 +151,7 @@ void checkRunOrDie(const EmulatorResult &R, const std::string &Workload,
 EmulatorResult emulateOrDie(const MModule &MM, const std::string &Workload,
                             const PipelineOptions &PO,
                             const EmulatorOptions &EOpts) {
-  EmulatorResult R = emulate(MM, effectiveEO(PO, EOpts));
+  EmulatorResult R = emulate(MM, serve::effectiveOptions(PO, EOpts));
   checkRunOrDie(R, Workload, PO);
   return R;
 }
@@ -190,75 +176,10 @@ RunResult wario::bench::runOne(const Workload &W, Environment Env,
 }
 
 //===----------------------------------------------------------------------===//
-// The staged store
+// The staged store: serve::StagedCache + snapshot-chain reuse
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// A cache slot: filled exactly once by the thread that claimed it;
-/// other threads (and later lookups) block on Ready.
-template <typename V> struct Slot {
-  std::mutex M;
-  std::condition_variable CV;
-  bool Ready = false;
-  V Val;
-
-  void publish(V Value) {
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      Val = std::move(Value);
-      Ready = true;
-    }
-    CV.notify_all();
-  }
-  const V &get() {
-    std::unique_lock<std::mutex> Lock(M);
-    CV.wait(Lock, [this] { return Ready; });
-    return Val;
-  }
-  /// Non-blocking: the value if published, nullptr otherwise. For
-  /// opportunistic consumers that must not serialize on the producer.
-  const V *tryGet() {
-    std::lock_guard<std::mutex> Lock(M);
-    return Ready ? &Val : nullptr;
-  }
-};
-
-/// Frontend + front-half artifact: one per workload. The module is the
-/// pristine post-front-half IR; every pipeline configuration clones it.
-struct FrontArtifact {
-  std::unique_ptr<Module> M;
-  PipelineStats Stats;
-};
-
-/// Post-middle-end artifact: one per (workload, middle-end config). The
-/// module is read-only from here on — the back end takes it const — so
-/// configurations differing only in back-end flags share it directly.
-struct MidArtifact {
-  std::unique_ptr<Module> M;
-  PipelineStats Stats;
-};
-
-/// Keys are the option values themselves (defaulted lexicographic
-/// ordering over every field): any option difference is a key difference.
-struct MidKey {
-  std::string Workload;
-  MiddleEndConfig MC;
-  auto operator<=>(const MidKey &) const = default;
-};
-
-struct CompileKey {
-  std::string Workload;
-  PipelineOptions PO;
-  auto operator<=>(const CompileKey &) const = default;
-};
-
-struct RunKey {
-  std::string Workload;
-  PipelineOptions PO;
-  EmulatorOptions EO;
-  auto operator<=>(const RunKey &) const = default;
-};
 
 /// Snapshot chains are shared between a continuous-power cell (which
 /// records while it runs — see Emulator::record) and its power-schedule
@@ -273,227 +194,188 @@ struct ChainKey {
   auto operator<=>(const ChainKey &) const = default;
 };
 
-/// A recorded golden run: the pre-decoded Emulator (the module it
-/// borrows lives in the compile store, which outlives this) plus its
-/// snapshot chain. Immutable once published; replayed concurrently.
+/// A recorded golden run: the pre-decoded Emulator plus its snapshot
+/// chain. The emulator borrows the machine module from the compile-level
+/// entry, so the artifact pins that entry — the staged cache may evict
+/// it at any time, and shared ownership is what keeps replays valid.
 struct ChainArtifact {
+  std::shared_ptr<const serve::CompileResult> CR;
   Emulator E;
   SnapshotChain Chain;
-  explicit ChainArtifact(const MModule &MM) : E(MM) {}
+  explicit ChainArtifact(std::shared_ptr<const serve::CompileResult> C)
+      : CR(std::move(C)), E(CR->MM) {}
+};
+
+/// A chain slot: filled exactly once by the recording thread; replayers
+/// peek non-blockingly (tryGet) so scheduling can only change the wall
+/// clock, never the data.
+struct ChainSlot {
+  std::mutex M;
+  bool Ready = false;
+  std::shared_ptr<const ChainArtifact> Val;
+
+  void publish(std::shared_ptr<const ChainArtifact> Value) {
+    std::lock_guard<std::mutex> Lock(M);
+    Val = std::move(Value);
+    Ready = true;
+  }
+  std::shared_ptr<const ChainArtifact> tryGet() {
+    std::lock_guard<std::mutex> Lock(M);
+    return Ready ? Val : nullptr;
+  }
 };
 
 } // namespace
 
 struct ResultCache::Impl {
-  std::mutex Mutex; // Guards the four maps (not the slots' contents).
-  std::map<std::string, std::unique_ptr<Slot<FrontArtifact>>> Front;
-  std::map<MidKey, std::unique_ptr<Slot<MidArtifact>>> Mid;
-  std::map<CompileKey, std::unique_ptr<Slot<CompileResult>>> Compile;
-  std::map<RunKey, std::unique_ptr<Slot<RunResult>>> Run;
-  std::map<ChainKey, std::unique_ptr<Slot<std::shared_ptr<const ChainArtifact>>>>
-      Chains;
+  // Chain store first, cache last: the cache's Emulate hook reads the
+  // chain store, so it must be destroyed before the store it points at.
+  std::mutex ChainMutex;
+  std::map<ChainKey, std::shared_ptr<ChainSlot>> Chains;
+  serve::StagedCache Cache;
 
-  /// Claims or finds the slot for \p K in \p Map. Returns the slot and
-  /// whether this caller must compute it.
-  template <typename M, typename K>
-  auto claim(M &Map, const K &Key, Store Counter)
-      -> std::pair<typename M::mapped_type::element_type *, bool> {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto [It, Inserted] = Map.try_emplace(Key);
-    if (Inserted)
-      It->second =
-          std::make_unique<typename M::mapped_type::element_type>();
-    else
-      addHits(Counter, 1);
-    return {It->second.get(), Inserted};
-  }
+  explicit Impl(size_t ByteBudget) : Cache(config(ByteBudget)) {}
 
-  const FrontArtifact &frontFor(const std::string &Workload) {
-    auto [S, Mine] = claim(Front, Workload, CaFront);
-    if (Mine) {
-      FrontArtifact A;
-      {
-        ScopeTimer T(StFrontend);
-        A.M = buildIRorDie(getWorkload(Workload));
-        A.Stats.FrontendSeconds = T.seconds();
-      }
-      runFrontHalf(*A.M, A.Stats);
-      addStage(StFrontHalf, A.Stats.FrontHalfSeconds);
-      S->publish(std::move(A));
-    }
-    return S->get();
-  }
-
-  const MidArtifact &midFor(const std::string &Workload,
-                            const PipelineOptions &PO) {
-    auto [S, Mine] = claim(Mid, MidKey{Workload, middleEndConfig(PO)},
-                           CaMid);
-    if (Mine) {
-      const FrontArtifact &F = frontFor(Workload);
-      MidArtifact A;
-      {
-        ScopeTimer T(StClone);
-        A.M = cloneModule(*F.M);
-      }
-      A.Stats = F.Stats;
-      runMiddleEnd(*A.M, PO, A.Stats);
-      addStage(StMiddleEnd, A.Stats.MiddleEndSeconds);
-      // Warm the lazy CFG caches now: the back end reads this module
-      // const, possibly from several threads at once, and
-      // predecessors() would otherwise mutate under them.
-      for (const auto &Fn : A.M->functions())
-        Fn->ensureCFG();
-      S->publish(std::move(A));
-    }
-    return S->get();
-  }
-
-  const CompileResult &compileFor(const std::string &Workload,
-                                  const PipelineOptions &PO) {
-    auto [S, Mine] = claim(Compile, CompileKey{Workload, PO}, CaCompile);
-    if (Mine) {
-      const MidArtifact &Mid = midFor(Workload, PO);
-      CompileResult R;
-      R.Pipeline = Mid.Stats;
-      R.MM = runBackendStage(*Mid.M, PO, R.Pipeline);
-      addStage(StBackend, R.Pipeline.BackendSeconds);
-      R.TextBytes = R.MM.textSizeBytes();
-      S->publish(std::move(R));
-    }
-    return S->get();
+  serve::CacheConfig config(size_t ByteBudget) {
+    serve::CacheConfig C;
+    C.ByteBudget = ByteBudget;
+    C.OnStage = [](serve::CacheStage S, double Seconds) {
+      addStage(stageFor(S), Seconds);
+    };
+    C.OnHit = [](serve::CacheLevel L, uint64_t N) {
+      addHits(Store(L), unsigned(N));
+    };
+    C.Emulate = [this](const std::shared_ptr<const serve::CompileResult> &CR,
+                       const serve::CacheRequest &R,
+                       const EmulatorOptions &EO) {
+      return emulateCell(CR, R, EO);
+    };
+    return C;
   }
 
   /// Cell emulation with snapshot reuse: a continuous-power cell records
   /// a chain as a free by-product of its own run; a power-schedule
   /// sibling resumes from the governing snapshot of its first on-period
   /// instead of re-executing the shared continuous prefix from boot.
-  /// Results are byte-identical to plain emulate() on every path
-  /// (acquiring the chain is non-blocking precisely so that scheduling
-  /// can only change the wall clock, never the data).
-  EmulatorResult emulateCell(const CompileResult &CR, const MatrixCell &C,
-                             const EmulatorOptions &EO) {
+  /// Results are byte-identical to plain emulate() on every path.
+  EmulatorResult
+  emulateCell(const std::shared_ptr<const serve::CompileResult> &CR,
+              const serve::CacheRequest &Req, const EmulatorOptions &EO) {
     if (!snapshotsEnabled())
-      return emulate(CR.MM, EO);
-    ChainKey K{C.Workload, C.PO, EO};
+      return emulate(CR->MM, EO);
+    ChainKey K{Req.Workload, Req.PO, EO};
     K.EO.Power = PowerSchedule::continuous();
-    using ChainSlot = Slot<std::shared_ptr<const ChainArtifact>>;
     if (EO.Power.isContinuous()) {
-      ChainSlot *S = nullptr;
+      std::shared_ptr<ChainSlot> S;
       bool Mine = false;
       {
-        std::lock_guard<std::mutex> Lock(Mutex);
+        std::lock_guard<std::mutex> Lock(ChainMutex);
         auto [It, Inserted] = Chains.try_emplace(K);
         if (Inserted)
-          It->second = std::make_unique<ChainSlot>();
-        S = It->second.get();
+          It->second = std::make_shared<ChainSlot>();
+        S = It->second;
         Mine = Inserted;
       }
       if (!Mine) // Identical cells dedupe upstream in the run store.
-        return emulate(CR.MM, EO);
-      auto A = std::make_shared<ChainArtifact>(CR.MM);
+        return emulate(CR->MM, EO);
+      auto A = std::make_shared<ChainArtifact>(CR);
       EmulatorResult R = A->E.record(EO, SnapshotSchedule{}, A->Chain);
       S->publish(A->Chain.valid()
                      ? std::shared_ptr<const ChainArtifact>(std::move(A))
                      : nullptr);
       return R;
     }
-    ChainSlot *S = nullptr;
+    std::shared_ptr<ChainSlot> S;
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      std::lock_guard<std::mutex> Lock(ChainMutex);
       auto It = Chains.find(K);
       if (It != Chains.end())
-        S = It->second.get();
+        S = It->second;
     }
     if (S) {
-      if (const std::shared_ptr<const ChainArtifact> *A = S->tryGet();
-          A && *A) {
+      if (std::shared_ptr<const ChainArtifact> A = S->tryGet()) {
         ReplayPlan Plan;
-        Plan.Chain = &(**A).Chain;
-        return (**A).E.replay(EO, Plan);
+        Plan.Chain = &A->Chain;
+        return A->E.replay(EO, Plan);
       }
     }
-    return emulate(CR.MM, EO);
+    return emulate(CR->MM, EO);
   }
 
-  RunResult computeRun(const MatrixCell &C) {
-    const CompileResult &CR = compileFor(C.Workload, C.PO);
-    RunResult R;
-    R.Pipeline = CR.Pipeline;
-    R.TextBytes = CR.TextBytes;
-    ScopeTimer T(StEmulate);
-    R.Emu = emulateCell(CR, C, effectiveEO(C.PO, C.EO));
-    checkRunOrDie(R.Emu, C.Workload, C.PO);
-    R.Pipeline.EmulateSeconds = T.seconds();
+  std::shared_ptr<const RunResult> runChecked(const MatrixCell &C) {
+    std::shared_ptr<const RunResult> R =
+        Cache.run({/*Tenant=*/"", C.Workload, C.PO, C.EO});
+    if (!R->Error.empty()) {
+      std::fprintf(stderr, "%s\n", R->Error.c_str());
+      std::exit(1);
+    }
+    checkRunOrDie(R->Emu, C.Workload, C.PO);
     return R;
   }
 };
 
 // Out of line: Impl must be complete where the maps are destroyed.
-ResultCache::ResultCache() : I(std::make_unique<Impl>()) {}
+ResultCache::ResultCache(size_t ByteBudget)
+    : I(std::make_unique<Impl>(ByteBudget)) {}
 ResultCache::~ResultCache() = default;
 
-std::vector<const RunResult *>
+std::vector<std::shared_ptr<const RunResult>>
 ResultCache::runMatrix(const std::vector<MatrixCell> &Cells) {
-  // Claim phase: one slot per unique key; remember which cells this call
-  // must compute itself.
-  struct Claimed {
-    Slot<RunResult> *S;
-    const MatrixCell *Cell;
-  };
-  std::vector<Slot<RunResult> *> Slots(Cells.size());
-  std::vector<Claimed> Mine;
-  unsigned Hits = 0;
-  {
-    std::lock_guard<std::mutex> Lock(I->Mutex);
-    for (size_t J = 0; J != Cells.size(); ++J) {
-      const MatrixCell &C = Cells[J];
-      RunKey K{C.Workload, C.PO, C.EO};
-      auto [It, Inserted] = I->Run.try_emplace(std::move(K));
-      if (Inserted) {
-        It->second = std::make_unique<Slot<RunResult>>();
-        Mine.push_back({It->second.get(), &C});
-      } else {
-        ++Hits;
-      }
-      Slots[J] = It->second.get();
-    }
-  }
-  addHits(CaRun, Hits);
-
-  // Sweep phase: claimed cells are computed in parallel. Cells sharing a
-  // not-yet-built compile artifact serialize on its slot (it is built
-  // exactly once); everything else proceeds independently.
-  parallelFor(Mine.size(), [&](size_t J) {
-    Mine[J].S->publish(I->computeRun(*Mine[J].Cell));
-  });
-
-  std::vector<const RunResult *> Out(Cells.size());
-  for (size_t J = 0; J != Cells.size(); ++J)
-    Out[J] = &Slots[J]->get();
+  // One parallel sweep; the staged store dedupes internally (cells with
+  // one key compute once, duplicates block on the producing slot, and
+  // cells sharing a stage artifact build that stage exactly once).
+  std::vector<std::shared_ptr<const RunResult>> Out(Cells.size());
+  parallelFor(Cells.size(),
+              [&](size_t J) { Out[J] = I->runChecked(Cells[J]); });
   return Out;
 }
 
-const RunResult &ResultCache::run(const MatrixCell &Cell) {
-  return *runMatrix({Cell}).front();
+std::shared_ptr<const RunResult> ResultCache::run(const MatrixCell &Cell) {
+  return I->runChecked(Cell);
 }
 
-const CompileResult &ResultCache::compileCell(const std::string &Workload,
-                                              const PipelineOptions &PO) {
-  return I->compileFor(Workload, PO);
+std::shared_ptr<const CompileResult>
+ResultCache::compileCell(const std::string &Workload,
+                         const PipelineOptions &PO) {
+  std::shared_ptr<const CompileResult> R =
+      I->Cache.compileCell({/*Tenant=*/"", Workload, PO, {}});
+  if (!R->Error.empty()) {
+    std::fprintf(stderr, "%s\n", R->Error.c_str());
+    std::exit(1);
+  }
+  return R;
 }
+
+serve::CacheCounters ResultCache::counters() const {
+  return I->Cache.counters();
+}
+
+namespace {
+
+/// Budget for the process-lifetime cache. A full paper matrix holds a
+/// few hundred run results dominated by their 1 MiB final-memory images;
+/// 512 MiB keeps every regenerator's working set resident while bounding
+/// a long-lived process (set WARIO_CACHE_BYTES=0 to disable eviction).
+size_t globalCacheBudget() {
+  if (const char *E = std::getenv("WARIO_CACHE_BYTES"))
+    return std::strtoull(E, nullptr, 10);
+  return size_t(512) << 20;
+}
+
+} // namespace
 
 ResultCache &wario::bench::globalCache() {
-  static ResultCache Cache;
+  static ResultCache Cache(globalCacheBudget());
   return Cache;
 }
 
-std::vector<const RunResult *>
+std::vector<std::shared_ptr<const RunResult>>
 wario::bench::runMatrix(const std::vector<MatrixCell> &Cells) {
   return globalCache().runMatrix(Cells);
 }
 
-const RunResult &wario::bench::cachedRun(const std::string &Name,
-                                         Environment Env) {
+std::shared_ptr<const RunResult>
+wario::bench::cachedRun(const std::string &Name, Environment Env) {
   return globalCache().run(cell(Name, Env));
 }
 

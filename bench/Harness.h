@@ -6,14 +6,22 @@
 /// caches results behind one deduplicating, thread-safe store so every
 /// Fig/Table regenerator shares a single parallel sweep (runMatrix).
 ///
-/// The store is *staged*: compilation artifacts are cached per pipeline
-/// stage (frontend + front half per workload, middle end per middle-end
-/// configuration, machine module per full pipeline configuration) and
-/// emulation results per (compiled module, emulator configuration). Cells
-/// that differ only in power schedule or interrupt period therefore reuse
-/// the compiled machine module and only re-emulate; cells that differ
-/// only in back-end flags reuse the middle-end IR; and every cell of one
-/// workload shares a single frontend + front-half run via cloneModule().
+/// The store itself is serve::StagedCache (src/serve/Cache.h) — the same
+/// four-level staged cache behind the wario-served daemon, promoted out
+/// of this harness. This wrapper adds the pieces only regenerators want:
+///
+///  - a hard failure policy (regenerators have no use for partial data,
+///    so any cached error aborts the process with a message),
+///  - snapshot-chain reuse (a continuous-power cell records a chain as a
+///    by-product of its run; power-schedule siblings replay from it
+///    instead of re-executing the shared prefix — results byte-identical
+///    to plain emulate() on every path),
+///  - the --timing stage/hit accounting (initHarness).
+///
+/// Results come back as shared_ptr: entries stay valid for as long as a
+/// caller holds them even if the cache evicts (globalCache() runs under
+/// a byte budget — WARIO_CACHE_BYTES, default 512 MiB; a fresh
+/// ResultCache defaults to unbounded).
 ///
 /// Every cache key is derived from the actual PipelineOptions /
 /// EmulatorOptions field values. (An earlier revision keyed on
@@ -22,16 +30,14 @@
 /// configuration. Option-derived keys make that collision impossible.)
 ///
 /// Also provides the table formatting used across all paper
-/// figures/tables, and a --timing flag (initHarness) that prints a
-/// per-stage wall-clock summary to stderr on exit.
+/// figures/tables.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARIO_BENCH_HARNESS_H
 #define WARIO_BENCH_HARNESS_H
 
-#include "driver/Pipeline.h"
-#include "emu/Emulator.h"
+#include "serve/Cache.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -41,20 +47,14 @@
 
 namespace wario::bench {
 
-/// Everything one (workload, environment) run produces.
-struct RunResult {
-  PipelineStats Pipeline;
-  EmulatorResult Emu;
-  unsigned TextBytes = 0;
-};
+/// Everything one (workload, environment) run produces. Shared with the
+/// serving daemon; the harness's failure policy guarantees Error is
+/// empty on every result it hands out.
+using RunResult = serve::RunResult;
 
 /// A compiled cell before emulation: what the compile-level cache stores.
 /// Cells differing only in emulator options share one CompileResult.
-struct CompileResult {
-  MModule MM;
-  PipelineStats Pipeline;
-  unsigned TextBytes = 0;
-};
+using CompileResult = serve::CompileResult;
 
 /// One cell of the experiment matrix: a workload compiled under a full
 /// pipeline configuration and emulated under a power/interrupt
@@ -75,38 +75,47 @@ MatrixCell cell(const std::string &Workload, Environment Env,
 /// (parallelFor over defaultJobs() workers — override the width with
 /// WARIO_JOBS); cells already present, or duplicated within one call, are
 /// computed exactly once, and cells sharing a stage artifact compute that
-/// stage exactly once. Returned pointers stay valid for the cache's
-/// lifetime.
+/// stage exactly once. Returned pointers stay valid for as long as the
+/// caller holds them (shared ownership survives eviction).
 class ResultCache {
 public:
-  ResultCache();
+  /// \p ByteBudget bounds the resident artifact footprint across all
+  /// four cache levels (0 = unbounded; evicted entries recompute on the
+  /// next request).
+  explicit ResultCache(size_t ByteBudget = 0);
   ~ResultCache();
   ResultCache(const ResultCache &) = delete;
   ResultCache &operator=(const ResultCache &) = delete;
 
   /// Computes every not-yet-cached cell in parallel and returns the
   /// results in cell order.
-  std::vector<const RunResult *> runMatrix(const std::vector<MatrixCell> &Cells);
+  std::vector<std::shared_ptr<const RunResult>>
+  runMatrix(const std::vector<MatrixCell> &Cells);
 
   /// Single-cell lookup-or-compute.
-  const RunResult &run(const MatrixCell &Cell);
+  std::shared_ptr<const RunResult> run(const MatrixCell &Cell);
 
   /// Compile-level lookup-or-compute (no emulation); for code-size
   /// measurements and the cold/warm-cache microbenchmarks.
-  const CompileResult &compileCell(const std::string &Workload,
-                                   const PipelineOptions &PO);
+  std::shared_ptr<const CompileResult>
+  compileCell(const std::string &Workload, const PipelineOptions &PO);
+
+  /// Hit/miss/eviction and byte accounting of the underlying store.
+  serve::CacheCounters counters() const;
 
 private:
   struct Impl;
   std::unique_ptr<Impl> I;
 };
 
-/// The process-lifetime cache shared by all regenerators.
+/// The process-lifetime cache shared by all regenerators, bounded by
+/// WARIO_CACHE_BYTES (default 512 MiB, 0 = unbounded).
 ResultCache &globalCache();
 
 /// Prewarms the global cache for \p Cells in one parallel sweep and
 /// returns the results in cell order.
-std::vector<const RunResult *> runMatrix(const std::vector<MatrixCell> &Cells);
+std::vector<std::shared_ptr<const RunResult>>
+runMatrix(const std::vector<MatrixCell> &Cells);
 
 /// Compiles \p W under \p Cell.PO and runs it to completion under
 /// \p Cell.EO, bypassing every cache (one fresh frontend-to-emulator
@@ -121,7 +130,8 @@ RunResult runOne(const Workload &W, Environment Env,
 
 /// Process-lifetime cache of continuous-power runs (a view over
 /// globalCache()).
-const RunResult &cachedRun(const std::string &Workload, Environment Env);
+std::shared_ptr<const RunResult> cachedRun(const std::string &Workload,
+                                           Environment Env);
 
 /// Compiles only (no emulation); for code-size measurements.
 MModule compileOnly(const Workload &W, Environment Env,

@@ -58,10 +58,10 @@ int main(int argc, char **argv) {
   double Sum[4] = {0, 0, 0, 0};
   for (const Workload &W : allWorkloads()) {
     std::vector<MatrixCell> WC = ablationCells(W.Name);
-    uint64_t C0 = globalCache().run(WC[0]).Emu.TotalCycles;
-    uint64_t C1 = globalCache().run(WC[1]).Emu.TotalCycles;
-    uint64_t C2 = globalCache().run(WC[2]).Emu.TotalCycles;
-    uint64_t C3 = globalCache().run(WC[3]).Emu.TotalCycles;
+    uint64_t C0 = globalCache().run(WC[0])->Emu.TotalCycles;
+    uint64_t C1 = globalCache().run(WC[1])->Emu.TotalCycles;
+    uint64_t C2 = globalCache().run(WC[2])->Emu.TotalCycles;
+    uint64_t C3 = globalCache().run(WC[3])->Emu.TotalCycles;
     Sum[0] += double(C0);
     Sum[1] += double(C1) / double(C0);
     Sum[2] += double(C2) / double(C0);

@@ -50,19 +50,21 @@ int main(int argc, char **argv) {
   runMatrix(Cells);
 
   for (const Workload &W : allWorkloads()) {
-    const RunResult &Base = cachedRun(W.Name, Environment::WarioComplete);
-    const EmulatorResult &Capped =
-        globalCache().run(BoundedCell(W.Name)).Emu;
-    if (!Capped.Ok || Capped.ReturnValue != Base.Emu.ReturnValue) {
+    std::shared_ptr<const RunResult> Base =
+        cachedRun(W.Name, Environment::WarioComplete);
+    std::shared_ptr<const RunResult> CappedRun =
+        globalCache().run(BoundedCell(W.Name));
+    const EmulatorResult &Capped = CappedRun->Emu;
+    if (!Capped.Ok || Capped.ReturnValue != Base->Emu.ReturnValue) {
       std::fprintf(stderr, "bounded %s diverged!\n", W.Name.c_str());
       return 1;
     }
 
-    uint64_t M0 = maxRegion(Base.Emu), M1 = maxRegion(Capped);
+    uint64_t M0 = maxRegion(Base->Emu), M1 = maxRegion(Capped);
     double Cost = 100.0 *
                   (double(Capped.TotalCycles) -
-                   double(Base.Emu.TotalCycles)) /
-                  double(Base.Emu.TotalCycles);
+                   double(Base->Emu.TotalCycles)) /
+                  double(Base->Emu.TotalCycles);
     char OnTime[32];
     std::snprintf(OnTime, sizeof(OnTime), "%.2fms->%.2fms",
                   double(M0) / 8e3, double(M1) / 8e3);

@@ -39,10 +39,10 @@ int main(int argc, char **argv) {
 
   for (const Workload &W : allWorkloads()) {
     double Plain =
-        double(cachedRun(W.Name, Environment::PlainC).Emu.TotalCycles);
+        double(cachedRun(W.Name, Environment::PlainC)->Emu.TotalCycles);
     std::vector<std::string> Vals;
     for (Environment E : Envs) {
-      double T = double(cachedRun(W.Name, E).Emu.TotalCycles);
+      double T = double(cachedRun(W.Name, E)->Emu.TotalCycles);
       double Norm = T / Plain;
       SumNorm[E] += Norm;
       SumOverhead[E] += Norm - 1.0;

@@ -36,14 +36,14 @@ int main(int argc, char **argv) {
 
   for (const Workload &W : allWorkloads()) {
     double Base =
-        double(cachedRun(W.Name, Environment::RPDG).Emu.CheckpointsExecuted);
+        double(cachedRun(W.Name, Environment::RPDG)->Emu.CheckpointsExecuted);
     std::printf("%s (R-PDG executes %.0f checkpoints = 100%%)\n",
                 W.Name.c_str(), Base);
     printRow("  environment",
              {"middle-end", "back-end", "fn-entry", "fn-exit", "total"},
              24, 12);
     for (Environment E : Envs) {
-      const CheckpointCauses &C = cachedRun(W.Name, E).Emu.Causes;
+      const CheckpointCauses &C = cachedRun(W.Name, E)->Emu.Causes;
       auto Pct = [&](uint64_t V) { return fmtPct(100.0 * double(V) / Base); };
       printRow("  " + std::string(environmentName(E)),
                {Pct(C.MiddleEndWar), Pct(C.BackendSpill),
@@ -52,7 +52,7 @@ int main(int argc, char **argv) {
                24, 12);
     }
     double Ratchet = double(
-        cachedRun(W.Name, Environment::Ratchet).Emu.CheckpointsExecuted);
+        cachedRun(W.Name, Environment::Ratchet)->Emu.CheckpointsExecuted);
     std::printf("  (Ratchet total: %s of R-PDG — off-scale, as in the "
                 "paper)\n\n",
                 fmtPct(100.0 * Ratchet / Base).c_str());

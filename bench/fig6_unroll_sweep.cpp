@@ -34,7 +34,7 @@ int main(int argc, char **argv) {
 
   for (const std::string &Name : Benches) {
     double PlainCycles =
-        double(cachedRun(Name, Environment::PlainC).Emu.TotalCycles);
+        double(cachedRun(Name, Environment::PlainC)->Emu.TotalCycles);
 
     struct Point {
       unsigned N;
@@ -43,11 +43,11 @@ int main(int argc, char **argv) {
     };
     std::vector<Point> Points;
     for (unsigned N : Factors) {
-      const RunResult &R =
+      std::shared_ptr<const RunResult> R =
           globalCache().run(cell(Name, Environment::WarioComplete, N));
-      Points.push_back({N, R.Emu.Causes.MiddleEndWar,
-                        R.Emu.Causes.BackendSpill,
-                        double(R.Emu.TotalCycles) / PlainCycles - 1.0});
+      Points.push_back({N, R->Emu.Causes.MiddleEndWar,
+                        R->Emu.Causes.BackendSpill,
+                        double(R->Emu.TotalCycles) / PlainCycles - 1.0});
     }
     const Point &Base = Points.front(); // N=1.
 

@@ -57,7 +57,7 @@ int main(int argc, char **argv) {
     std::printf("%s\n", W.Name.c_str());
     printRow("  environment", {"median", "mean", "p75", "max"}, 24, 12);
     for (Environment E : Envs) {
-      Summary S = summarize(cachedRun(W.Name, E).Emu.RegionSizes);
+      Summary S = summarize(cachedRun(W.Name, E)->Emu.RegionSizes);
       printRow("  " + std::string(environmentName(E)),
                {std::to_string(S.Median), fmt2(S.Mean),
                 std::to_string(S.P75), std::to_string(S.Max)},
@@ -67,7 +67,7 @@ int main(int argc, char **argv) {
     // (45000 cycles -> 5.6 ms @ 8 MHz, 0.9 ms @ 50 MHz).
     Summary SW =
         summarize(cachedRun(W.Name, Environment::WarioComplete)
-                      .Emu.RegionSizes);
+                      ->Emu.RegionSizes);
     std::printf("  WARio max region => min on-time %.2f ms @ 8 MHz, "
                 "%.3f ms @ 50 MHz\n\n",
                 double(SW.Max) / 8e3, double(SW.Max) / 50e3);

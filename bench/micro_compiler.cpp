@@ -224,7 +224,7 @@ void BM_MatrixColumnWarmCache(benchmark::State &State) {
     for (Environment Env : allEnvironments()) {
       PipelineOptions PO;
       PO.Env = Env;
-      benchmark::DoNotOptimize(Cache.compileCell("sha", PO).TextBytes);
+      benchmark::DoNotOptimize(Cache.compileCell("sha", PO)->TextBytes);
     }
   }
 }
@@ -242,7 +242,7 @@ void BM_MatrixColumnCacheHit(benchmark::State &State) {
     for (Environment Env : allEnvironments()) {
       PipelineOptions PO;
       PO.Env = Env;
-      benchmark::DoNotOptimize(Cache.compileCell("sha", PO).TextBytes);
+      benchmark::DoNotOptimize(Cache.compileCell("sha", PO)->TextBytes);
     }
   }
 }

@@ -34,11 +34,11 @@ int main(int argc, char **argv) {
   double SumW = 0, SumWE = 0;
   for (const Workload &W : allWorkloads()) {
     double R = double(
-        cachedRun(W.Name, Environment::Ratchet).Emu.CheckpointsExecuted);
+        cachedRun(W.Name, Environment::Ratchet)->Emu.CheckpointsExecuted);
     double Wa = double(cachedRun(W.Name, Environment::WarioComplete)
-                           .Emu.CheckpointsExecuted);
+                           ->Emu.CheckpointsExecuted);
     double We = double(cachedRun(W.Name, Environment::WarioExpander)
-                           .Emu.CheckpointsExecuted);
+                           ->Emu.CheckpointsExecuted);
     double DW = 100.0 * (Wa - R) / R;
     double DWE = 100.0 * (We - R) / R;
     SumW += DW;

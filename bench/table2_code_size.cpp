@@ -33,16 +33,16 @@ int main(int argc, char **argv) {
 
   double SR = 0, SW1 = 0, SW = 0, SWE = 0;
   for (const Workload &W : allWorkloads()) {
-    double P = double(cachedRun(W.Name, Environment::PlainC).TextBytes);
-    double R = double(cachedRun(W.Name, Environment::Ratchet).TextBytes);
+    double P = double(cachedRun(W.Name, Environment::PlainC)->TextBytes);
+    double R = double(cachedRun(W.Name, Environment::Ratchet)->TextBytes);
     double W1 = double(
         globalCache()
             .run(cell(W.Name, Environment::WarioComplete, 1))
-            .TextBytes);
+            ->TextBytes);
     double Wa =
-        double(cachedRun(W.Name, Environment::WarioComplete).TextBytes);
+        double(cachedRun(W.Name, Environment::WarioComplete)->TextBytes);
     double We =
-        double(cachedRun(W.Name, Environment::WarioExpander).TextBytes);
+        double(cachedRun(W.Name, Environment::WarioExpander)->TextBytes);
     double DR = 100.0 * (R - P) / P;
     double DW1 = 100.0 * (W1 - P) / P;
     double DW = 100.0 * (Wa - P) / P;

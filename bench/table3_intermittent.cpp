@@ -60,16 +60,16 @@ int main(int argc, char **argv) {
     std::vector<std::string> Vals;
     for (const Workload &W : allWorkloads()) {
       uint64_t Continuous =
-          cachedRun(W.Name, Environment::WarioExpander).Emu.TotalCycles;
+          cachedRun(W.Name, Environment::WarioExpander)->Emu.TotalCycles;
       MatrixCell MC = cell(W.Name, Environment::WarioExpander);
       MC.EO.Power = C.Power;
       MC.EO.CollectRegionSizes = false;
-      const RunResult &R = globalCache().run(MC);
+      std::shared_ptr<const RunResult> R = globalCache().run(MC);
       double Overhead = 100.0 *
-                        (double(R.Emu.TotalCycles) - double(Continuous)) /
+                        (double(R->Emu.TotalCycles) - double(Continuous)) /
                         double(Continuous);
       Vals.push_back(fmtPct(Overhead));
-      Vals.push_back(std::to_string(R.Emu.PowerFailures));
+      Vals.push_back(std::to_string(R->Emu.PowerFailures));
     }
     printRow(C.Label, Vals, 26, 11);
   }

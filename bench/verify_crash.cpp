@@ -41,7 +41,10 @@ std::vector<CrashReport> campaigns(const std::string &Workload,
                                    const PipelineOptions &PO,
                                    const std::vector<CampaignMode> &Modes,
                                    unsigned MaxPoints, bool WarFatal = true) {
-  const CompileResult &CR = globalCache().compileCell(Workload, PO);
+  // Holding the shared_ptr pins the machine module for the campaign even
+  // if the byte-budgeted global cache evicts the entry meanwhile.
+  std::shared_ptr<const CompileResult> CR =
+      globalCache().compileCell(Workload, PO);
   FaultInjectorOptions FI;
   FI.Samples = 48;
   FI.MaxPoints = MaxPoints;
@@ -50,7 +53,7 @@ std::vector<CrashReport> campaigns(const std::string &Workload,
   FI.Workload = Workload;
   FI.Config = PO.ResolveMiddleEndWars ? environmentName(PO.Env)
                                       : "wario-weakened";
-  return runCrashCampaigns(CR.MM, FI, Modes);
+  return runCrashCampaigns(CR->MM, FI, Modes);
 }
 
 /// Engine statistics go to stderr so the report stream (stdout) stays

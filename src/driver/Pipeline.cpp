@@ -58,6 +58,33 @@ const char *wario::environmentName(Environment E) {
   return "<bad environment>";
 }
 
+bool wario::environmentFromName(const std::string &Name, Environment &Out) {
+  static const struct {
+    const char *Alias;
+    Environment E;
+  } Table[] = {
+      {"plain-c", Environment::PlainC},
+      {"ratchet", Environment::Ratchet},
+      {"r-pdg", Environment::RPDG},
+      {"rpdg", Environment::RPDG},
+      {"epilog-optimizer", Environment::EpilogOnly},
+      {"epilog-opt", Environment::EpilogOnly},
+      {"write-clusterer", Environment::WriteClustererOnly},
+      {"write-cl", Environment::WriteClustererOnly},
+      {"loop-write-clusterer", Environment::LoopWriteClustererOnly},
+      {"loop-cl", Environment::LoopWriteClustererOnly},
+      {"wario", Environment::WarioComplete},
+      {"wario+expander", Environment::WarioExpander},
+      {"wario+exp", Environment::WarioExpander},
+  };
+  for (const auto &Row : Table)
+    if (Name == Row.Alias) {
+      Out = Row.E;
+      return true;
+    }
+  return false;
+}
+
 std::vector<Environment> wario::allEnvironments() {
   return {Environment::PlainC,
           Environment::Ratchet,

@@ -39,6 +39,12 @@ enum class Environment {
 
 const char *environmentName(Environment E);
 
+/// Reverse lookup for CLI and wire use (wario-served requests and the
+/// load generator's --envs flag name environments as strings). Accepts
+/// the environmentName() form and the bench table short form ("wario",
+/// "r-pdg", "epilog-opt", ...). Returns false on unknown names.
+bool environmentFromName(const std::string &Name, Environment &Out);
+
 /// All evaluated environments, in the paper's presentation order.
 std::vector<Environment> allEnvironments();
 

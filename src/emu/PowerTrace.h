@@ -53,6 +53,11 @@ public:
 
   const std::string &name() const { return TraceName; }
 
+  /// Wire-format accessors (src/serve's framed protocol serializes
+  /// schedules field-by-field and must reconstruct them exactly).
+  uint64_t fixedPeriod() const { return Period; }
+  const std::vector<uint64_t> &traceDurations() const { return Durations; }
+
   /// Schedules are ordered/compared by their full configuration so caches
   /// can key on them (bench/Harness.cpp derives cache keys from option
   /// fields rather than caller-provided tags).

@@ -52,6 +52,17 @@ public:
   /// The interned array-of-\p Bytes type (storage shape of a global).
   const Type *getArrayType(uint32_t Bytes);
 
+  /// Total bytes bump-allocated across the module arena and every
+  /// function arena. An upper bound on the live IR footprint (abandoned
+  /// ArenaVec blocks count too), which is exactly what a byte-budgeted
+  /// artifact cache wants to account.
+  size_t bytesUsed() const {
+    size_t N = ModArena.bytesUsed();
+    for (const Arena &A : FnArenas)
+      N += A.bytesUsed();
+    return N;
+  }
+
   // -- Constants (interned) ---------------------------------------------------
   /// Returns the interned Constant for \p V. Thread-safe: parallel
   /// per-function passes may materialize constants concurrently.

@@ -1,0 +1,133 @@
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace wario;
+using namespace wario::serve;
+
+namespace {
+
+void setError(std::string *Error, const std::string &Msg) {
+  if (Error)
+    *Error = Msg;
+}
+
+} // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connect(const std::string &SocketPath, std::string *Error) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    setError(Error, "socket path too long: " + SocketPath);
+    return false;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    setError(Error, "connect " + SocketPath + ": " + std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::transact(const std::vector<uint8_t> &FrameBytes, uint64_t Id,
+                      MsgType Want, std::vector<uint8_t> &Body,
+                      std::string *Error) {
+  if (Fd < 0) {
+    setError(Error, "not connected");
+    return false;
+  }
+  if (!writeFrame(Fd, FrameBytes)) {
+    setError(Error, "write failed (daemon gone?)");
+    close();
+    return false;
+  }
+  // Single outstanding request, so the next matching-id frame is ours;
+  // skip anything else (a well-behaved server sends nothing else, but a
+  // stray reply must not wedge the client on the wrong type).
+  std::vector<uint8_t> Payload;
+  for (;;) {
+    FrameReadStatus St = readFrame(Fd, Payload);
+    if (St != FrameReadStatus::Ok) {
+      setError(Error, St == FrameReadStatus::TooBig
+                          ? "oversized reply frame"
+                          : "connection closed awaiting reply");
+      close();
+      return false;
+    }
+    std::optional<Frame> F = parseFrame(Payload);
+    if (!F) {
+      setError(Error, "malformed reply frame");
+      close();
+      return false;
+    }
+    if (F->Id != Id)
+      continue;
+    if (F->Type == MsgType::ErrorReply) {
+      std::optional<std::string> Msg = decodeErrorReply(F->Body);
+      setError(Error, "server error: " + (Msg ? *Msg : "<undecodable>"));
+      return false;
+    }
+    if (F->Type != Want) {
+      setError(Error, "unexpected reply type");
+      return false;
+    }
+    Body = std::move(F->Body);
+    return true;
+  }
+}
+
+bool Client::ping(std::string *Error) {
+  const uint64_t Id = NextId++;
+  std::vector<uint8_t> Body;
+  return transact(encodePing(Id), Id, MsgType::Pong, Body, Error);
+}
+
+bool Client::run(const RunRequestMsg &M, RunReplyMsg &Reply,
+                 std::string *Error) {
+  const uint64_t Id = NextId++;
+  std::vector<uint8_t> Body;
+  if (!transact(encodeRunRequest(Id, M), Id, MsgType::RunReply, Body, Error))
+    return false;
+  std::optional<RunReplyMsg> R = decodeRunReply(Body);
+  if (!R) {
+    setError(Error, "undecodable RunReply body");
+    return false;
+  }
+  Reply = std::move(*R);
+  return true;
+}
+
+bool Client::stats(StatsReplyMsg &Reply, std::string *Error) {
+  const uint64_t Id = NextId++;
+  std::vector<uint8_t> Body;
+  if (!transact(encodeStatsRequest(Id), Id, MsgType::StatsReply, Body, Error))
+    return false;
+  std::optional<StatsReplyMsg> R = decodeStatsReply(Body);
+  if (!R) {
+    setError(Error, "undecodable StatsReply body");
+    return false;
+  }
+  Reply = std::move(*R);
+  return true;
+}

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A synchronous client for the wario-served protocol: one connection,
+/// one outstanding request at a time (the loadgen gets concurrency from
+/// many clients, not pipelining). Each call blocks until the matching
+/// reply arrives; an ErrorReply or an id mismatch surfaces as a failed
+/// call with the server's message in \p Error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_SERVE_CLIENT_H
+#define WARIO_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+namespace wario::serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client(); ///< Closes the connection if open.
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to a daemon's Unix-domain socket. False + \p Error if the
+  /// path does not exist or nothing is listening.
+  bool connect(const std::string &SocketPath, std::string *Error = nullptr);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Round-trips a Ping. A false return means the connection is dead.
+  bool ping(std::string *Error = nullptr);
+
+  /// Runs one compile-and-simulate request; blocks for the reply.
+  /// False + \p Error on transport failure or a protocol ErrorReply.
+  /// A reply with Reply.Ok == false is still a *successful* call — the
+  /// request was served; the pipeline or emulation failed server-side.
+  bool run(const RunRequestMsg &M, RunReplyMsg &Reply,
+           std::string *Error = nullptr);
+
+  /// Fetches the daemon's cache/service counters.
+  bool stats(StatsReplyMsg &Reply, std::string *Error = nullptr);
+
+private:
+  /// Sends \p Frame and reads frames until one matches \p Id with type
+  /// \p Want (ErrorReply for the id also terminates, as a failure).
+  bool transact(const std::vector<uint8_t> &Frame, uint64_t Id, MsgType Want,
+                std::vector<uint8_t> &Body, std::string *Error);
+
+  int Fd = -1;
+  uint64_t NextId = 1;
+};
+
+} // namespace wario::serve
+
+#endif // WARIO_SERVE_CLIENT_H

@@ -17,10 +17,16 @@ const std::vector<Workload> &wario::allWorkloads() {
   return Workloads;
 }
 
-const Workload &wario::getWorkload(const std::string &Name) {
+const Workload *wario::findWorkload(const std::string &Name) {
   for (const Workload &W : allWorkloads())
     if (W.Name == Name)
-      return W;
+      return &W;
+  return nullptr;
+}
+
+const Workload &wario::getWorkload(const std::string &Name) {
+  if (const Workload *W = findWorkload(Name))
+    return *W;
   assert(false && "unknown workload name");
   return allWorkloads().front();
 }

@@ -40,6 +40,11 @@ const std::vector<Workload> &allWorkloads();
 /// The named benchmark (assert-fails on unknown names).
 const Workload &getWorkload(const std::string &Name);
 
+///// Non-asserting lookup: nullptr on unknown names. The serving daemon
+/// validates client-supplied workload names with this — a bad request
+/// must produce an error response, never abort the process.
+const Workload *findWorkload(const std::string &Name);
+
 /// Compiles a workload to a fresh IR module (each pipeline run mutates
 /// its module, so benchmarks recompile per environment).
 std::unique_ptr<Module> buildWorkloadIR(const Workload &W,

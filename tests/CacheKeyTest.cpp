@@ -35,7 +35,9 @@ protected:
 
   ResultCache Cache;
 
-  const RunResult *run(const MatrixCell &C) { return &Cache.run(C); }
+  // Raw pointers are safe identity witnesses here: the default cache is
+  // unbounded, so entries live for the cache's lifetime.
+  const RunResult *run(const MatrixCell &C) { return Cache.run(C).get(); }
 };
 
 MatrixCell baseCell() {
@@ -151,8 +153,8 @@ TEST_F(CacheKeyTest, EmulatorOptionsShareOneCompile) {
   const RunResult *RB = run(B);
   EXPECT_NE(RA, RB);
 
-  const CompileResult *CA = &Cache.compileCell(A.Workload, A.PO);
-  const CompileResult *CB = &Cache.compileCell(B.Workload, B.PO);
+  const CompileResult *CA = Cache.compileCell(A.Workload, A.PO).get();
+  const CompileResult *CB = Cache.compileCell(B.Workload, B.PO).get();
   EXPECT_EQ(CA, CB) << "same pipeline configuration must compile once";
   EXPECT_EQ(RA->TextBytes, RB->TextBytes);
 }
@@ -160,14 +162,59 @@ TEST_F(CacheKeyTest, EmulatorOptionsShareOneCompile) {
 TEST_F(CacheKeyTest, CompileCellKeysOnPipelineOptions) {
   PipelineOptions PO;
   PO.Env = Environment::WarioComplete;
-  const CompileResult *Base = &Cache.compileCell("crc", PO);
+  const CompileResult *Base = Cache.compileCell("crc", PO).get();
 
   PipelineOptions PO2 = PO;
   PO2.DepthWeightedCost = false;
-  EXPECT_NE(Base, &Cache.compileCell("crc", PO2));
+  EXPECT_NE(Base, Cache.compileCell("crc", PO2).get());
 
-  EXPECT_NE(Base, &Cache.compileCell("sha", PO));
-  EXPECT_EQ(Base, &Cache.compileCell("crc", PO));
+  EXPECT_NE(Base, Cache.compileCell("sha", PO).get());
+  EXPECT_EQ(Base, Cache.compileCell("crc", PO).get());
+}
+
+TEST(CacheBudget, GlobalCacheRunsUnderAByteBudget) {
+  // The process-lifetime cache must not grow without bound: it carries a
+  // byte budget (WARIO_CACHE_BYTES, default 512 MiB) unless explicitly
+  // disabled with WARIO_CACHE_BYTES=0 in the environment.
+  const char *E = std::getenv("WARIO_CACHE_BYTES");
+  if (E && std::strtoull(E, nullptr, 10) == 0)
+    GTEST_SKIP() << "WARIO_CACHE_BYTES=0 disables the budget";
+  EXPECT_NE(globalCache().counters().ByteBudget, 0u);
+}
+
+TEST(CacheBudget, BoundedCacheEvictsToItsBudget) {
+  setenv("WARIO_JOBS", "1", 1);
+  // A budget far below one workload's artifacts forces eviction on every
+  // publish; the invariant is BytesUsed <= budget unless a single entry
+  // alone exceeds it (the most-recently-used entry is never evicted).
+  const size_t Budget = 2 << 20;
+  ResultCache Cache(Budget);
+  std::vector<MatrixCell> Cells;
+  for (Environment E : {Environment::PlainC, Environment::Ratchet,
+                        Environment::WarioComplete})
+    Cells.push_back(cell("crc", E));
+  for (const MatrixCell &C : Cells) {
+    std::shared_ptr<const RunResult> R = Cache.run(C);
+    EXPECT_TRUE(R->Error.empty());
+    serve::CacheCounters Ctr = Cache.counters();
+    EXPECT_TRUE(Ctr.BytesUsed <= Budget || Ctr.Entries == 1)
+        << "resident " << Ctr.BytesUsed << " bytes over the " << Budget
+        << "-byte budget with " << Ctr.Entries << " entries";
+  }
+  serve::CacheCounters Ctr = Cache.counters();
+  EXPECT_GT(Ctr.Evictions[serve::LevelFront] +
+                Ctr.Evictions[serve::LevelMid] +
+                Ctr.Evictions[serve::LevelCompile] +
+                Ctr.Evictions[serve::LevelRun],
+            0u)
+      << "a 2 MiB budget must evict across three environment builds";
+  EXPECT_EQ(Ctr.ByteBudget, Budget);
+
+  // Evicted cells recompute correctly (and the sweep's results stayed
+  // valid through their shared_ptr even though the cache forgot them).
+  std::shared_ptr<const RunResult> Again = Cache.run(Cells.front());
+  EXPECT_TRUE(Again->Error.empty());
+  unsetenv("WARIO_JOBS");
 }
 
 TEST(ReadWordGuard, OutOfRangeReadIsCaught) {

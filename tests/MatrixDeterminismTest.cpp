@@ -75,9 +75,10 @@ std::vector<MatrixCell> testMatrix() {
 std::vector<std::string> sweepWithJobs(const char *Jobs) {
   setenv("WARIO_JOBS", Jobs, /*overwrite=*/1);
   ResultCache Cache; // Fresh cache: forces a full recompute.
-  std::vector<const RunResult *> Results = Cache.runMatrix(testMatrix());
+  std::vector<std::shared_ptr<const RunResult>> Results =
+      Cache.runMatrix(testMatrix());
   std::vector<std::string> Snaps;
-  for (const RunResult *R : Results)
+  for (const std::shared_ptr<const RunResult> &R : Results)
     Snaps.push_back(snapshot(*R));
   unsetenv("WARIO_JOBS");
   return Snaps;
@@ -97,22 +98,24 @@ TEST(MatrixDeterminism, DuplicateCellsShareOneResult) {
   ResultCache Cache;
   std::vector<MatrixCell> Cells = {cell("crc", Environment::WarioComplete),
                                    cell("crc", Environment::WarioComplete)};
-  std::vector<const RunResult *> R = Cache.runMatrix(Cells);
+  std::vector<std::shared_ptr<const RunResult>> R = Cache.runMatrix(Cells);
   ASSERT_EQ(R.size(), 2u);
-  EXPECT_EQ(R[0], R[1]) << "identical cells must dedup to one result";
+  EXPECT_EQ(R[0].get(), R[1].get())
+      << "identical cells must dedup to one result";
   unsetenv("WARIO_JOBS");
 }
 
 TEST(MatrixDeterminism, CacheReturnsStablePointers) {
   setenv("WARIO_JOBS", "2", 1);
   ResultCache Cache;
-  const RunResult *First =
+  std::shared_ptr<const RunResult> First =
       Cache.runMatrix({cell("crc", Environment::PlainC)}).front();
-  // A second, larger sweep must not invalidate earlier results.
+  // A second, larger sweep must not invalidate earlier results (the
+  // default cache is unbounded, so entries are never evicted).
   Cache.runMatrix(testMatrix());
-  const RunResult *Again =
+  std::shared_ptr<const RunResult> Again =
       Cache.runMatrix({cell("crc", Environment::PlainC)}).front();
-  EXPECT_EQ(First, Again);
+  EXPECT_EQ(First.get(), Again.get());
   unsetenv("WARIO_JOBS");
 }
 

@@ -1,0 +1,463 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wire-protocol tests for the serving daemon (src/serve/Protocol.h):
+/// every message type round-trips the codec bit-exactly; malformed,
+/// truncated, and oversized frames are rejected without crashing (or
+/// allocating absurd buffers); and a live daemon honors the error
+/// contract — undecodable bodies earn an ErrorReply with the echoed id
+/// on a still-usable connection, corrupt framing closes it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace wario;
+using namespace wario::serve;
+
+namespace {
+
+/// A RunRequest with every field off its default (trace power, trace
+/// window, threaded engine) — the worst case for a field dropped from
+/// the codec.
+RunRequestMsg fancyRequest() {
+  RunRequestMsg M;
+  M.Tenant = "tenant-7";
+  M.Workload = "picojpeg";
+  M.PO.Env = Environment::WarioExpander;
+  M.PO.UnrollFactor = 3;
+  M.PO.MiddleEndHittingSet = false;
+  M.PO.DepthWeightedCost = false;
+  M.PO.ForceConservativeAA = true;
+  M.PO.BoundRegions = true;
+  M.PO.MaxRegionCycles = 123'456;
+  M.PO.ResolveMiddleEndWars = false;
+  M.EO.Power = PowerSchedule::trace({10'000, 250'000, 77}, "μ-trace");
+  M.EO.InterruptPeriod = 5'000;
+  M.EO.MaxCycles = 42;
+  M.EO.MaxStalledBoots = 9;
+  M.EO.CollectRegionSizes = true;
+  M.EO.WarIsFatal = false;
+  M.EO.CollectEventTrace = true;
+  M.EO.TraceWindowLo = 1'000;
+  M.EO.TraceWindowHi = 2'000;
+  M.EO.Engine = EngineKind::Threaded;
+  return M;
+}
+
+/// Strips the 4-byte length prefix off an encoder's output.
+std::vector<uint8_t> payloadOf(const std::vector<uint8_t> &Frame) {
+  EXPECT_GE(Frame.size(), 4u);
+  return {Frame.begin() + 4, Frame.end()};
+}
+
+TEST(ServeProtocol, RunRequestRoundTripsEveryField) {
+  for (const RunRequestMsg &M : {RunRequestMsg{}, fancyRequest()}) {
+    std::vector<uint8_t> Payload = payloadOf(encodeRunRequest(77, M));
+    std::optional<Frame> F = parseFrame(Payload);
+    ASSERT_TRUE(F);
+    EXPECT_EQ(F->Type, MsgType::RunRequest);
+    EXPECT_EQ(F->Id, 77u);
+    std::optional<RunRequestMsg> Back = decodeRunRequest(F->Body);
+    ASSERT_TRUE(Back);
+    EXPECT_EQ(*Back, M);
+  }
+}
+
+TEST(ServeProtocol, PowerScheduleVariantsRoundTrip) {
+  for (const PowerSchedule &P :
+       {PowerSchedule::continuous(), PowerSchedule::fixed(123'456),
+        PowerSchedule::trace({1, 2, 3}, "named"),
+        PowerSchedule::trace({}, "empty-trace")}) {
+    RunRequestMsg M;
+    M.Workload = "crc";
+    M.EO.Power = P;
+    std::optional<Frame> F = parseFrame(payloadOf(encodeRunRequest(1, M)));
+    ASSERT_TRUE(F);
+    std::optional<RunRequestMsg> Back = decodeRunRequest(F->Body);
+    ASSERT_TRUE(Back);
+    EXPECT_TRUE(Back->EO.Power == P);
+  }
+}
+
+TEST(ServeProtocol, RunReplyRoundTripsEveryField) {
+  RunReplyMsg M;
+  M.Ok = true;
+  M.Error = ""; // Ok implies empty; non-empty covered below.
+  M.ReturnValue = -123;
+  M.Output = {-1, 0, 7, 1 << 30};
+  M.TotalCycles = 0x0123456789abcdefull;
+  M.InstructionsExecuted = 11;
+  M.CheckpointsExecuted = 12;
+  M.CauseMiddleEndWar = 13;
+  M.CauseBackendSpill = 14;
+  M.CauseFunctionEntry = 15;
+  M.CauseFunctionExit = 16;
+  M.PowerFailures = 17;
+  M.InterruptsTaken = 18;
+  M.WarViolations = 19;
+  M.TextBytes = 20;
+  M.MemHash = 0xfeedfacecafebeefull;
+  M.RegionCount = 21;
+  M.RegionHash = 22;
+  M.FrontendSeconds = 0.25;
+  M.FrontHalfSeconds = -0.0;
+  M.MiddleEndSeconds = 1e-9;
+  M.BackendSeconds = 3.5;
+  M.EmulateSeconds = 1e9;
+  M.ProvenanceBits = 0b1010;
+
+  std::optional<Frame> F = parseFrame(payloadOf(encodeRunReply(99, M)));
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::RunReply);
+  EXPECT_EQ(F->Id, 99u);
+  std::optional<RunReplyMsg> Back = decodeRunReply(F->Body);
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(*Back, M);
+
+  M.Ok = false;
+  M.Error = "emulation failure on crc @ wario: boom";
+  Back = decodeRunReply(parseFrame(payloadOf(encodeRunReply(1, M)))->Body);
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(*Back, M);
+}
+
+TEST(ServeProtocol, StatsReplyRoundTrips) {
+  StatsReplyMsg M;
+  for (int L = 0; L != NumCacheLevels; ++L) {
+    M.Counters.Hits[L] = 100 + L;
+    M.Counters.Misses[L] = 200 + L;
+    M.Counters.Evictions[L] = 300 + L;
+  }
+  M.Counters.BytesUsed = 1 << 20;
+  M.Counters.ByteBudget = 1 << 22;
+  M.Counters.BytesEvicted = 12345;
+  M.Counters.Entries = 42;
+  M.RequestsServed = 9999;
+  M.ConnectionsAccepted = 7;
+
+  std::optional<Frame> F = parseFrame(payloadOf(encodeStatsReply(5, M)));
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::StatsReply);
+  std::optional<StatsReplyMsg> Back = decodeStatsReply(F->Body);
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(*Back, M);
+}
+
+TEST(ServeProtocol, ControlMessagesRoundTrip) {
+  std::optional<Frame> F = parseFrame(payloadOf(encodePing(3)));
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::Ping);
+  EXPECT_EQ(F->Id, 3u);
+  EXPECT_TRUE(F->Body.empty());
+
+  F = parseFrame(payloadOf(encodePong(4)));
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::Pong);
+
+  F = parseFrame(payloadOf(encodeStatsRequest(6)));
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::StatsRequest);
+
+  F = parseFrame(payloadOf(encodeErrorReply(8, "nope")));
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::ErrorReply);
+  std::optional<std::string> Msg = decodeErrorReply(F->Body);
+  ASSERT_TRUE(Msg);
+  EXPECT_EQ(*Msg, "nope");
+}
+
+TEST(ServeProtocol, ParseFrameRejectsBadHeaders) {
+  std::vector<uint8_t> Good = payloadOf(encodePing(1));
+  ASSERT_TRUE(parseFrame(Good));
+
+  std::vector<uint8_t> Short(Good.begin(), Good.begin() + 9);
+  EXPECT_FALSE(parseFrame(Short));
+  EXPECT_FALSE(parseFrame({}));
+
+  std::vector<uint8_t> BadVersion = Good;
+  BadVersion[0] = ProtocolVersion + 1;
+  EXPECT_FALSE(parseFrame(BadVersion));
+
+  std::vector<uint8_t> BadType = Good;
+  BadType[1] = 0;
+  EXPECT_FALSE(parseFrame(BadType));
+  BadType[1] = 8; // One past Pong.
+  EXPECT_FALSE(parseFrame(BadType));
+}
+
+TEST(ServeProtocol, TruncatedBodiesNeverDecode) {
+  // Decoders require exact consumption: every strict prefix of a valid
+  // body must fail, and so must a body with trailing garbage.
+  std::vector<uint8_t> Req =
+      parseFrame(payloadOf(encodeRunRequest(1, fancyRequest())))->Body;
+  for (size_t N = 0; N != Req.size(); ++N)
+    EXPECT_FALSE(decodeRunRequest({Req.begin(), Req.begin() + N}))
+        << "decoded from a " << N << "-byte prefix of " << Req.size();
+  std::vector<uint8_t> Long = Req;
+  Long.push_back(0);
+  EXPECT_FALSE(decodeRunRequest(Long));
+
+  RunReplyMsg Reply;
+  Reply.Output = {1, 2, 3};
+  Reply.Error = "e";
+  std::vector<uint8_t> Rep =
+      parseFrame(payloadOf(encodeRunReply(1, Reply)))->Body;
+  for (size_t N = 0; N != Rep.size(); ++N)
+    EXPECT_FALSE(decodeRunReply({Rep.begin(), Rep.begin() + N}));
+
+  std::vector<uint8_t> Stats =
+      parseFrame(payloadOf(encodeStatsReply(1, StatsReplyMsg{})))->Body;
+  for (size_t N = 0; N != Stats.size(); ++N)
+    EXPECT_FALSE(decodeStatsReply({Stats.begin(), Stats.begin() + N}));
+}
+
+TEST(ServeProtocol, HugeCountsAreRejectedWithoutAllocating) {
+  // A string/vector length of 0xffffffff inside a tiny body must fail
+  // the bounds check before any allocation happens (an attacker-sized
+  // reserve would be a trivial daemon OOM).
+  std::vector<uint8_t> Body = {0xff, 0xff, 0xff, 0xff, 'x'};
+  EXPECT_FALSE(decodeRunRequest(Body));
+  EXPECT_FALSE(decodeErrorReply(Body));
+  EXPECT_FALSE(decodeRunReply(Body));
+}
+
+TEST(ServeProtocol, CorruptEnumValuesAreRejected) {
+  std::vector<uint8_t> Frame = encodeRunRequest(1, RunRequestMsg{});
+  std::vector<uint8_t> Body = parseFrame(payloadOf(Frame))->Body;
+  // Byte layout: [u32 tenant len][u32 workload len]["crc"? no — default
+  // empty strings] [u8 env] ... The env byte sits right after the two
+  // (empty) strings.
+  ASSERT_GE(Body.size(), 9u);
+  std::vector<uint8_t> BadEnv = Body;
+  BadEnv[8] = 200; // Way past WarioExpander.
+  EXPECT_FALSE(decodeRunRequest(BadEnv));
+  std::vector<uint8_t> BadEngine = Body;
+  BadEngine.back() = 99; // Engine is the final byte.
+  EXPECT_FALSE(decodeRunRequest(BadEngine));
+}
+
+//===----------------------------------------------------------------------===//
+// Socket-level framing
+//===----------------------------------------------------------------------===//
+
+struct SocketPair {
+  int A = -1, B = -1;
+  SocketPair() {
+    int Fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    A = Fds[0];
+    B = Fds[1];
+  }
+  ~SocketPair() {
+    if (A >= 0)
+      ::close(A);
+    if (B >= 0)
+      ::close(B);
+  }
+};
+
+TEST(ServeFraming, ReadFrameHandlesEofTruncationAndOversize) {
+  std::vector<uint8_t> Payload;
+  {
+    SocketPair S;
+    ::close(S.A);
+    S.A = -1;
+    EXPECT_EQ(readFrame(S.B, Payload), FrameReadStatus::Eof);
+  }
+  {
+    SocketPair S; // Close mid-frame: 4-byte prefix, no body.
+    uint32_t Len = 100;
+    ASSERT_EQ(::send(S.A, &Len, 4, 0), 4);
+    ::close(S.A);
+    S.A = -1;
+    EXPECT_EQ(readFrame(S.B, Payload), FrameReadStatus::Truncated);
+  }
+  {
+    SocketPair S; // Oversized length prefix: rejected before reading on.
+    uint32_t Len = MaxFrameBytes + 1;
+    ASSERT_EQ(::send(S.A, &Len, 4, 0), 4);
+    EXPECT_EQ(readFrame(S.B, Payload), FrameReadStatus::TooBig);
+  }
+  {
+    SocketPair S; // A valid frame followed by clean EOF.
+    std::vector<uint8_t> F = encodePing(12);
+    ASSERT_TRUE(writeFrame(S.A, F));
+    ::close(S.A);
+    S.A = -1;
+    EXPECT_EQ(readFrame(S.B, Payload), FrameReadStatus::Ok);
+    EXPECT_EQ(Payload, payloadOf(F));
+    EXPECT_EQ(readFrame(S.B, Payload), FrameReadStatus::Eof);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon error contract
+//===----------------------------------------------------------------------===//
+
+class ServeDaemonTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Path = "/tmp/wario_proto_test_" + std::to_string(::getpid()) + ".sock";
+    S = std::make_unique<Server>(ServerOptions{Path, 0, 1});
+    std::string Error;
+    ASSERT_TRUE(S->start(&Error)) << Error;
+  }
+  void TearDown() override { S->stop(); }
+
+  /// Raw connection (bypassing Client) for hand-built malformed frames.
+  int rawConnect() {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(Fd, 0);
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+    EXPECT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr)),
+              0);
+    return Fd;
+  }
+
+  std::string Path;
+  std::unique_ptr<Server> S;
+};
+
+TEST_F(ServeDaemonTest, UndecodableBodyKeepsConnectionUsable) {
+  int Fd = rawConnect();
+  // Valid framing, valid header, garbage RunRequest body.
+  std::vector<uint8_t> Garbage = encodeRunRequest(1234, RunRequestMsg{});
+  Garbage.resize(Garbage.size() - 3); // Drop the last 3 body bytes...
+  uint32_t NewLen = uint32_t(Garbage.size() - 4);
+  std::memcpy(Garbage.data(), &NewLen, 4); // ...and re-frame honestly.
+  ASSERT_TRUE(writeFrame(Fd, Garbage));
+
+  std::vector<uint8_t> Payload;
+  ASSERT_EQ(readFrame(Fd, Payload), FrameReadStatus::Ok);
+  std::optional<Frame> F = parseFrame(Payload);
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::ErrorReply);
+  EXPECT_EQ(F->Id, 1234u) << "protocol errors echo the request id";
+
+  // The connection survives: a Ping still pongs.
+  ASSERT_TRUE(writeFrame(Fd, encodePing(5)));
+  ASSERT_EQ(readFrame(Fd, Payload), FrameReadStatus::Ok);
+  F = parseFrame(Payload);
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::Pong);
+  EXPECT_EQ(F->Id, 5u);
+  ::close(Fd);
+}
+
+TEST_F(ServeDaemonTest, CorruptFramingClosesTheConnection) {
+  int Fd = rawConnect();
+  std::vector<uint8_t> Bad = encodePing(1);
+  Bad[4] = ProtocolVersion + 1; // First payload byte: the version.
+  ASSERT_TRUE(writeFrame(Fd, Bad));
+
+  std::vector<uint8_t> Payload;
+  ASSERT_EQ(readFrame(Fd, Payload), FrameReadStatus::Ok);
+  std::optional<Frame> F = parseFrame(Payload);
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::ErrorReply);
+  EXPECT_EQ(F->Id, 0u) << "no trustworthy id after corrupt framing";
+  EXPECT_EQ(readFrame(Fd, Payload), FrameReadStatus::Eof)
+      << "the daemon must close after corrupt framing";
+  ::close(Fd);
+
+  // The daemon itself is fine — fresh connections still serve.
+  Client C;
+  ASSERT_TRUE(C.connect(Path));
+  EXPECT_TRUE(C.ping());
+}
+
+TEST_F(ServeDaemonTest, OversizedFrameIsRejectedNotAllocated) {
+  int Fd = rawConnect();
+  uint32_t Len = MaxFrameBytes + 1;
+  ASSERT_EQ(::send(Fd, &Len, 4, MSG_NOSIGNAL), 4);
+  std::vector<uint8_t> Payload;
+  ASSERT_EQ(readFrame(Fd, Payload), FrameReadStatus::Ok);
+  std::optional<Frame> F = parseFrame(Payload);
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::ErrorReply);
+  EXPECT_EQ(readFrame(Fd, Payload), FrameReadStatus::Eof);
+  ::close(Fd);
+}
+
+TEST_F(ServeDaemonTest, ReplyOnlyTypesEarnAnErrorReply) {
+  int Fd = rawConnect();
+  ASSERT_TRUE(writeFrame(Fd, encodePong(31))); // Clients don't send Pong.
+  std::vector<uint8_t> Payload;
+  ASSERT_EQ(readFrame(Fd, Payload), FrameReadStatus::Ok);
+  std::optional<Frame> F = parseFrame(Payload);
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Type, MsgType::ErrorReply);
+  EXPECT_EQ(F->Id, 31u);
+  ::close(Fd);
+}
+
+TEST_F(ServeDaemonTest, RequestResponseFieldFidelity) {
+  // A real request through the daemon must carry exactly the fields a
+  // direct (in-process) cache run produces — the wire adds hashing, not
+  // lossy translation.
+  Client C;
+  ASSERT_TRUE(C.connect(Path));
+
+  RunRequestMsg M;
+  M.Tenant = "fidelity";
+  M.Workload = "crc";
+  M.PO.Env = Environment::WarioComplete;
+  RunReplyMsg Wire;
+  std::string Error;
+  ASSERT_TRUE(C.run(M, Wire, &Error)) << Error;
+  ASSERT_TRUE(Wire.Ok) << Wire.Error;
+
+  StagedCache Local(CacheConfig{});
+  Provenance Prov;
+  std::shared_ptr<const RunResult> R =
+      Local.run({M.Tenant, M.Workload, M.PO, M.EO}, &Prov);
+  ASSERT_TRUE(R->Error.empty()) << R->Error;
+  RunReplyMsg Direct = makeRunReply(*R, Prov);
+
+  // Timings and provenance legitimately differ run to run; everything
+  // the workload's execution determines must match bit for bit.
+  EXPECT_EQ(Wire.ReturnValue, Direct.ReturnValue);
+  EXPECT_EQ(Wire.Output, Direct.Output);
+  EXPECT_EQ(Wire.TotalCycles, Direct.TotalCycles);
+  EXPECT_EQ(Wire.InstructionsExecuted, Direct.InstructionsExecuted);
+  EXPECT_EQ(Wire.CheckpointsExecuted, Direct.CheckpointsExecuted);
+  EXPECT_EQ(Wire.CauseMiddleEndWar, Direct.CauseMiddleEndWar);
+  EXPECT_EQ(Wire.CauseBackendSpill, Direct.CauseBackendSpill);
+  EXPECT_EQ(Wire.CauseFunctionEntry, Direct.CauseFunctionEntry);
+  EXPECT_EQ(Wire.CauseFunctionExit, Direct.CauseFunctionExit);
+  EXPECT_EQ(Wire.PowerFailures, Direct.PowerFailures);
+  EXPECT_EQ(Wire.InterruptsTaken, Direct.InterruptsTaken);
+  EXPECT_EQ(Wire.WarViolations, Direct.WarViolations);
+  EXPECT_EQ(Wire.TextBytes, Direct.TextBytes);
+  EXPECT_EQ(Wire.MemHash, Direct.MemHash);
+  EXPECT_EQ(Wire.RegionCount, Direct.RegionCount);
+  EXPECT_EQ(Wire.RegionHash, Direct.RegionHash);
+
+  // An unknown workload is a *served* failure, not a protocol error.
+  M.Workload = "no-such-workload";
+  ASSERT_TRUE(C.run(M, Wire, &Error)) << Error;
+  EXPECT_FALSE(Wire.Ok);
+  EXPECT_NE(Wire.Error.find("no-such-workload"), std::string::npos);
+
+  // Stats arrive and reflect the served traffic.
+  StatsReplyMsg Stats;
+  ASSERT_TRUE(C.stats(Stats, &Error)) << Error;
+  EXPECT_GE(Stats.RequestsServed, 2u);
+  EXPECT_GE(Stats.ConnectionsAccepted, 1u);
+}
+
+} // namespace

@@ -48,10 +48,15 @@ ctest --test-dir "$build" --output-on-failure -j "$jobs" -L engine
 WARIO_ENGINE=interp \
   ctest --test-dir "$build" --output-on-failure -j "$jobs" -L engine
 
-echo "==> tsan build + tsan-labeled tests"
+echo "==> serve suite + loadgen smoke"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L serve
+WARIO_CI_FAST=1 "$build/tools/wario_loadgen" --serve --connections 1 \
+  --requests 4 --workloads crc
+
+echo "==> tsan build + tsan/serve-labeled tests"
 cmake -B "$build/tsan" -S "$root" -DWARIO_SANITIZE=thread
 cmake --build "$build/tsan" -j "$jobs"
-ctest --test-dir "$build/tsan" --output-on-failure -j "$jobs" -L tsan
+ctest --test-dir "$build/tsan" --output-on-failure -j "$jobs" -L 'tsan|serve'
 
 echo "==> asan build + asan-labeled tests"
 cmake -B "$build/asan" -S "$root" -DWARIO_SANITIZE=address
