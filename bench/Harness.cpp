@@ -114,6 +114,28 @@ MatrixCell wario::bench::cell(const std::string &Workload, Environment Env,
   return C;
 }
 
+bool wario::bench::strategiesEnabled() {
+  const char *E = std::getenv("WARIO_STRATEGIES");
+  return E && std::strcmp(E, "1") == 0;
+}
+
+MatrixCell wario::bench::strategyCell(const std::string &Workload,
+                                      CheckpointStrategy S,
+                                      unsigned UnrollFactor) {
+  MatrixCell C = cell(Workload, Environment::WarioComplete, UnrollFactor);
+  C.PO.Strat = S;
+  return C;
+}
+
+const char *wario::bench::strategyColName(CheckpointStrategy S) {
+  switch (S) {
+  case CheckpointStrategy::Idempotent: return "wario";
+  case CheckpointStrategy::Differential: return "wario-diff";
+  case CheckpointStrategy::Speculative: return "wario-spec";
+  }
+  return "?";
+}
+
 namespace {
 
 std::unique_ptr<Module> buildIRorDie(const Workload &W) {

@@ -70,6 +70,20 @@ struct MatrixCell {
 MatrixCell cell(const std::string &Workload, Environment Env,
                 unsigned UnrollFactor = 8);
 
+/// True when WARIO_STRATEGIES=1: the regenerators append the wario-diff
+/// and wario-spec checkpoint-strategy columns (docs/STRATEGIES.md). Off
+/// by default so golden outputs stay byte-identical to the strategy-free
+/// matrix.
+bool strategiesEnabled();
+
+/// The default cell for a non-idempotent checkpoint strategy: the full
+/// WARio pipeline (Env = WarioComplete) with the strategy axis set.
+MatrixCell strategyCell(const std::string &Workload, CheckpointStrategy S,
+                        unsigned UnrollFactor = 8);
+
+/// Column-friendly strategy names ("wario-diff", "wario-spec").
+const char *strategyColName(CheckpointStrategy S);
+
 /// Deduplicating, mutex-guarded, staged store of compilation artifacts
 /// and run results. runMatrix computes all missing cells concurrently
 /// (parallelFor over defaultJobs() workers — override the width with

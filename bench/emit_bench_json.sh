@@ -13,11 +13,15 @@
 #   - the serving daemon's throughput: wario_loadgen against an
 #     in-process daemon (4 connections x 32 requests, mixed workloads),
 #     recording requests/s with p50/p99 latency and the shared cache's
-#     hit/miss/eviction counts (the PR-8 acceptance metric).
+#     hit/miss/eviction counts (the PR-8 acceptance metric),
+#   - the checkpoint-strategy columns (docs/STRATEGIES.md): raw
+#     executed-checkpoint counts per workload for ratchet / wario /
+#     wario-diff / wario-spec, plus the wall time of the
+#     WARIO_STRATEGIES=1 table1 regeneration (the PR-9 columns).
 #
 #   usage: bench/emit_bench_json.sh [build-dir] [tag]
 #
-# Defaults: build-dir = build-rel, tag = pr8. The default deliberately
+# Defaults: build-dir = build-rel, tag = pr9. The default deliberately
 # points at a Release tree: BENCH_pr6.json was recorded from a debug
 # build (its context says library_build_type=debug, debug_build=true),
 # so its absolute emulator numbers understate the engine and its
@@ -30,10 +34,10 @@ set -eu
 
 ROOT=$(dirname "$0")/..
 BUILD=${1:-"$ROOT/build-rel"}
-TAG=${2:-pr8}
+TAG=${2:-pr9}
 
 for bin in micro_emulator micro_compiler fig4_execution_time \
-           table3_intermittent verify_crash; do
+           table1_checkpoint_delta table3_intermittent verify_crash; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "error: $BUILD/bench/$bin not built (cmake --build $BUILD -j)" >&2
     exit 1
@@ -48,7 +52,8 @@ EMU_JSON=$(mktemp)
 COMP_JSON=$(mktemp)
 INTERP_JSON=$(mktemp)
 LOADGEN_JSON=""
-trap 'rm -f "$EMU_JSON" "$COMP_JSON" "$INTERP_JSON" "$LOADGEN_JSON"' EXIT
+STRAT_JSON=""
+trap 'rm -f "$EMU_JSON" "$COMP_JSON" "$INTERP_JSON" "$LOADGEN_JSON" "$STRAT_JSON"' EXIT
 
 "$BUILD/bench/micro_emulator" --benchmark_format=json \
   --benchmark_min_time=0.2 > "$EMU_JSON"
@@ -145,9 +150,32 @@ for _ in range(3):
 json.dump(best, open(out, "w"))
 EOF
 
+# Checkpoint-strategy columns: one cold WARIO_STRATEGIES=1 table1
+# regeneration at WARIO_JOBS=1 (so the wall time measures the strategy
+# pipelines + emulation, not parallelism), harvesting the raw
+# executed-checkpoint counts the binary prints on stderr.
+STRAT_JSON=$(mktemp)
+python3 - "$BUILD" "$STRAT_JSON" <<'EOF'
+import json, re, subprocess, sys, time, os
+build, out = sys.argv[1], sys.argv[2]
+bin = os.path.join(build, "bench", "table1_checkpoint_delta")
+env = dict(os.environ, WARIO_JOBS="1", WARIO_STRATEGIES="1")
+t0 = time.monotonic()
+p = subprocess.run([bin], env=env, stdout=subprocess.DEVNULL,
+                   stderr=subprocess.PIPE, text=True, check=True)
+wall = time.monotonic() - t0
+counts = {}
+for line in p.stderr.splitlines():
+    m = re.match(r"\[table1-counts\] (\S+) (.*)", line)
+    if m:
+        counts[m.group(1)] = {k: int(v) for k, v in
+                              (kv.split("=") for kv in m.group(2).split())}
+json.dump({"wall_s": wall, "counts": counts}, open(out, "w"))
+EOF
+
 OUT="$ROOT/BENCH_${TAG}.json"
 python3 - "$EMU_JSON" "$COMP_JSON" "$E2E" "$CRASH_ON" "$CRASH_OFF" \
-    "$OUT" "$INTERP_JSON" "$LOADGEN_JSON" <<'EOF'
+    "$OUT" "$INTERP_JSON" "$LOADGEN_JSON" "$STRAT_JSON" <<'EOF'
 import json, sys
 emu, comp = (json.load(open(p)) for p in sys.argv[1:3])
 merged = emu
@@ -210,9 +238,21 @@ merged["benchmarks"].append({
     "cache_misses": lg["cache_misses"],
     "cache_evictions": lg["cache_evictions"],
 })
+st = json.load(open(sys.argv[9]))
+merged["benchmarks"].append({
+    "name": "strategy_checkpoint_counts",
+    "run_type": "aggregate",
+    "aggregate_name": "single",
+    "iterations": 1,
+    "real_time": st["wall_s"] * 1e9,
+    "time_unit": "ns",
+    "checkpoints_executed": st["counts"],
+})
 json.dump(merged, open(sys.argv[6], "w"), indent=1)
+diffs = st["counts"].get("coremark", {})
 print(f"wrote {sys.argv[6]} (fig4+table3 single-thread: {sys.argv[3]}s; "
       f"verify_crash {on}s vs {off}s snapshots-off, {off / on:.1f}x; "
       f"loadgen {lg['rps']} req/s, p50 {lg['p50_ms']}ms, "
-      f"p99 {lg['p99_ms']}ms)")
+      f"p99 {lg['p99_ms']}ms; strategy table1 {st['wall_s']:.3f}s, "
+      f"coremark ckpts {diffs})")
 EOF

@@ -20,22 +20,35 @@ int main(int argc, char **argv) {
 
   std::vector<Environment> Envs = allEnvironments();
 
+  // WARIO_STRATEGIES=1 appends the checkpoint-strategy columns
+  // (docs/STRATEGIES.md); default output is strategy-free.
+  std::vector<CheckpointStrategy> Strats;
+  if (strategiesEnabled())
+    Strats = {CheckpointStrategy::Differential,
+              CheckpointStrategy::Speculative};
+
   // One parallel sweep over the whole matrix; the loops below then read
   // from the shared cache.
   std::vector<MatrixCell> Cells;
-  for (const Workload &W : allWorkloads())
+  for (const Workload &W : allWorkloads()) {
     for (Environment E : Envs)
       Cells.push_back(cell(W.Name, E));
+    for (CheckpointStrategy S : Strats)
+      Cells.push_back(strategyCell(W.Name, S));
+  }
   runMatrix(Cells);
 
   std::vector<std::string> Heads;
   for (Environment E : Envs)
     Heads.push_back(shortEnvName(E));
+  for (CheckpointStrategy S : Strats)
+    Heads.push_back(strategyColName(S));
   printRow("benchmark", Heads, 12, 14);
 
   // Per-environment mean of normalized times and of checkpoint overheads
   // (normalized time - 1).
   std::map<Environment, double> SumNorm, SumOverhead;
+  std::map<CheckpointStrategy, double> StratNorm, StratOverhead;
 
   for (const Workload &W : allWorkloads()) {
     double Plain =
@@ -48,6 +61,14 @@ int main(int argc, char **argv) {
       SumOverhead[E] += Norm - 1.0;
       Vals.push_back(fmt2(Norm));
     }
+    for (CheckpointStrategy S : Strats) {
+      double T = double(
+          globalCache().run(strategyCell(W.Name, S))->Emu.TotalCycles);
+      double Norm = T / Plain;
+      StratNorm[S] += Norm;
+      StratOverhead[S] += Norm - 1.0;
+      Vals.push_back(fmt2(Norm));
+    }
     printRow(W.Name, Vals, 12, 14);
   }
 
@@ -55,7 +76,11 @@ int main(int argc, char **argv) {
   std::vector<std::string> Avg;
   for (Environment E : Envs)
     Avg.push_back(fmt2(SumNorm[E] / N));
-  std::printf("%s\n", std::string(12 + 14 * Envs.size(), '-').c_str());
+  for (CheckpointStrategy S : Strats)
+    Avg.push_back(fmt2(StratNorm[S] / N));
+  std::printf("%s\n",
+              std::string(12 + 14 * (Envs.size() + Strats.size()), '-')
+                  .c_str());
   printRow("average", Avg, 12, 14);
 
   double RatchetOvh = SumOverhead[Environment::Ratchet] / N;
@@ -74,5 +99,12 @@ int main(int argc, char **argv) {
               fmtPct(100.0 * (WarioOvh - RpdgOvh) / RpdgOvh, true).c_str(),
               fmtPct(100.0 * (WarioExpOvh - RpdgOvh) / RpdgOvh, true)
                   .c_str());
+  for (CheckpointStrategy S : Strats) {
+    double Ovh = StratOverhead[S] / N;
+    std::printf("checkpoint overhead vs Ratchet:  %s %s\n",
+                strategyColName(S),
+                fmtPct(100.0 * (Ovh - RatchetOvh) / RatchetOvh, true)
+                    .c_str());
+  }
   return 0;
 }

@@ -14,8 +14,19 @@ using namespace wario::bench;
 int main(int argc, char **argv) {
   initHarness(argc, argv);
   std::printf("Table 1: executed checkpoints vs Ratchet\n\n");
-  printRow("benchmark", {"WARio", "WARio+Expander", "(paper WARio)"}, 14,
-           16);
+
+  // WARIO_STRATEGIES=1 appends the checkpoint-strategy columns
+  // (docs/STRATEGIES.md); default output is strategy-free.
+  std::vector<CheckpointStrategy> Strats;
+  if (strategiesEnabled())
+    Strats = {CheckpointStrategy::Differential,
+              CheckpointStrategy::Speculative};
+
+  std::vector<std::string> Heads = {"WARio", "WARio+Expander"};
+  for (CheckpointStrategy S : Strats)
+    Heads.push_back(strategyColName(S));
+  Heads.push_back("(paper WARio)");
+  printRow("benchmark", Heads, 14, 16);
 
   // Paper's reported WARio column, for shape comparison.
   const std::map<std::string, const char *> Paper = {
@@ -25,13 +36,17 @@ int main(int argc, char **argv) {
 
   // Prewarm the matrix in one parallel sweep.
   std::vector<MatrixCell> Cells;
-  for (const Workload &W : allWorkloads())
+  for (const Workload &W : allWorkloads()) {
     for (Environment E : {Environment::Ratchet, Environment::WarioComplete,
                           Environment::WarioExpander})
       Cells.push_back(cell(W.Name, E));
+    for (CheckpointStrategy S : Strats)
+      Cells.push_back(strategyCell(W.Name, S));
+  }
   runMatrix(Cells);
 
   double SumW = 0, SumWE = 0;
+  std::map<CheckpointStrategy, double> SumS;
   for (const Workload &W : allWorkloads()) {
     double R = double(
         cachedRun(W.Name, Environment::Ratchet)->Emu.CheckpointsExecuted);
@@ -43,14 +58,34 @@ int main(int argc, char **argv) {
     double DWE = 100.0 * (We - R) / R;
     SumW += DW;
     SumWE += DWE;
-    printRow(W.Name,
-             {fmtPct(DW, true), fmtPct(DWE, true), Paper.at(W.Name)}, 14,
-             16);
+    std::vector<std::string> Vals = {fmtPct(DW, true), fmtPct(DWE, true)};
+    // Raw executed-checkpoint counts on stderr for bench recordings
+    // (bench/emit_bench_json.sh); stdout stays the delta table.
+    if (!Strats.empty())
+      std::fprintf(stderr, "[table1-counts] %s ratchet=%.0f wario=%.0f",
+                   W.Name.c_str(), R, Wa);
+    for (CheckpointStrategy S : Strats) {
+      double C = double(globalCache()
+                            .run(strategyCell(W.Name, S))
+                            ->Emu.CheckpointsExecuted);
+      double DS = 100.0 * (C - R) / R;
+      SumS[S] += DS;
+      Vals.push_back(fmtPct(DS, true));
+      std::fprintf(stderr, " %s=%.0f", strategyColName(S), C);
+    }
+    if (!Strats.empty())
+      std::fprintf(stderr, "\n");
+    Vals.push_back(Paper.at(W.Name));
+    printRow(W.Name, Vals, 14, 16);
   }
   unsigned N = unsigned(allWorkloads().size());
-  std::printf("%s\n", std::string(14 + 16 * 3, '-').c_str());
-  printRow("average",
-           {fmtPct(SumW / N, true), fmtPct(SumWE / N, true), "-47.6%"},
-           14, 16);
+  std::printf("%s\n",
+              std::string(14 + 16 * (3 + Strats.size()), '-').c_str());
+  std::vector<std::string> Avg = {fmtPct(SumW / N, true),
+                                  fmtPct(SumWE / N, true)};
+  for (CheckpointStrategy S : Strats)
+    Avg.push_back(fmtPct(SumS[S] / N, true));
+  Avg.push_back("-47.6%");
+  printRow("average", Avg, 14, 16);
   return 0;
 }

@@ -32,19 +32,35 @@ int main(int argc, char **argv) {
       {"trace beta (periodic)", harvesterTraceBeta()},
   };
 
+  // WARIO_STRATEGIES=1 appends one table per checkpoint strategy
+  // (docs/STRATEGIES.md); default output is strategy-free.
+  std::vector<CheckpointStrategy> Strats;
+  if (strategiesEnabled())
+    Strats = {CheckpointStrategy::Differential,
+              CheckpointStrategy::Speculative};
+
   // Prewarm continuous-power baselines plus every (case, workload)
   // intermittent cell in one parallel sweep. All cells of one workload
   // share a single WarioExpander compile; only the emulation differs per
   // power schedule (the schedule is part of the run-level cache key).
   std::vector<MatrixCell> Cells;
-  for (const Workload &W : allWorkloads())
+  for (const Workload &W : allWorkloads()) {
     Cells.push_back(cell(W.Name, Environment::WarioExpander));
+    for (CheckpointStrategy S : Strats)
+      Cells.push_back(strategyCell(W.Name, S));
+  }
   for (const Case &C : Cases) {
     for (const Workload &W : allWorkloads()) {
       MatrixCell MC = cell(W.Name, Environment::WarioExpander);
       MC.EO.Power = C.Power;
       MC.EO.CollectRegionSizes = false;
       Cells.push_back(MC);
+      for (CheckpointStrategy S : Strats) {
+        MatrixCell SC = strategyCell(W.Name, S);
+        SC.EO.Power = C.Power;
+        SC.EO.CollectRegionSizes = false;
+        Cells.push_back(SC);
+      }
     }
   }
   runMatrix(Cells);
@@ -72,6 +88,28 @@ int main(int argc, char **argv) {
       Vals.push_back(std::to_string(R->Emu.PowerFailures));
     }
     printRow(C.Label, Vals, 26, 11);
+  }
+  for (CheckpointStrategy S : Strats) {
+    std::printf("\nre-execution overhead and power failures (%s)\n\n",
+                strategyColName(S));
+    printRow("power-on duration", Heads, 26, 11);
+    for (const Case &C : Cases) {
+      std::vector<std::string> Vals;
+      for (const Workload &W : allWorkloads()) {
+        uint64_t Continuous =
+            globalCache().run(strategyCell(W.Name, S))->Emu.TotalCycles;
+        MatrixCell SC = strategyCell(W.Name, S);
+        SC.EO.Power = C.Power;
+        SC.EO.CollectRegionSizes = false;
+        std::shared_ptr<const RunResult> R = globalCache().run(SC);
+        double Overhead =
+            100.0 * (double(R->Emu.TotalCycles) - double(Continuous)) /
+            double(Continuous);
+        Vals.push_back(fmtPct(Overhead));
+        Vals.push_back(std::to_string(R->Emu.PowerFailures));
+      }
+      printRow(C.Label, Vals, 26, 11);
+    }
   }
   std::printf("\nexpected shape: overhead is small and shrinks with the "
               "power-on period (well\nunder 1%% for periods >= 1M "

@@ -40,7 +40,8 @@ namespace {
 std::vector<CrashReport> campaigns(const std::string &Workload,
                                    const PipelineOptions &PO,
                                    const std::vector<CampaignMode> &Modes,
-                                   unsigned MaxPoints, bool WarFatal = true) {
+                                   unsigned MaxPoints, bool WarFatal = true,
+                                   uint64_t MaxCycles = 0) {
   // Holding the shared_ptr pins the machine module for the campaign even
   // if the byte-budgeted global cache evicts the entry meanwhile.
   std::shared_ptr<const CompileResult> CR =
@@ -50,9 +51,16 @@ std::vector<CrashReport> campaigns(const std::string &Workload,
   FI.MaxPoints = MaxPoints;
   FI.BaseEO.CollectRegionSizes = false;
   FI.BaseEO.WarIsFatal = WarFatal;
+  if (MaxCycles) // Weakened builds can corrupt loop state into runaway
+    FI.BaseEO.MaxCycles = MaxCycles; // loops; cap them into run-errors.
   FI.Workload = Workload;
-  FI.Config = PO.ResolveMiddleEndWars ? environmentName(PO.Env)
-                                      : "wario-weakened";
+  if (PO.Strat == CheckpointStrategy::Idempotent)
+    FI.Config = PO.ResolveMiddleEndWars ? environmentName(PO.Env)
+                                        : "wario-weakened";
+  else
+    FI.Config = PO.DiffFullRollback && PO.SpecLogWars
+                    ? strategyColName(PO.Strat)
+                    : std::string(strategyColName(PO.Strat)) + "-weakened";
   return runCrashCampaigns(CR->MM, FI, Modes);
 }
 
@@ -134,6 +142,72 @@ int main(int argc, char **argv) {
               unsigned(Neg.Divergences.size()), Neg.PointsTested,
               (unsigned long long)D.MinimalCycle, D.RegionId,
               divergenceKindName(D.Kind));
+
+  // WARIO_STRATEGIES=1 appends one full campaign per rollback strategy
+  // (docs/STRATEGIES.md), each with its own negative control; default
+  // output is strategy-free.
+  if (strategiesEnabled()) {
+    for (CheckpointStrategy S : {CheckpointStrategy::Differential,
+                                 CheckpointStrategy::Speculative}) {
+      std::printf("\nCrash-consistency fault injection — %s strategy\n\n",
+                  strategyColName(S));
+      printRow("benchmark", {"boundaries", "stratified", "adversarial"});
+      for (const Workload &W : allWorkloads()) {
+        PipelineOptions PO;
+        PO.Strat = S;
+        std::vector<std::string> Cells;
+        std::vector<CrashReport> Rs = campaigns(
+            W.Name, PO,
+            {CampaignMode::RegionBoundaries, CampaignMode::Stratified,
+             CampaignMode::Adversarial},
+            /*MaxPoints=*/192);
+        for (const CrashReport &R : Rs) {
+          Cells.push_back(cellText(R));
+          if (!R.clean()) {
+            AllClean = false;
+            std::fprintf(stderr, "%s", R.format().c_str());
+          }
+        }
+        logEngineStats(Rs.front());
+        printRow(W.Name, Cells);
+      }
+
+      PipelineOptions SWeak;
+      SWeak.Strat = S;
+      const char *Knob;
+      if (S == CheckpointStrategy::Differential) {
+        SWeak.DiffFullRollback = false;
+        Knob = "rollback journal dropped (DiffFullRollback = false)";
+      } else {
+        SWeak.SpecLogWars = false;
+        Knob = "WAR undo logging skipped (SpecLogWars = false)";
+      }
+      // coremark, not crc: crc keeps its hot state in registers (which
+      // the checkpoints restore), so a skipped NVM rollback is often
+      // invisible there; coremark's in-memory list/matrix state makes
+      // the weakened runtimes diverge densely.
+      std::printf("\nNegative control — coremark under %s with %s:\n",
+                  strategyColName(S), Knob);
+      CrashReport SNeg =
+          campaigns("coremark", SWeak, {CampaignMode::Adversarial},
+                    /*MaxPoints=*/192, /*WarFatal=*/false,
+                    /*MaxCycles=*/40'000'000)
+              .front();
+      logEngineStats(SNeg);
+      if (!SNeg.Ok || SNeg.Divergences.empty()) {
+        std::fprintf(stderr, "negative control NOT detected — the injector "
+                             "has no teeth\n%s",
+                     SNeg.format().c_str());
+        return 1;
+      }
+      const Divergence &SD = SNeg.Divergences.front();
+      std::printf("detected: %u of %u crash points diverge; first minimized "
+                  "to cycle %llu (region %d, %s)\n",
+                  unsigned(SNeg.Divergences.size()), SNeg.PointsTested,
+                  (unsigned long long)SD.MinimalCycle, SD.RegionId,
+                  divergenceKindName(SD.Kind));
+    }
+  }
 
   if (!AllClean) {
     std::fprintf(stderr, "\ncrash-consistency campaign found divergences "

@@ -9,6 +9,8 @@ using namespace wario;
 MModule wario::runBackend(const Module &M, const BackendOptions &Opts,
                           BackendStats *Stats) {
   MModule MM = selectModule(M);
+  MM.Strat = Opts.Strat;
+  MM.DiffFullRollback = Opts.DiffFullRollback;
 
   RegAllocOptions RAOpts;
   RAOpts.StackSlotSharing = Opts.StackSlotSharing;
@@ -22,7 +24,12 @@ MModule wario::runBackend(const Module &M, const BackendOptions &Opts,
     RegAllocStats RA = allocateRegisters(F, RAOpts);
     lowerFrame(F, FOpts);
     SpillCheckpointStats SC;
-    if (Opts.InsertCheckpoints)
+    // Differential needs no spill-WAR checkpoints: spill slots live in
+    // NVM and the dirty-page journal rolls them back like any other
+    // uncommitted write. (Speculative keeps them — the undo log covers
+    // only the middle-end-marked WAR stores.)
+    if (Opts.InsertCheckpoints &&
+        Opts.Strat != CheckpointStrategy::Differential)
       SC = insertSpillCheckpoints(F, SCOpts);
     if (Stats) {
       Stats->VRegs += RA.VRegs;

@@ -24,6 +24,14 @@ struct BackendOptions {
   bool HittingSetSpill = true;
   /// Legacy slot reuse (Ratchet); WARio forces -no-stack-slot-sharing.
   bool StackSlotSharing = false;
+  /// Active checkpoint strategy, stamped into the MModule so the
+  /// emulator selects the matching runtime (docs/STRATEGIES.md).
+  /// Differential additionally skips spill-WAR checkpoints — the
+  /// dirty-page journal rolls spill slots back like any other NVM state.
+  CheckpointStrategy Strat = CheckpointStrategy::Idempotent;
+  /// Negative-control knob for the differential runtime, carried through
+  /// to the MModule (canonically true for other strategies).
+  bool DiffFullRollback = true;
 };
 
 struct BackendStats {

@@ -254,6 +254,7 @@ private:
         MI.Src[0] = useOf(I->getOperand(0));
         MI.Src[1] = useOf(I->getOperand(1));
         MI.Size = I->getAccessSize();
+        MI.Logged = I->isSpecLogged();
         emit(MI);
         break;
       }

@@ -183,6 +183,8 @@ void printInst(std::ostringstream &OS, const MInst &I, const MFunction &F) {
     OS << ", [";
     Reg(I.Src[1]);
     OS << ", #" << I.Imm << ']';
+    if (I.Logged)
+      OS << " !log"; // Speculative-strategy undo-logged WAR write.
     break;
   case MOp::LdrSlot:
     OS << ' ';

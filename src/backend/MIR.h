@@ -92,6 +92,9 @@ struct MInst {
   CheckpointCause Cause = CheckpointCause::MiddleEndWar;
   uint16_t RegList = 0;
   int Slot = -1;
+  /// Str only: speculative-strategy undo-logged WAR write (lowered from
+  /// Instruction::isSpecLogged; the emulator journals the old value).
+  bool Logged = false;
   std::vector<int> CallArgs;
 
   bool isTerminator() const {
@@ -171,6 +174,11 @@ struct MModule {
   /// One past the last initialized data byte (the data segment image).
   uint32_t DataEnd = 0;
   std::vector<uint8_t> InitImage;
+  /// Checkpoint strategy this module was compiled for; the emulator
+  /// selects the matching runtime (journal / undo log / none).
+  CheckpointStrategy Strat = CheckpointStrategy::Idempotent;
+  /// Differential negative control (see PipelineOptions::DiffFullRollback).
+  bool DiffFullRollback = true;
 
   MFunction *getFunction(const std::string &FnName) {
     for (MFunction &F : Functions)

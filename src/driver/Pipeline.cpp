@@ -112,11 +112,27 @@ MiddleEndConfig wario::middleEndConfig(const PipelineOptions &Opts) {
               E == Environment::WarioComplete ||
               E == Environment::WarioExpander;
   C.UnrollFactor = C.LoopCluster ? Opts.UnrollFactor : 0;
-  C.HittingSet = Opts.MiddleEndHittingSet;
-  C.DepthWeightedCost = Opts.DepthWeightedCost;
-  C.ResolveWars = Opts.ResolveMiddleEndWars;
-  C.BoundRegions = Opts.BoundRegions;
-  C.MaxRegionCycles = Opts.BoundRegions ? Opts.MaxRegionCycles : 0;
+  C.Strat = Opts.Strat;
+  if (C.Strat == CheckpointStrategy::Idempotent) {
+    C.HittingSet = Opts.MiddleEndHittingSet;
+    C.DepthWeightedCost = Opts.DepthWeightedCost;
+    C.ResolveWars = Opts.ResolveMiddleEndWars;
+  } else {
+    // The placement machinery never runs for the rollback strategies;
+    // canonicalize its knobs so option sets differing only in unread
+    // placement flags share one middle-end artifact.
+    C.HittingSet = true;
+    C.DepthWeightedCost = true;
+    C.ResolveWars = true;
+  }
+  C.SpecLogWars =
+      C.Strat == CheckpointStrategy::Speculative ? Opts.SpecLogWars : true;
+  // The rollback strategies leave WAR loops checkpoint-free, so the
+  // region bounder is their only in-loop forward-progress mechanism and
+  // is forced on.
+  C.BoundRegions =
+      Opts.BoundRegions || C.Strat != CheckpointStrategy::Idempotent;
+  C.MaxRegionCycles = C.BoundRegions ? Opts.MaxRegionCycles : 0;
   return C;
 }
 
@@ -133,6 +149,10 @@ BackendOptions wario::backendConfig(const PipelineOptions &Opts) {
   BO.EpilogOptimizer = E == Environment::EpilogOnly ||
                        E == Environment::WarioComplete ||
                        E == Environment::WarioExpander;
+  BO.Strat = Instrumented ? Opts.Strat : CheckpointStrategy::Idempotent;
+  BO.DiffFullRollback = BO.Strat == CheckpointStrategy::Differential
+                            ? Opts.DiffFullRollback
+                            : true;
   return BO;
 }
 
@@ -211,8 +231,11 @@ void wario::runMiddleEnd(Module &M, const PipelineOptions &Opts,
                              : PlacementStrategy::PerWrite;
   CI.DepthWeightedCost = C.DepthWeightedCost;
   CI.ResolveWars = C.ResolveWars;
+  CI.Mode = C.Strat;
+  CI.SpecLogWars = C.SpecLogWars;
   RegionBounderOptions RB;
   RB.MaxRegionCycles = C.MaxRegionCycles;
+  RB.Strat = C.Strat;
   parallelFor(Fns.size(), [&](size_t I) {
     Function &F = *Fns[I];
     if (C.Cluster) {
@@ -235,6 +258,7 @@ void wario::runMiddleEnd(Module &M, const PipelineOptions &Opts,
     S.MiddleEnd.WarsFound += P.Checkpoints.WarsFound;
     S.MiddleEnd.WarsAlreadyCut += P.Checkpoints.WarsAlreadyCut;
     S.MiddleEnd.Inserted += P.Checkpoints.Inserted;
+    S.MiddleEnd.StoresMarked += P.Checkpoints.StoresMarked;
     S.RegionsBounded += P.RegionsBounded;
   }
 }

@@ -64,6 +64,22 @@ struct PipelineOptions {
   /// length with register-counter checkpoints in cut-free loops.
   bool BoundRegions = false;
   uint64_t MaxRegionCycles = 20'000;
+  /// The checkpoint strategy axis of the bench matrix (orthogonal to
+  /// Env): Idempotent is the paper's WAR-breaking placement;
+  /// Differential and Speculative are the related-work rollback
+  /// strategies (docs/STRATEGIES.md). Both rollback strategies force
+  /// region bounding on — without WAR checkpoints, cut-free loops are
+  /// their only forward-progress mechanism inside long loops.
+  CheckpointStrategy Strat = CheckpointStrategy::Idempotent;
+  /// Negative control (Differential): when false, the emulator's reboot
+  /// rollback drops the journal without restoring any page, so
+  /// uncommitted writes survive and the fault injector must observe a
+  /// divergence (docs/STRATEGIES.md, bench/verify_crash).
+  bool DiffFullRollback = true;
+  /// Negative control (Speculative): when false, WAR writes execute
+  /// speculatively WITHOUT undo logging — rollback is incomplete and the
+  /// fault injector must observe a divergence.
+  bool SpecLogWars = true;
   /// Negative control for the crash-consistency fault injector
   /// (src/verify/): skip the middle-end hitting-set WAR resolution, so
   /// detected WARs are left unbroken. Run the result with
@@ -117,6 +133,14 @@ struct MiddleEndConfig {
   bool ResolveWars = false;
   bool BoundRegions = false;
   uint64_t MaxRegionCycles = 0;
+  /// Strategy mode for the checkpoint inserter / region bounder
+  /// (canonically Idempotent for plain C). The placement knobs above
+  /// (HittingSet, DepthWeightedCost, ResolveWars) are canonicalized to
+  /// their defaults for the rollback strategies — no placement runs.
+  CheckpointStrategy Strat = CheckpointStrategy::Idempotent;
+  /// Canonically true except under Strat == Speculative (negative
+  /// control; only read there).
+  bool SpecLogWars = true;
 
   auto operator<=>(const MiddleEndConfig &) const = default;
 };

@@ -71,6 +71,7 @@ struct DecodedInst {
   int32_t Slot;
   int32_t SlotOff;    ///< Resolved frame-slot offset (LdrSlot/StrSlot/FrameAddr).
   uint16_t RegList;
+  bool Logged;        ///< Str only: speculative undo-logged WAR write.
   uint32_t Imm;       ///< Truncated immediate (all uses are 32-bit).
   uint32_t Target[2]; ///< Branch targets / Bl callee entry, pre-resolved.
   const MFunction *F; ///< Owning function (diagnostics).

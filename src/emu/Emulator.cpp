@@ -5,6 +5,7 @@
 #include "ir/ConstEval.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <sstream>
@@ -12,7 +13,13 @@
 using namespace wario;
 using namespace wario::emu_detail;
 
-Emulator::Impl::Impl(const MModule &M) : M(M), BaseImage(memmap::MemSize, 0) {
+static uint64_t nextEmulatorUid() {
+  static std::atomic<uint64_t> Counter{0};
+  return ++Counter; // Ids start at 1; 0 marks a never-primed scratch.
+}
+
+Emulator::Impl::Impl(const MModule &M)
+    : M(M), Uid(nextEmulatorUid()), BaseImage(memmap::MemSize, 0) {
   assert(!M.InitImage.empty() || M.DataEnd == 0);
   std::copy(M.InitImage.begin(), M.InitImage.end(), BaseImage.begin());
 
@@ -53,6 +60,7 @@ Emulator::Impl::Impl(const MModule &M) : M(M), BaseImage(memmap::MemSize, 0) {
             I.Slot >= 0 && I.Slot < int(F.Slots.size()))
           D.SlotOff = F.Slots[unsigned(I.Slot)].Offset;
         D.RegList = I.RegList;
+        D.Logged = I.Logged;
         D.Imm = uint32_t(I.Imm);
         D.Target[0] = D.Target[1] = BadTarget;
         if (I.Op == MOp::B || I.Op == MOp::CBr) {
@@ -89,8 +97,14 @@ EmulatorResult Machine::run(const std::string &Entry) {
   CurEntry = Entry;
   prepareScratch();
 
-  UseThreaded =
-      resolveEngine(Opts.Engine) == EngineKind::Threaded && !P.Fast.empty();
+  // The threaded engine's fused store paths know nothing about the
+  // strategy journals, so the rollback strategies always run on the
+  // interpreter — both engine settings are trivially byte-identical.
+  UseThreaded = resolveEngine(Opts.Engine) == EngineKind::Threaded &&
+                !P.Fast.empty() &&
+                Strat == CheckpointStrategy::Idempotent;
+  if (Strat == CheckpointStrategy::Differential)
+    DiffMark.assign(snapshot::NumPages, 0);
 
   if (Chain) {
     Chain->clear();
@@ -253,13 +267,13 @@ EmulatorResult Machine::run(const std::string &Entry) {
 /// (re)initialization when the scratch last served a different
 /// Emulator, otherwise an O(touched pages) patch from the base image.
 void Machine::prepareScratch() {
-  if (Scr.Owner != &P) {
+  if (Scr.Owner != P.Uid) {
     Scr.Mem.assign(P.BaseImage.begin(), P.BaseImage.end());
     Scr.Access.assign(memmap::MemSize, 0);
     Scr.Epoch = 0;
     Scr.TouchedMark.assign(snapshot::NumPages, 0);
     Scr.Touched.clear();
-    Scr.Owner = &P;
+    Scr.Owner = P.Uid;
     return;
   }
   for (uint32_t Pg : Scr.Touched) {
@@ -272,8 +286,14 @@ void Machine::prepareScratch() {
 }
 
 // --- Memory with WAR monitoring -----------------------------------------------
-void Machine::recordAccess(uint32_t Addr, unsigned Size, Access Kind) {
+void Machine::recordAccess(uint32_t Addr, unsigned Size, Access Kind,
+                           bool Logged) {
   if (!monitored(Addr))
+    return;
+  // Differential does not rely on idempotent re-execution at all — the
+  // page journal rolls every uncommitted write back — so WAR monitoring
+  // is meaningless (and off) for it.
+  if (Strat == CheckpointStrategy::Differential)
     return;
   const uint32_t WantR = Scr.Epoch << 1;
   bool CountedThisAccess = false;
@@ -283,6 +303,13 @@ void Machine::recordAccess(uint32_t Addr, unsigned Size, Access Kind) {
     if ((S >> 1) != Scr.Epoch) {
       // First access of this byte in the region: stamp epoch + kind.
       Scr.Access[A] = uint16_t(WantR | uint32_t(Kind));
+      continue;
+    }
+    if (Kind == Access::Write && Logged) {
+      // Undo-logged speculative store: a WAR here is harmless (the log
+      // restores the read value at rollback). Record the write so the
+      // byte stops looking read-first, but count nothing.
+      Scr.Access[A] = uint16_t(S | 1u);
       continue;
     }
     if (Kind == Access::Write && (S & 1u) == 0) {
@@ -324,7 +351,8 @@ uint32_t Machine::loadMem(uint32_t Addr, unsigned Size, bool SignExtend) {
   return V;
 }
 
-void Machine::storeMem(uint32_t Addr, unsigned Size, uint32_t V) {
+void Machine::storeMem(uint32_t Addr, unsigned Size, uint32_t V,
+                       bool Logged) {
   if (Addr == memmap::OutPort) {
     Res.Output.push_back(int32_t(V));
     return;
@@ -333,7 +361,7 @@ void Machine::storeMem(uint32_t Addr, unsigned Size, uint32_t V) {
     fail("store out of bounds");
     return;
   }
-  recordAccess(Addr, Size, Access::Write);
+  recordAccess(Addr, Size, Access::Write, Logged);
   // Stamp ActiveSinceBoot + 1: the store's own cycles are spent after
   // storeMem returns, so this is the smallest on-period budget whose
   // first power-failure check lands at the instruction boundary right
@@ -342,6 +370,20 @@ void Machine::storeMem(uint32_t Addr, unsigned Size, uint32_t V) {
       (Res.StoreCycles.empty() ||
        Res.StoreCycles.back() != ActiveSinceBoot + 1))
     Res.StoreCycles.push_back(ActiveSinceBoot + 1);
+  if (monitored(Addr)) {
+    if (Strat == CheckpointStrategy::Differential) {
+      diffJournal(Addr, Size);
+    } else if (Strat == CheckpointStrategy::Speculative && Logged) {
+      // Copy the old value out before it is overwritten; reverse-order
+      // replay at rollback then restores the oldest (= last-committed)
+      // value no matter how often the address is re-logged.
+      uint32_t Old = 0;
+      for (unsigned I = 0; I != Size; ++I)
+        Old |= uint32_t(Scr.Mem[Addr + I]) << (8 * I);
+      SpecLog.push_back({Addr, uint8_t(Size), Old});
+      spend(cycles::SpecLogStore);
+    }
+  }
   noteWrite(Addr, Size);
   for (unsigned I = 0; I != Size; ++I)
     Scr.Mem[Addr + I] = uint8_t(V >> (8 * I));
@@ -475,6 +517,7 @@ void Machine::restoreFrom(const SnapshotChain &C, int K) {
     touchPage(Pg);
   }
   clearFirstAccess();
+  clearStrategyJournals(); // Snapshots are taken at region-fresh points.
   RegionFresh = true;
 }
 
@@ -568,6 +611,36 @@ bool Machine::trySplice() {
 }
 
 // --- Power / checkpoints --------------------------------------------------------
+/// Strategy rollback at a reboot boundary: undoes every NVM write since
+/// the last committed checkpoint, then clears the journals. Runs before
+/// the register restore (the firmware repairs memory first, then
+/// resumes), in both reboot paths — uncommitted writes exist whether or
+/// not a checkpoint was ever committed.
+void Machine::rollbackUncommitted() {
+  if (Strat == CheckpointStrategy::Differential) {
+    // Negative control: drop the journal without restoring any page, so
+    // every uncommitted write survives the reboot.
+    size_t N = P.M.DiffFullRollback ? DiffPages.size() : 0;
+    for (size_t J = 0; J != N; ++J) {
+      uint32_t Pg = DiffPages[J];
+      std::copy_n(DiffBlob.begin() + J * snapshot::PageSize,
+                  snapshot::PageSize,
+                  Scr.Mem.begin() + size_t(Pg) * snapshot::PageSize);
+      noteWrite(uint32_t(Pg << snapshot::PageShift), snapshot::PageSize);
+      spend(cycles::DiffPageCommit);
+    }
+  } else if (Strat == CheckpointStrategy::Speculative) {
+    for (size_t J = SpecLog.size(); J-- != 0;) {
+      const SpecEntry &E = SpecLog[J];
+      for (unsigned I = 0; I != E.Size; ++I)
+        Scr.Mem[E.Addr + I] = uint8_t(E.Old >> (8 * I));
+      noteWrite(E.Addr, E.Size);
+      spend(cycles::SpecUndo);
+    }
+  }
+  clearStrategyJournals();
+}
+
 void Machine::coldStart() {
   for (uint32_t &R : Regs)
     R = 0;
@@ -577,6 +650,7 @@ void Machine::coldStart() {
   Primask = false;
   Pending = false;
   clearFirstAccess();
+  clearStrategyJournals();
   RegionStartCycles = Res.TotalCycles;
   ActiveSinceBoot = 0;
   ProgressThisBoot = false;
@@ -593,6 +667,7 @@ void Machine::reboot() {
   Pending = false;
   spend(cycles::Boot);
   CyclesSinceIrq = 0; // The interrupt timer restarts on power-up.
+  rollbackUncommitted();
   // Restore the last committed checkpoint, if any.
   uint32_t Active = rawLoad(CkptActiveWord);
   if (Active == 0) {
@@ -629,6 +704,12 @@ void Machine::commitCheckpoint(CheckpointCause Cause) {
   rawStore(Buf + 4 * 15, Pc); // Resume after this instruction.
   rawStore(CkptActiveWord, (Active == 1) ? 2 : 1);
   spend(cycles::Checkpoint);
+  if (Strat == CheckpointStrategy::Differential) {
+    // Commit only what the region dirtied: one flush per journal page
+    // on top of the register save, then the journal resets.
+    spend(uint64_t(DiffPages.size()) * cycles::DiffPageCommit);
+  }
+  clearStrategyJournals();
 
   ++Res.CheckpointsExecuted;
   switch (Cause) {
@@ -731,7 +812,7 @@ void Machine::step() {
     spend(2);
     break;
   case MOp::Str:
-    storeMem(reg(I.Src[1]) + I.Imm, I.Size, reg(I.Src[0]));
+    storeMem(reg(I.Src[1]) + I.Imm, I.Size, reg(I.Src[0]), I.Logged);
     spend(2);
     break;
   case MOp::LdrSlot:

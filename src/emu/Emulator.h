@@ -54,6 +54,13 @@ inline constexpr uint64_t Boot = 1000;        ///< Power-up sequence.
 inline constexpr uint64_t Restore = 40;       ///< Checkpoint restoration.
 inline constexpr uint64_t Checkpoint = 40;    ///< Save 17 words, flip.
 inline constexpr uint64_t IsrOverhead = 60;   ///< Entry+body+exit.
+// Strategy runtimes (docs/STRATEGIES.md). Differential commits pay per
+// dirty 256 B journal page on top of the register save; speculative
+// undo-logged stores pay a copy-out per store and a per-entry replay
+// cost when a reboot rolls the log back.
+inline constexpr uint64_t DiffPageCommit = 16; ///< Commit one dirty page.
+inline constexpr uint64_t SpecLogStore = 4;    ///< Journal old word.
+inline constexpr uint64_t SpecUndo = 2;        ///< Replay one log entry.
 } // namespace cycles
 
 /// Reserved NVM range for the double-buffered register checkpoint

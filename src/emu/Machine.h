@@ -30,6 +30,10 @@ namespace wario {
 /// the initial NVM image.
 struct Emulator::Impl {
   const MModule &M;
+  /// Process-unique instance id (EmulatorScratch::Owner) — never an
+  /// address, so scratch reuse is immune to allocator address reuse
+  /// across Emulator lifetimes.
+  const uint64_t Uid;
   std::vector<emu_detail::CodeRef> Code; ///< Diagnostics (WAR reports).
   std::vector<emu_detail::DecodedInst> Prog; ///< Dense execution form.
   emu_detail::FusedProgram Fused;  ///< Group stream parallel to Prog.
@@ -49,7 +53,8 @@ public:
   /// of moved.
   Machine(const Emulator::Impl &P, const EmulatorOptions &Opts,
           EmulatorScratch &Scr, bool Persistent)
-      : P(P), Opts(Opts), Scr(Scr), Persistent(Persistent) {}
+      : P(P), Opts(Opts), Scr(Scr), Persistent(Persistent),
+        Strat(P.M.Strat) {}
 
   /// Journals periodic snapshots into \p C while running.
   void enableRecord(SnapshotChain *C, const SnapshotSchedule &S) {
@@ -138,13 +143,52 @@ public:
     }
   }
 
-  void recordAccess(uint32_t Addr, unsigned Size, Access Kind);
+  /// \p Logged: the write is a speculative-strategy undo-logged WAR
+  /// store — it may legally target a read-first byte (the undo log
+  /// restores the read value at rollback), so the monitor records it
+  /// without counting a violation.
+  void recordAccess(uint32_t Addr, unsigned Size, Access Kind,
+                    bool Logged = false);
   uint32_t loadMem(uint32_t Addr, unsigned Size, bool SignExtend);
-  void storeMem(uint32_t Addr, unsigned Size, uint32_t V);
+  void storeMem(uint32_t Addr, unsigned Size, uint32_t V,
+                bool Logged = false);
 
   /// Raw word access bypassing the monitor (checkpoint machinery).
   uint32_t rawLoad(uint32_t Addr);
   void rawStore(uint32_t Addr, uint32_t V);
+
+  // --- Strategy runtimes (docs/STRATEGIES.md) ---------------------------------
+  /// Differential: saves a pristine copy of every page the region is
+  /// about to dirty, so an uncommitted region can be rolled back at
+  /// reboot. Called from storeMem before the bytes change.
+  void diffJournal(uint32_t Addr, unsigned Size) {
+    uint32_t P0 = Addr >> snapshot::PageShift;
+    uint32_t P1 = (Addr + Size - 1) >> snapshot::PageShift;
+    for (uint32_t Pg = P0; Pg <= P1; ++Pg) {
+      if (DiffMark[Pg])
+        continue;
+      DiffMark[Pg] = 1;
+      DiffPages.push_back(Pg);
+      const uint8_t *Page = Scr.Mem.data() + size_t(Pg) * snapshot::PageSize;
+      DiffBlob.insert(DiffBlob.end(), Page, Page + snapshot::PageSize);
+    }
+  }
+
+  /// Rolls uncommitted state back at a reboot boundary and clears the
+  /// journals: differential restores every dirty page from its saved
+  /// copy; speculative replays the undo log in reverse. No-ops (beyond
+  /// the clears) for the idempotent strategy, whose regions re-execute.
+  void rollbackUncommitted();
+
+  /// Drops journaled rollback state without applying it (commit, cold
+  /// start, snapshot restore — every point where the region is fresh).
+  void clearStrategyJournals() {
+    for (uint32_t Pg : DiffPages)
+      DiffMark[Pg] = 0;
+    DiffPages.clear();
+    DiffBlob.clear();
+    SpecLog.clear();
+  }
 
   // --- Snapshots -------------------------------------------------------------
   bool compatible(const SnapshotChain &C) const;
@@ -246,6 +290,20 @@ public:
   bool Spliced = false;
 
   EngineStats *Stats = nullptr;
+
+  // Strategy-runtime state (docs/STRATEGIES.md). The journals are only
+  // populated for their strategy and are empty at every region-fresh
+  // point, so snapshots and splices need no extra bookkeeping.
+  CheckpointStrategy Strat;
+  std::vector<uint8_t> DiffMark;   ///< Per page: journaled this region.
+  std::vector<uint32_t> DiffPages; ///< Journaled pages, journal order.
+  std::vector<uint8_t> DiffBlob;   ///< Saved page copies (parallel).
+  struct SpecEntry {
+    uint32_t Addr;
+    uint8_t Size;
+    uint32_t Old;
+  };
+  std::vector<SpecEntry> SpecLog;  ///< Speculative undo log (append).
 
   EmulatorResult Res;
 };

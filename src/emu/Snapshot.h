@@ -77,7 +77,12 @@ struct EmulatorScratch {
   uint32_t Epoch = 0; ///< Current region epoch (15 effective bits).
   std::vector<uint8_t> TouchedMark; ///< Per page: Mem differs from base.
   std::vector<uint32_t> Touched;    ///< Pages with TouchedMark set.
-  const void *Owner = nullptr;
+  /// Process-unique id of the owning Emulator (not its address: a
+  /// freed Emulator's allocation can be reused for the next module's,
+  /// and a thread_local scratch that matched on the address would then
+  /// take the incremental-reset path against the wrong base image,
+  /// keeping stale pages from the previous module).
+  uint64_t Owner = 0;
 };
 
 /// The recorded artifact of one continuous-power golden run: the

@@ -33,6 +33,7 @@ void copyPayload(Instruction *NI, const Instruction *I) {
     break;
   case Opcode::Store:
     NI->setAccessSize(I->getAccessSize());
+    NI->setSpecLogged(I->isSpecLogged());
     break;
   case Opcode::Gep:
     NI->setGepScale(I->getGepScale());

@@ -102,6 +102,35 @@ const char *wario::checkpointCauseName(CheckpointCause C) {
   return "<bad cause>";
 }
 
+const char *wario::checkpointStrategyName(CheckpointStrategy S) {
+  switch (S) {
+  case CheckpointStrategy::Idempotent: return "idempotent";
+  case CheckpointStrategy::Differential: return "differential";
+  case CheckpointStrategy::Speculative: return "speculative";
+  }
+  return "<bad strategy>";
+}
+
+bool wario::checkpointStrategyFromName(const std::string &Name,
+                                       CheckpointStrategy &Out) {
+  static const struct {
+    const char *Alias;
+    CheckpointStrategy S;
+  } Table[] = {
+      {"idempotent", CheckpointStrategy::Idempotent},
+      {"differential", CheckpointStrategy::Differential},
+      {"diff", CheckpointStrategy::Differential},
+      {"speculative", CheckpointStrategy::Speculative},
+      {"spec", CheckpointStrategy::Speculative},
+  };
+  for (const auto &Row : Table)
+    if (Name == Row.Alias) {
+      Out = Row.S;
+      return true;
+    }
+  return false;
+}
+
 const char *wario::predName(CmpPred P) {
   switch (P) {
   case CmpPred::EQ: return "eq";

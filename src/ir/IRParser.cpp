@@ -336,6 +336,8 @@ private:
       operand(I, 0, Sc);
       Sc.eat(",");
       operand(I, 1, Sc);
+      if (Sc.eat("!log"))
+        I->setSpecLogged(true);
       return;
     }
     if (Op == "gep") {

@@ -62,6 +62,8 @@ void printInst(std::ostringstream &OS, const Instruction &I,
   case Opcode::Store:
     OS << 'i' << unsigned(I.getAccessSize()) * 8 << ' '
        << valueRef(I.getOperand(0)) << ", " << valueRef(I.getOperand(1));
+    if (I.isSpecLogged())
+      OS << " !log"; // Speculative-strategy undo-logged WAR write.
     return;
   case Opcode::Gep:
     OS << ' ' << valueRef(I.getGepBase());

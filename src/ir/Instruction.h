@@ -67,6 +67,34 @@ enum class CheckpointCause : uint8_t {
 /// Returns a printable name for \p C.
 const char *checkpointCauseName(CheckpointCause C);
 
+/// How a compiled program survives power failures (the bench matrix's
+/// strategy axis, orthogonal to the Environment axis). Carried from
+/// PipelineOptions through the backend into MModule so the emulator
+/// applies the matching commit/rollback semantics.
+enum class CheckpointStrategy : uint8_t {
+  /// WARio/Ratchet-style idempotence: every WAR violation is broken by
+  /// a register checkpoint; NVM state is never rolled back.
+  Idempotent,
+  /// DiCA-style differential checkpointing (arXiv 2308.12819): WARs are
+  /// left unbroken, the runtime journals pages dirtied since the last
+  /// commit, a commit pays per-dirty-page cost, and a reboot discards
+  /// (rolls back) all uncommitted dirty pages.
+  Differential,
+  /// Compiler-directed speculative intermittent computation
+  /// (arXiv 2006.11479): stores that complete a WAR execute
+  /// speculatively with a word-granular undo log; a reboot unwinds the
+  /// log back to the last committed checkpoint.
+  Speculative,
+};
+
+/// Returns a printable name for \p S ("idempotent" / "differential" /
+/// "speculative").
+const char *checkpointStrategyName(CheckpointStrategy S);
+
+/// Reverse lookup for CLI and wire use. Returns false on unknown names.
+bool checkpointStrategyFromName(const std::string &Name,
+                                CheckpointStrategy &Out);
+
 /// Returns a printable mnemonic for \p Op.
 const char *opcodeName(Opcode Op);
 /// Returns a printable mnemonic for \p P.
@@ -162,6 +190,17 @@ public:
     return SignedLoad;
   }
   void setSignedLoad(bool S) { SignedLoad = S; }
+  /// Store: marked by the speculative-strategy checkpoint inserter as
+  /// completing an unresolved WAR — the emulator undo-logs its old value
+  /// instead of a checkpoint breaking the hazard.
+  bool isSpecLogged() const {
+    assert(Op == Opcode::Store);
+    return SpecLogged;
+  }
+  void setSpecLogged(bool L) {
+    assert(Op == Opcode::Store);
+    SpecLogged = L;
+  }
 
   /// Load: the address operand. Store: value is operand 0, address operand 1.
   Value *getAddressOperand() const {
@@ -253,6 +292,7 @@ private:
   uint32_t AllocaSize = 0;
   uint8_t AccessSize = 4;
   bool SignedLoad = false;
+  bool SpecLogged = false;
   CmpPred Pred = CmpPred::EQ;
   int32_t GepScale = 1;
   int32_t GepOffset = 0;

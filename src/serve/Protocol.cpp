@@ -212,12 +212,15 @@ std::vector<uint8_t> wario::serve::encodeRunRequest(uint64_t Id,
   W.str(M.Tenant);
   W.str(M.Workload);
   W.u8(uint8_t(M.PO.Env));
+  W.u8(uint8_t(M.PO.Strat));
   W.u32(M.PO.UnrollFactor);
   W.u8(uint8_t(M.PO.MiddleEndHittingSet) |
        uint8_t(M.PO.DepthWeightedCost) << 1 |
        uint8_t(M.PO.ForceConservativeAA) << 2 |
        uint8_t(M.PO.BoundRegions) << 3 |
-       uint8_t(M.PO.ResolveMiddleEndWars) << 4);
+       uint8_t(M.PO.ResolveMiddleEndWars) << 4 |
+       uint8_t(M.PO.DiffFullRollback) << 5 |
+       uint8_t(M.PO.SpecLogWars) << 6);
   W.u64(M.PO.MaxRegionCycles);
   putPower(W, M.EO.Power);
   W.u64(M.EO.InterruptPeriod);
@@ -238,6 +241,7 @@ wario::serve::decodeRunRequest(const std::vector<uint8_t> &Body) {
   M.Tenant = R.str();
   M.Workload = R.str();
   uint8_t Env = R.u8();
+  uint8_t Strat = R.u8();
   M.PO.UnrollFactor = R.u32();
   uint8_t PFlags = R.u8();
   M.PO.MiddleEndHittingSet = PFlags & 1;
@@ -245,6 +249,8 @@ wario::serve::decodeRunRequest(const std::vector<uint8_t> &Body) {
   M.PO.ForceConservativeAA = PFlags & 4;
   M.PO.BoundRegions = PFlags & 8;
   M.PO.ResolveMiddleEndWars = PFlags & 16;
+  M.PO.DiffFullRollback = PFlags & 32;
+  M.PO.SpecLogWars = PFlags & 64;
   M.PO.MaxRegionCycles = R.u64();
   M.EO.Power = getPower(R);
   M.EO.InterruptPeriod = R.u64();
@@ -262,6 +268,9 @@ wario::serve::decodeRunRequest(const std::vector<uint8_t> &Body) {
   if (Env > uint8_t(Environment::WarioExpander))
     return std::nullopt;
   M.PO.Env = Environment(Env);
+  if (Strat > uint8_t(CheckpointStrategy::Speculative))
+    return std::nullopt;
+  M.PO.Strat = CheckpointStrategy(Strat);
   if (Engine > uint8_t(EngineKind::Threaded))
     return std::nullopt;
   M.EO.Engine = EngineKind(Engine);

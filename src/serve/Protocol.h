@@ -41,7 +41,11 @@
 
 namespace wario::serve {
 
-inline constexpr uint8_t ProtocolVersion = 1;
+/// Version 2 added the checkpoint-strategy axis to RunRequestMsg: a
+/// Strat byte after Env, and PFlags bits 5/6 carrying DiffFullRollback
+/// and SpecLogWars. Peers reject any other version outright (no
+/// negotiation — both ends ship from this tree).
+inline constexpr uint8_t ProtocolVersion = 2;
 
 /// Hard ceiling on one frame's payload. Large artifacts (final memory
 /// images) never travel: replies carry hashes instead.

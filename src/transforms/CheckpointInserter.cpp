@@ -154,7 +154,28 @@ wario::insertCheckpoints(Function &F, const CheckpointInserterOptions &Opts) {
     }
     Unresolved.push_back({D->Src, D->Dst, D->LoopCarried});
   }
-  if (Unresolved.empty() || !Opts.ResolveWars)
+  if (Unresolved.empty())
+    return Stats;
+  if (Opts.Mode == CheckpointStrategy::Differential)
+    return Stats; // Reboot rolls the dirty-page journal back past every
+                  // uncommitted write, so unbroken WARs are harmless.
+  if (Opts.Mode == CheckpointStrategy::Speculative) {
+    // Speculative execution past the hazard: mark each WAR-completing
+    // store for the emulator's word-granular undo log instead of
+    // cutting the region.
+    if (!Opts.SpecLogWars)
+      return Stats; // Negative control: speculate without logging.
+    std::unordered_set<Instruction *> Marked;
+    for (const War &V : Unresolved)
+      if (Marked.insert(V.W).second) {
+        assert(V.W->getOpcode() == Opcode::Store &&
+               "WAR writer must be a store");
+        V.W->setSpecLogged(true);
+        ++Stats.StoresMarked;
+      }
+    return Stats;
+  }
+  if (!Opts.ResolveWars)
     return Stats;
 
   IRBuilder IRB(F.getParent());
@@ -237,6 +258,7 @@ wario::insertCheckpoints(Module &M, const CheckpointInserterOptions &Opts) {
     Total.WarsFound += S.WarsFound;
     Total.WarsAlreadyCut += S.WarsAlreadyCut;
     Total.Inserted += S.Inserted;
+    Total.StoresMarked += S.StoresMarked;
   }
   return Total;
 }

@@ -29,6 +29,17 @@ enum class PlacementStrategy {
 struct CheckpointInserterOptions {
   AliasPrecision Precision = AliasPrecision::Precise;
   PlacementStrategy Strategy = PlacementStrategy::HittingSet;
+  /// How unresolved WARs are handled. Idempotent breaks them with
+  /// checkpoints (the placement machinery below). Differential leaves
+  /// them unbroken — the runtime's dirty-page journal rolls uncommitted
+  /// state back at reboot, so no placement runs at all. Speculative
+  /// marks each unresolved WAR write as undo-logged (Instruction::
+  /// isSpecLogged) instead of inserting checkpoints.
+  CheckpointStrategy Mode = CheckpointStrategy::Idempotent;
+  /// Negative-control knob for the speculative mode: when false, WAR
+  /// writes are NOT marked for logging, so rollback is provably
+  /// incomplete and the fault injector must catch it.
+  bool SpecLogWars = true;
   /// Weight candidate locations by 4^loop-depth (ablation knob; the
   /// paper's hitting set costs locations "primarily depending on the
   /// loop depth").
@@ -44,6 +55,7 @@ struct CheckpointInserterStats {
   unsigned WarsFound = 0;      ///< WAR violations detected.
   unsigned WarsAlreadyCut = 0; ///< Resolved by existing cuts (calls etc).
   unsigned Inserted = 0;       ///< Checkpoints inserted.
+  unsigned StoresMarked = 0;   ///< WAR writes marked !log (speculative).
 };
 
 /// Inserts middle-end WAR checkpoints into \p F.

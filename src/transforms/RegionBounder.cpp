@@ -38,20 +38,37 @@ uint64_t wario::estimateCycles(const Instruction &I) {
 
 namespace {
 
-bool hasRegionCut(const Loop &L) {
+/// Extra cycles a speculative undo-logged store spends over a plain
+/// store (mirrors cycles::SpecLogStore in the emulator's cycle model).
+constexpr uint64_t SpecLogCost = 4;
+
+bool hasRegionCut(const Loop &L, const RegionBounderOptions &Opts) {
   for (BasicBlock *BB : L.blocks())
-    for (Instruction *I : *BB)
-      if (I->getOpcode() == Opcode::Checkpoint ||
-          I->getOpcode() == Opcode::Call)
+    for (Instruction *I : *BB) {
+      if (I->getOpcode() == Opcode::Call)
         return true;
+      if (I->getOpcode() != Opcode::Checkpoint)
+        continue;
+      // Under the rollback strategies no WAR checkpoints exist, so any
+      // checkpoint seen here is a bounder-inserted *conditional* one —
+      // it only fires when its own loop's counter fills, so it does not
+      // statically cut an enclosing loop's accumulation. Idempotent
+      // mode keeps the historical behavior (any checkpoint cuts).
+      if (Opts.Strat == CheckpointStrategy::Idempotent)
+        return true;
+    }
   return false;
 }
 
-uint64_t bodyCycles(const Loop &L) {
+uint64_t bodyCycles(const Loop &L, const RegionBounderOptions &Opts) {
   uint64_t Sum = 0;
   for (BasicBlock *BB : L.blocks())
-    for (Instruction *I : *BB)
+    for (Instruction *I : *BB) {
       Sum += estimateCycles(*I);
+      if (Opts.Strat == CheckpointStrategy::Speculative &&
+          I->getOpcode() == Opcode::Store && I->isSpecLogged())
+        Sum += SpecLogCost;
+    }
   return Sum;
 }
 
@@ -117,9 +134,19 @@ RegionBounderStats wario::boundRegions(Function &F,
     for (Loop *L : LI.loops()) {
       if (Done.count(L->getHeader()))
         continue;
-      if (!L->getSubLoops().empty() || !L->getLatch())
+      // Idempotent mode bounds only innermost loops (the historical
+      // Section 6 extension — outer accumulation is cut by WAR
+      // checkpoints anyway). The rollback strategies have no WAR
+      // checkpoints, so a cut-free *nest* accumulates across its short
+      // inner loops while every per-loop counter resets; bounding the
+      // outer loops too (per-iteration estimate counts each subloop
+      // body once) is their forward-progress guarantee.
+      if (Opts.Strat == CheckpointStrategy::Idempotent &&
+          !L->getSubLoops().empty())
         continue;
-      if (hasRegionCut(*L))
+      if (!L->getLatch())
+        continue;
+      if (hasRegionCut(*L, Opts))
         continue;
       Done.insert(L->getHeader());
       // The IR-level estimate undercounts the final machine code
@@ -127,7 +154,7 @@ RegionBounderStats wario::boundRegions(Function &F,
       // scale so the budget is honored in emulated cycles.
       constexpr uint64_t BackendExpansionFactor = 3;
       uint64_t PerIter = std::max<uint64_t>(
-          1, bodyCycles(*L) * BackendExpansionFactor);
+          1, bodyCycles(*L, Opts) * BackendExpansionFactor);
       if (PerIter >= Opts.MaxRegionCycles)
         continue; // One iteration already busts the budget; a register
                   // checkpoint cannot help a body this large.

@@ -33,6 +33,12 @@ namespace wario {
 struct RegionBounderOptions {
   /// Target maximum idempotent region length, in (estimated) cycles.
   uint64_t MaxRegionCycles = 20'000;
+  /// Active checkpoint strategy. The rollback strategies leave WAR
+  /// loops checkpoint-free, so the bounder is their only in-loop region
+  /// cut; under Speculative the per-iteration estimate also charges
+  /// undo-logged stores their extra runtime cost (cycles::SpecLogStore)
+  /// so the budget stays honored in emulated cycles.
+  CheckpointStrategy Strat = CheckpointStrategy::Idempotent;
 };
 
 struct RegionBounderStats {

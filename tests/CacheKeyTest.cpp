@@ -83,10 +83,74 @@ TEST_F(CacheKeyTest, EveryPipelineOptionIsPartOfTheKey) {
   V.PO.MaxRegionCycles = 50'000;
   Variants.push_back(V);
 
+  V = baseCell();
+  V.PO.Strat = CheckpointStrategy::Differential;
+  Variants.push_back(V);
+
+  V = baseCell();
+  V.PO.Strat = CheckpointStrategy::Speculative;
+  Variants.push_back(V);
+
   for (size_t I = 0; I != Variants.size(); ++I)
     EXPECT_NE(Base, run(Variants[I]))
         << "pipeline-option variant #" << I
         << " deduped against the base configuration";
+
+  // The negative-control knobs key only under their own strategy (they
+  // are canonicalized away everywhere else). Checked at the compile
+  // level: the weakened builds exist to fail under fault injection, and
+  // the harness's run() policy aborts the process on any failed cell.
+  PipelineOptions Diff = baseCell().PO;
+  Diff.Strat = CheckpointStrategy::Differential;
+  PipelineOptions DiffWeak = Diff;
+  DiffWeak.DiffFullRollback = false;
+  EXPECT_NE(Cache.compileCell("crc", Diff).get(),
+            Cache.compileCell("crc", DiffWeak).get());
+
+  PipelineOptions Spec = baseCell().PO;
+  Spec.Strat = CheckpointStrategy::Speculative;
+  PipelineOptions SpecWeak = Spec;
+  SpecWeak.SpecLogWars = false;
+  EXPECT_NE(Cache.compileCell("crc", Spec).get(),
+            Cache.compileCell("crc", SpecWeak).get());
+}
+
+TEST_F(CacheKeyTest, StrategiesSeparateAtEveryLevelBelowTheFrontend) {
+  // Two pipelines that differ only in checkpoint strategy must never
+  // share a middle-end, compile, or run entry — only the strategy-blind
+  // frontend level (keyed on tenant + workload) is shared. The counters
+  // prove the level-by-level story: the second strategy's run hits the
+  // front level and misses the other three.
+  MatrixCell Wario = baseCell();
+  MatrixCell Diff = baseCell();
+  Diff.PO.Strat = CheckpointStrategy::Differential;
+  MatrixCell Spec = baseCell();
+  Spec.PO.Strat = CheckpointStrategy::Speculative;
+
+  const RunResult *RW = run(Wario);
+  serve::CacheCounters Before = Cache.counters();
+  const RunResult *RD = run(Diff);
+  serve::CacheCounters After = Cache.counters();
+
+  EXPECT_NE(RW, RD);
+  EXPECT_NE(RD, run(Spec));
+  EXPECT_NE(RW, run(Spec));
+
+  EXPECT_GT(After.Hits[serve::LevelFront], Before.Hits[serve::LevelFront])
+      << "strategies must share the strategy-blind frontend artifact";
+  EXPECT_GT(After.Misses[serve::LevelMid], Before.Misses[serve::LevelMid]);
+  EXPECT_GT(After.Misses[serve::LevelCompile],
+            Before.Misses[serve::LevelCompile]);
+  EXPECT_GT(After.Misses[serve::LevelRun], Before.Misses[serve::LevelRun]);
+
+  // Compile-level identity check, explicitly: same workload, same env,
+  // different strategy — three distinct compiled modules.
+  const CompileResult *CW = Cache.compileCell("crc", Wario.PO).get();
+  const CompileResult *CD = Cache.compileCell("crc", Diff.PO).get();
+  const CompileResult *CS = Cache.compileCell("crc", Spec.PO).get();
+  EXPECT_NE(CW, CD);
+  EXPECT_NE(CW, CS);
+  EXPECT_NE(CD, CS);
 }
 
 TEST_F(CacheKeyTest, EveryEmulatorOptionIsPartOfTheKey) {

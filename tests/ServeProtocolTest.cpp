@@ -42,6 +42,9 @@ RunRequestMsg fancyRequest() {
   M.PO.BoundRegions = true;
   M.PO.MaxRegionCycles = 123'456;
   M.PO.ResolveMiddleEndWars = false;
+  M.PO.Strat = CheckpointStrategy::Speculative;
+  M.PO.DiffFullRollback = false;
+  M.PO.SpecLogWars = false;
   M.EO.Power = PowerSchedule::trace({10'000, 250'000, 77}, "μ-trace");
   M.EO.InterruptPeriod = 5'000;
   M.EO.MaxCycles = 42;
@@ -238,10 +241,13 @@ TEST(ServeProtocol, CorruptEnumValuesAreRejected) {
   // Byte layout: [u32 tenant len][u32 workload len]["crc"? no — default
   // empty strings] [u8 env] ... The env byte sits right after the two
   // (empty) strings.
-  ASSERT_GE(Body.size(), 9u);
+  ASSERT_GE(Body.size(), 10u);
   std::vector<uint8_t> BadEnv = Body;
   BadEnv[8] = 200; // Way past WarioExpander.
   EXPECT_FALSE(decodeRunRequest(BadEnv));
+  std::vector<uint8_t> BadStrat = Body;
+  BadStrat[9] = 17; // The strategy byte follows env; past Speculative.
+  EXPECT_FALSE(decodeRunRequest(BadStrat));
   std::vector<uint8_t> BadEngine = Body;
   BadEngine.back() = 99; // Engine is the final byte.
   EXPECT_FALSE(decodeRunRequest(BadEngine));

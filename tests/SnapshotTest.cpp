@@ -262,6 +262,35 @@ TEST(SnapshotTest, ScratchReuseAcrossModulesIsClean) {
   }
 }
 
+/// A long-lived scratch (the campaign fan-out uses thread_local ones)
+/// outlives Emulator instances. The owner check must key on an instance
+/// id, not the Emulator's address: the allocator hands a freed Impl
+/// chunk straight to the next Emulator, and an address-keyed scratch
+/// would then take the incremental-reset path against the wrong base
+/// image, keeping stale pages from the dead module. The alternation
+/// below reuses the chunk on nearly every iteration.
+TEST(SnapshotTest, ScratchSurvivesEmulatorLifetimes) {
+  MModule A = buildWorkload("crc");
+  MModule B = buildWorkload("sha");
+  ASSERT_FALSE(A.Functions.empty());
+  ASSERT_FALSE(B.Functions.empty());
+  EmulatorOptions EO;
+  EO.CollectRegionSizes = false;
+  EmulatorResult GoldA = Emulator(A).run(EO);
+  EmulatorResult GoldB = Emulator(B).run(EO);
+  EmulatorScratch Scratch;
+  for (int I = 0; I != 4; ++I) {
+    {
+      Emulator EA(A);
+      EXPECT_TRUE(EA.run(EO, "main", &Scratch) == GoldA);
+    }
+    {
+      Emulator EB(B);
+      EXPECT_TRUE(EB.run(EO, "main", &Scratch) == GoldB);
+    }
+  }
+}
+
 /// The WARIO_SNAPSHOTS kill-switch parser (the ambient environment of a
 /// test run must not disable the engine unless explicitly set to "0").
 TEST(SnapshotTest, KillSwitchDefaultsOn) {

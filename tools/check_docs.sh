@@ -2,7 +2,7 @@
 # Documentation lint (registered as the `check_docs` ctest test).
 #
 # Two checks over the user-facing docs (README.md, DESIGN.md,
-# EXPERIMENTS.md, docs/ARCHITECTURE.md):
+# EXPERIMENTS.md, docs/ARCHITECTURE.md, docs/STRATEGIES.md):
 #
 #   1. every repo file path a doc references must exist — docs rot by
 #      pointing at renamed/deleted files, and this catches it in CI;
@@ -19,7 +19,7 @@ set -u
 root=${1:-$(cd "$(dirname "$0")/.." && pwd)}
 cd "$root" || exit 2
 
-docs=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md)
+docs=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/STRATEGIES.md)
 errors=0
 
 for doc in "${docs[@]}"; do

@@ -5,7 +5,9 @@
 #   2. differential-engine pass: the `engine`-labeled equivalence suite
 #      (threaded engine vs interpreter oracle) on the default tree,
 #      then once more with WARIO_ENGINE=interp exported to prove the
-#      kill switch changes nothing observable;
+#      kill switch changes nothing observable; then the `strategy`
+#      suite (rollback-strategy crash campaigns, negative controls,
+#      and golden differences — docs/STRATEGIES.md);
 #   3. rebuild under ThreadSanitizer and run the `tsan`-labeled tests
 #      (the bench harness's parallel matrix driver);
 #   4. rebuild under AddressSanitizer and run the `asan`-labeled tests
@@ -52,6 +54,9 @@ echo "==> serve suite + loadgen smoke"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" -L serve
 WARIO_CI_FAST=1 "$build/tools/wario_loadgen" --serve --connections 1 \
   --requests 4 --workloads crc
+
+echo "==> strategy suite (rollback-strategy campaigns + golden differences)"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" -L strategy
 
 echo "==> tsan build + tsan/serve-labeled tests"
 cmake -B "$build/tsan" -S "$root" -DWARIO_SANITIZE=thread
