@@ -21,20 +21,26 @@
 #
 #   usage: bench/emit_bench_json.sh [build-dir] [tag]
 #
-# Defaults: build-dir = build-rel, tag = pr9. The default deliberately
+# Defaults: build-dir = build-rel, tag = pr10. The default deliberately
 # points at a Release tree: BENCH_pr6.json was recorded from a debug
-# build (its context says library_build_type=debug, debug_build=true),
-# so its absolute emulator numbers understate the engine and its
-# engine-vs-interpreter ratios were measured with asserts on. The
-# threaded-vs-interp ratio is re-measured below from the same Release
-# binary and recorded under context.notes.
+# build (its context says debug_build=true), so its absolute emulator
+# numbers understate the engine and its engine-vs-interpreter ratios
+# were measured with asserts on. Engine ratios come from the same-run
+# BM_Engine_* matrix inside micro_emulator (each workload pinned to
+# interp / threaded / trace within one binary invocation, median of 3
+# repetitions) — the cross-run protocol used through PR-9 let
+# background-load swings land on one side of the ratio only, inflating
+# or deflating it by tens of percent on this 1-vCPU container.
+# The snapshot is also diffed against the most recent prior
+# BENCH_pr*.json: any shared benchmark family regressing >10% puts a
+# warning block in context.notes (advisory only, never a failure).
 # Also runnable via the `bench_json` CMake target
 # (cmake --build build-rel --target bench_json).
 set -eu
 
 ROOT=$(dirname "$0")/..
 BUILD=${1:-"$ROOT/build-rel"}
-TAG=${2:-pr9}
+TAG=${2:-pr10}
 
 for bin in micro_emulator micro_compiler fig4_execution_time \
            table1_checkpoint_delta table3_intermittent verify_crash; do
@@ -49,22 +55,31 @@ if [ ! -x "$BUILD/tools/wario_loadgen" ]; then
 fi
 
 EMU_JSON=$(mktemp)
+ENG_JSON=$(mktemp)
 COMP_JSON=$(mktemp)
-INTERP_JSON=$(mktemp)
 LOADGEN_JSON=""
 STRAT_JSON=""
-trap 'rm -f "$EMU_JSON" "$COMP_JSON" "$INTERP_JSON" "$LOADGEN_JSON" "$STRAT_JSON"' EXIT
+trap 'rm -f "$EMU_JSON" "$ENG_JSON" "$COMP_JSON" "$LOADGEN_JSON" "$STRAT_JSON"' EXIT
 
 "$BUILD/bench/micro_emulator" --benchmark_format=json \
   --benchmark_min_time=0.2 > "$EMU_JSON"
+# Engine-ratio pass: the BM_Engine_* rows pin each workload to
+# interp / threaded / trace inside one invocation, so the PR-6 and
+# PR-10 acceptance bars are re-evaluated from ratios whose numerator
+# and denominator share the same run's machine noise — and from the
+# median of 3 repetitions, because a single 0.2 s sample on this
+# loaded 1-vCPU container can still swing a ratio by tens of percent.
+"$BUILD/bench/micro_emulator" --benchmark_filter='BM_Engine_' \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json --benchmark_min_time=0.2 > "$ENG_JSON"
 "$BUILD/bench/micro_compiler" --benchmark_format=json \
   --benchmark_min_time=0.2 > "$COMP_JSON"
-# Same binary, interpreter engine forced: re-evaluates the PR-6
-# acceptance bar (threaded engine >= 5x interpreter insts/s) on every
-# recording instead of freezing a once-measured ratio in prose.
-WARIO_ENGINE=interp "$BUILD/bench/micro_emulator" \
-  --benchmark_filter='BM_EmulatorContinuous' --benchmark_format=json \
-  --benchmark_min_time=0.2 > "$INTERP_JSON"
+
+# Most recent prior snapshot for the regression guard (empty when this
+# is the first recording or the only snapshot is the one being
+# rewritten).
+PREV_JSON=$(ls "$ROOT"/BENCH_pr*.json 2>/dev/null | grep -v "BENCH_${TAG}.json" \
+  | sort -V | tail -1 || true)
 
 # A non-Release recording understates every number and poisons the
 # perf trajectory across PRs (BENCH_pr5.json and BENCH_pr6.json were
@@ -175,34 +190,66 @@ EOF
 
 OUT="$ROOT/BENCH_${TAG}.json"
 python3 - "$EMU_JSON" "$COMP_JSON" "$E2E" "$CRASH_ON" "$CRASH_OFF" \
-    "$OUT" "$INTERP_JSON" "$LOADGEN_JSON" "$STRAT_JSON" <<'EOF'
-import json, sys
+    "$OUT" "$LOADGEN_JSON" "$STRAT_JSON" "$PREV_JSON" "$ENG_JSON" <<'EOF'
+import json, statistics, sys
 emu, comp = (json.load(open(p)) for p in sys.argv[1:3])
 merged = emu
 if merged["context"].get("wario_build_type") != "Release":
     merged["context"]["debug_build"] = True
+# google-benchmark's library_build_type describes how the system
+# libbenchmark package was built (a debug build on this image), not
+# this binary — several PRs' notes had to re-explain the resulting
+# "debug" value. When the binary stamps its own wario_build_type,
+# rename the field so the JSON can't mislead.
+if "wario_build_type" in merged["context"]:
+    lbt = merged["context"].pop("library_build_type", None)
+    if lbt is not None:
+        merged["context"]["libbenchmark_build_type"] = lbt
 merged["benchmarks"] += comp["benchmarks"]
 
-# Threaded-vs-interpreter insts/s ratio per workload (the PR-6 bar).
-interp = json.load(open(sys.argv[7]))
-interp_rate = {b["name"]: b.get("insts/s")
-               for b in interp["benchmarks"] if "insts/s" in b}
-ratios = {}
-for b in merged["benchmarks"]:
-    base = interp_rate.get(b["name"])
-    if base and "insts/s" in b:
-        ratios[b["name"].replace("BM_EmulatorContinuous_", "")] = \
-            round(b["insts/s"] / base, 2)
-if ratios:
-    merged["context"]["engine_vs_interp_insts_per_s"] = ratios
-    bar = min(ratios.values())
-    merged["context"]["notes"] = (
+notes = []
+
+# Engine-vs-interpreter insts/s ratios per workload from the
+# median-of-3 BM_Engine_<Engine>_<workload> aggregate pass (PR-6 bar:
+# threaded >= 5x; PR-10 bar: trace >= 5x on two workloads and above
+# the prior snapshot's recorded ratios on all). All three engines run
+# inside each repetition's invocation, and the median absorbs the
+# sample-to-sample load swings a single 0.2 s run is exposed to.
+eng = {}
+for b in json.load(open(sys.argv[10]))["benchmarks"]:
+    n = b.get("name", "")
+    if b.get("aggregate_name") == "median" and "insts/s" in b:
+        _, _, engine, w = n.removesuffix("_median").split("_")
+        eng.setdefault(w.upper(), {})[engine] = b["insts/s"]
+threaded = {w: round(r["Threaded"] / r["Interp"], 2)
+            for w, r in eng.items() if "Threaded" in r and "Interp" in r}
+trace = {w: round(r["Trace"] / r["Interp"], 2)
+         for w, r in eng.items() if "Trace" in r and "Interp" in r}
+bt = merged["context"].get("wario_build_type")
+if threaded:
+    merged["context"]["engine_vs_interp_insts_per_s"] = threaded
+    bar = min(threaded.values())
+    notes.append(
         f"PR-6 bar (threaded engine >= 5x interpreter insts/s), "
-        f"re-evaluated on this {merged['context'].get('wario_build_type')} "
-        f"build: min ratio {bar}x across "
-        f"{'/'.join(ratios)} -> {'met' if bar >= 5.0 else 'not met'}. "
-        "BENCH_pr6.json recorded the same comparison from a debug build "
-        "(debug_build=true) and is not comparable on absolute insts/s.")
+        f"re-evaluated on this {bt} build from the same-run engine "
+        f"matrix: min ratio {bar}x across {'/'.join(threaded)} -> "
+        f"{'met' if bar >= 5.0 else 'not met'}. Ratios recorded through "
+        "PR-9 came from separate interp/threaded runs and carry "
+        "cross-run load noise; they are not comparable to these.")
+prev = json.load(open(sys.argv[9])) if sys.argv[9] else None
+if trace:
+    merged["context"]["trace_vs_interp_insts_per_s"] = trace
+    met5 = sum(1 for v in trace.values() if v >= 5.0)
+    verdict = f"trace engine >= 5x interp on {met5}/{len(trace)} workloads"
+    prev_r = (prev or {}).get("context", {}).get(
+        "engine_vs_interp_insts_per_s", {})
+    if prev_r:
+        beat = [w for w in trace if w in prev_r and trace[w] > prev_r[w]]
+        verdict += (f"; above the prior snapshot's recorded ratios on "
+                    f"{len(beat)}/{len(prev_r)}")
+    notes.append(
+        f"PR-10 bar: {verdict} "
+        f"({', '.join(f'{w} {v}x' for w, v in sorted(trace.items()))}).")
 merged["benchmarks"].append({
     "name": "fig4_table3_single_thread",
     "run_type": "aggregate",
@@ -222,7 +269,7 @@ merged["benchmarks"].append({
     "snapshots_disabled_real_time": off * 1e9,
     "snapshot_speedup": off / on,
 })
-lg = json.load(open(sys.argv[8]))
+lg = json.load(open(sys.argv[7]))
 merged["benchmarks"].append({
     "name": "serve_loadgen",
     "run_type": "aggregate",
@@ -238,7 +285,7 @@ merged["benchmarks"].append({
     "cache_misses": lg["cache_misses"],
     "cache_evictions": lg["cache_evictions"],
 })
-st = json.load(open(sys.argv[9]))
+st = json.load(open(sys.argv[8]))
 merged["benchmarks"].append({
     "name": "strategy_checkpoint_counts",
     "run_type": "aggregate",
@@ -248,6 +295,60 @@ merged["benchmarks"].append({
     "time_unit": "ns",
     "checkpoints_executed": st["counts"],
 })
+# Regression guard: diff every benchmark name shared with the most
+# recent prior snapshot, grouped into coarse families, and flag any
+# family whose *median* member regressed by more than 10%. Median, not
+# worst: on a 1-vCPU container a single benchmark can swing 20% from
+# background load alone, but half a family moving together is a real
+# signal. Advisory only — the warning lands in context.notes and on
+# stderr, never in the exit status.
+def family(name):
+    if name.startswith(("BM_Engine_", "BM_Emulator", "BM_Snapshot",
+                        "BM_LateCrash")):
+        return "emulator"
+    return {"fig4_table3_single_thread": "e2e",
+            "verify_crash_single_thread": "crash",
+            "serve_loadgen": "loadgen",
+            "strategy_checkpoint_counts": "strategy"}.get(name, "compiler")
+
+def metric(b):
+    """(value, higher_is_better) for the benchmark's primary number."""
+    if "insts/s" in b:
+        return b["insts/s"], True
+    if "requests_per_second" in b:
+        return b["requests_per_second"], True
+    if "real_time" in b:
+        return b["real_time"], False
+    return None
+
+if prev:
+    old = {b["name"]: b for b in prev.get("benchmarks", []) if "name" in b}
+    fams = {}
+    for b in merged["benchmarks"]:
+        ob = old.get(b.get("name"))
+        if not ob:
+            continue
+        new_m, old_m = metric(b), metric(ob)
+        if not new_m or not old_m or new_m[1] != old_m[1] or not old_m[0]:
+            continue
+        v_new, higher = new_m
+        v_old = old_m[0]
+        reg = (v_old - v_new) / v_old if higher else (v_new - v_old) / v_old
+        fams.setdefault(family(b["name"]), []).append(100.0 * reg)
+    warns = []
+    for fam, regs in sorted(fams.items()):
+        med = statistics.median(regs)
+        if med > 10.0:
+            warns.append(f"{fam} median -{med:.0f}% across {len(regs)} "
+                         f"shared benchmarks")
+    if warns:
+        import os
+        w = (f"WARNING: vs {os.path.basename(sys.argv[9])}, regressed "
+             f">10%: {'; '.join(warns)} (1-vCPU container, advisory).")
+        notes.append(w)
+        print(w, file=sys.stderr)
+if notes:
+    merged["context"]["notes"] = " ".join(notes)
 json.dump(merged, open(sys.argv[6], "w"), indent=1)
 diffs = st["counts"].get("coremark", {})
 print(f"wrote {sys.argv[6]} (fig4+table3 single-thread: {sys.argv[3]}s; "

@@ -99,10 +99,11 @@ EmulatorResult Machine::run(const std::string &Entry) {
 
   // The threaded engine's fused store paths know nothing about the
   // strategy journals, so the rollback strategies always run on the
-  // interpreter — both engine settings are trivially byte-identical.
-  UseThreaded = resolveEngine(Opts.Engine) == EngineKind::Threaded &&
-                !P.Fast.empty() &&
+  // interpreter — every engine setting is trivially byte-identical.
+  const EngineKind EK = resolveEngine(Opts.Engine);
+  UseThreaded = EK != EngineKind::Interp && !P.Fast.empty() &&
                 Strat == CheckpointStrategy::Idempotent;
+  UseTrace = UseThreaded && EK == EngineKind::Trace;
   if (Strat == CheckpointStrategy::Differential)
     DiffMark.assign(snapshot::NumPages, 0);
 
@@ -274,6 +275,7 @@ void Machine::prepareScratch() {
     Scr.TouchedMark.assign(snapshot::NumPages, 0);
     Scr.Touched.clear();
     Scr.Owner = P.Uid;
+    Scr.Trace = emu_detail::TraceState{}; // Superblocks are per-module.
     return;
   }
   for (uint32_t Pg : Scr.Touched) {

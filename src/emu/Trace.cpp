@@ -1,0 +1,419 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace recorder and superblock builder (see Trace.h). Both run on the
+/// cold side of the engine: the recorder once per dispatched group head
+/// while a candidate path is being followed, the builder once per hot
+/// head. The engine's hot loop only ever walks the finished Code array.
+///
+//===----------------------------------------------------------------------===//
+
+#include "emu/Trace.h"
+
+#include "emu/Emulator.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace wario;
+using namespace wario::emu_detail;
+
+namespace {
+
+/// Ops the superblock contract cannot carry: the pseudo ops that
+/// unconditionally bail to the interpreter (recording through them
+/// would abort at the bail anyway; refusing early keeps the head from
+/// wasting a path). Everything else is carried: IntMask only delays
+/// the interrupt bound the entry margin already honors, IntUnmask
+/// conservatively exits the engine (through the SOrig-mapped flush)
+/// whenever interrupts are configured, divides bail only on a zero
+/// divisor (and the bail flush maps back through Orig), Bl's link
+/// value is pre-encoded in its A field (position-independent), and a
+/// recorded Ret becomes an FK_TraceRet guard.
+bool traceStopOp(MOp Op) {
+  switch (Op) {
+  case MOp::MovGlobal:
+  case MOp::CallPseudo:
+  case MOp::ArgGet:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Cycle cost an identity (Len == 1) record charges when it executes —
+/// must mirror the threaded engine's identity handlers exactly, since
+/// the sum becomes the superblock's once-per-entry margin check and the
+/// Cost byte of refused groups.
+uint64_t identityCost(const FastInst &F) {
+  switch (MOp(F.Kind)) {
+  case MOp::MovImm:
+    return F.Aux;
+  case MOp::SetCond:
+  case MOp::SelectR:
+  case MOp::Ldr:
+  case MOp::Str:
+  case MOp::LdrSlot:
+  case MOp::StrSlot:
+  case MOp::Out:
+    return 2;
+  case MOp::B:
+  case MOp::CBr:
+  case MOp::Bl:
+  case MOp::Ret:
+    return 1 + cycles::PipelineRefill;
+  case MOp::UDiv:
+  case MOp::SDiv:
+    return 6;
+  case MOp::Push:
+  case MOp::Pop:
+  case MOp::PopLoads:
+    return 1 + unsigned(std::popcount(unsigned(F.Aux)));
+  case MOp::Checkpoint:
+    return cycles::Checkpoint;
+  default:
+    // ALU ops, Mov, AddImm, FrameAddr, SpAdjust, Nop. Stop ops never
+    // reach a recorded path.
+    assert(!traceStopOp(MOp(F.Kind)) && "stop op on a recorded path");
+    return 1;
+  }
+}
+
+/// One stitched group of the path under construction. Components are
+/// Prog[MIdx] .. Prog[MIdx + Len - 1] (refusion keeps them contiguous).
+struct Seg {
+  uint32_t MIdx;
+  uint16_t Kind;
+  uint32_t Len;
+  uint64_t Cost;
+};
+
+/// WARIO_TRACE_LOG=1 dumps recorder/builder decisions to stderr.
+bool traceLogOn() {
+  static const bool On = [] {
+    const char *E = std::getenv("WARIO_TRACE_LOG");
+    return E && *E && *E != '0';
+  }();
+  return On;
+}
+
+} // namespace
+
+RecordVerdict emu_detail::traceRecordStep(TraceState &TS, uint32_t Target) {
+  // Closing back on the head is the natural end of a loop trace; keep
+  // unrolling until the closure budget is spent.
+  if (Target == TS.Head && ++TS.Closures >= TraceMaxClosures)
+    return RecordVerdict::Build;
+  if (TS.Path.size() >= TraceMaxPath) {
+    if (traceLogOn())
+      std::fprintf(stderr, "[trace] head=%u path cap, closures=%u -> %s\n",
+                   TS.Head, TS.Closures, TS.Closures ? "build" : "abort");
+    return TS.Closures ? RecordVerdict::Build : RecordVerdict::Abort;
+  }
+  TS.Path.push_back(Target);
+  return RecordVerdict::Continue;
+}
+
+const Superblock *
+emu_detail::buildSuperblock(TraceState &TS,
+                            const std::vector<DecodedInst> &Prog,
+                            const std::vector<FastInst> &Fast,
+                            uint32_t FinalSucc) {
+  if (TS.Path.empty() || TS.Blocks.size() >= TraceMaxBlocks) {
+    if (traceLogOn())
+      std::fprintf(stderr, "[trace] head=%u build refused: %s\n", TS.Head,
+                   TS.Path.empty() ? "empty path" : "block cap");
+    return nullptr;
+  }
+
+  // Expand each recorded block entry by walking the static stream:
+  // between two recorded transfers execution is pure fall-through, so
+  // the interior groups are exactly the stream's groups from the entry
+  // to the first branch tail — which must target the next recorded
+  // entry (a mismatch would mean an event slipped between two recorded
+  // dispatches, or the path crossed an op the contract can't carry).
+  // A failure past at least one full closure doesn't kill the trace:
+  // the path truncates back to its last revisit of the head and the
+  // loop that did fit is stitched (FinalSucc becomes the head itself).
+  // Oversized paths truncate the same way even when they walked clean —
+  // the largest closure under TraceSoftRecordCap keeps the stitched
+  // code L1-resident instead of streaming an 8-way unroll through L2.
+  std::vector<Seg> Segs;
+  Segs.reserve(TS.Path.size() * 4);
+  size_t Records = 0;
+  struct Cut {
+    size_t Segs;
+    size_t Records;
+  };
+  std::vector<Cut> Closures; // Walk position at each head revisit.
+  bool Bad = false, Truncated = false;
+  for (size_t I = 0; I != TS.Path.size() && !Bad; ++I) {
+    if (I && TS.Path[I] == TS.Head)
+      Closures.push_back({Segs.size(), Records});
+    uint32_t Next = I + 1 != TS.Path.size() ? TS.Path[I + 1] : FinalSucc;
+    uint32_t G = TS.Path[I];
+    for (;;) {
+      const FastInst &F = Fast[G];
+      if (F.Len == 1 && F.Kind < FK_FirstFused && traceStopOp(MOp(F.Kind))) {
+        if (traceLogOn())
+          std::fprintf(stderr, "[trace] head=%u stop op kind=%u at %u\n",
+                       TS.Head, unsigned(F.Kind), G);
+        Bad = true;
+        break;
+      }
+      if ((Records += F.Len) > TraceMaxRecords) {
+        if (traceLogOn())
+          std::fprintf(stderr, "[trace] head=%u record cap\n", TS.Head);
+        Bad = true;
+        break;
+      }
+      Segs.push_back(
+          {G, F.Kind, F.Len, F.Len > 1 ? uint64_t(F.Cost) : identityCost(F)});
+      uint32_t TailIdx = G + F.Len - 1;
+      MOp TOp = Prog[TailIdx].Op;
+      if (TOp == MOp::B || TOp == MOp::Bl) {
+        // Static transfer (an unlinked BadTarget call would have
+        // bailed mid-recording): the target must be the recorded one.
+        if (Fast[TailIdx].T0 != Next) {
+          if (traceLogOn())
+            std::fprintf(stderr,
+                         "[trace] head=%u transfer at %u -> %u, recorded "
+                         "%u\n",
+                         TS.Head, TailIdx, Fast[TailIdx].T0, Next);
+          Bad = true;
+        }
+        break;
+      }
+      if (TOp == MOp::CBr) {
+        if (Fast[TailIdx].T0 != Next && Fast[TailIdx].A != Next) {
+          if (traceLogOn())
+            std::fprintf(stderr,
+                         "[trace] head=%u CBr at %u targets %u/%u, "
+                         "recorded %u\n",
+                         TS.Head, TailIdx, Fast[TailIdx].T0, Fast[TailIdx].A,
+                         Next);
+          Bad = true;
+        }
+        break;
+      }
+      if (TOp == MOp::Ret)
+        break; // Dynamic return: the recorded Next becomes a guard.
+      G += F.Len; // Fall through to the next group of the same block.
+    }
+  }
+  if (Bad && Closures.empty())
+    return nullptr; // Nothing loop-shaped fit; blacklist.
+  if (!Closures.empty() && (Bad || Records > TraceSoftRecordCap)) {
+    // Largest closure under the soft cap; a single oversized iteration
+    // keeps its first (and only complete) closure.
+    const Cut *C = &Closures.front();
+    for (const Cut &K : Closures)
+      if (K.Records <= TraceSoftRecordCap)
+        C = &K;
+    Segs.resize(C->Segs);
+    FinalSucc = TS.Head;
+    Truncated = true;
+  }
+
+  // Refusion: the same pair-catalog fixpoint as fuseProgram, but across
+  // the *recorded* path and under the relaxed TraceRefuseCostLimit —
+  // the aggregate margin check at superblock entry covers every
+  // interior boundary, so groups may grow past FusedCostLimit.
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (size_t I = 0; I + 1 < Segs.size();) {
+      Seg &S = Segs[I];
+      const Seg &T = Segs[I + 1];
+      MOp Tail = Prog[S.MIdx + S.Len - 1].Op;
+      uint16_t K;
+      if (Tail != MOp::B && Tail != MOp::CBr &&   // true fall-through
+          Tail != MOp::Bl && Tail != MOp::Ret &&  // (calls end segments)
+          S.MIdx + S.Len == T.MIdx &&             // contiguous components
+          Prog[S.MIdx].F == Prog[T.MIdx].F &&     // same function
+          S.Cost + T.Cost < TraceRefuseCostLimit &&
+          S.Len + T.Len <= TraceMaxGroupLen &&
+          (K = pairKind(S.Kind, T.Kind)) != FK_KindLimit) {
+        S.Kind = K;
+        S.Len += T.Len;
+        S.Cost += T.Cost;
+        Segs.erase(Segs.begin() + long(I) + 1);
+        Changed = true;
+        continue; // Try to grow the same segment further.
+      }
+      ++I;
+    }
+  }
+
+  // Layout: copy each segment's records contiguously, rewrite the head
+  // with the refused group, and remember where each segment starts so
+  // branch tails can be rewired to superblock indices afterwards.
+  auto SB = std::make_unique<Superblock>();
+  SB->Head = TS.Head;
+  size_t NRec = 0;
+  for (const Seg &S : Segs)
+    NRec += S.Len;
+  SB->Code.reserve(NRec + Segs.size() + 1);
+  SB->Orig.reserve(NRec + Segs.size() + 1);
+  std::vector<uint32_t> Starts;
+  Starts.reserve(Segs.size());
+  for (const Seg &S : Segs) {
+    Starts.push_back(uint32_t(SB->Code.size()));
+    for (uint32_t K = 0; K != S.Len; ++K) {
+      SB->Code.push_back(Fast[S.MIdx + K]);
+      SB->Orig.push_back(S.MIdx + K);
+    }
+    FastInst &Head = SB->Code[Starts.back()];
+    Head.Kind = S.Kind;
+    Head.Len = uint8_t(S.Len);
+    Head.Cost = uint8_t(S.Len > 1 ? S.Cost : 0);
+    SB->WorstCost += S.Cost;
+  }
+
+  // Terminal stub: falling off the last segment either loops back to
+  // the head (re-checking the margin) or resumes the merged stream.
+  auto pushStub = [&SB](uint16_t Kind, uint32_t Target) {
+    FastInst Stub = {};
+    Stub.Kind = Kind;
+    Stub.Len = 1;
+    Stub.A = Target;
+    uint32_t At = uint32_t(SB->Code.size());
+    SB->Code.push_back(Stub);
+    SB->Orig.push_back(Target);
+    return At;
+  };
+  uint32_t Terminal =
+      pushStub(FinalSucc == TS.Head ? FK_TraceLoop : FK_TraceFall, FinalSucc);
+
+  // Rewire branch tails: the recorded direction continues inside the
+  // superblock, the other direction of a CBr exits through a fresh
+  // guard stub back into the merged stream. Index-based access only —
+  // pushStub may reallocate Code.
+  for (size_t I = 0; I != Segs.size(); ++I) {
+    const Seg &S = Segs[I];
+    uint32_t Succ = I + 1 != Segs.size() ? Segs[I + 1].MIdx : FinalSucc;
+    uint32_t Next = I + 1 != Segs.size() ? Starts[I + 1] : Terminal;
+    uint32_t TailIdx = Starts[I] + S.Len - 1;
+    switch (Prog[S.MIdx + S.Len - 1].Op) {
+    case MOp::B:
+    case MOp::Bl: // The link value lives in A; only the target moves.
+      SB->Code[TailIdx].T0 = Next;
+      break;
+    case MOp::Ret: {
+      // Guarded return: expected link in A, on-trace continuation in
+      // T0. Orig keeps the Ret's merged index so a bad-lr bail flushes
+      // to the right pc.
+      FastInst &Guard = SB->Code[TailIdx];
+      Guard.Kind = FK_TraceRet;
+      Guard.Len = 1;
+      Guard.Cost = 0;
+      Guard.A = CodeAddrBit | Succ;
+      Guard.T0 = Next;
+      break;
+    }
+    case MOp::CBr: {
+      bool Taken = SB->Code[TailIdx].T0 == Succ;
+      uint32_t Off = Taken ? SB->Code[TailIdx].A : SB->Code[TailIdx].T0;
+      uint32_t Exit = pushStub(FK_TraceExit, Off);
+      SB->Code[TailIdx].T0 = Taken ? Next : Exit;
+      SB->Code[TailIdx].A = Taken ? Exit : Next;
+      break;
+    }
+    default:
+      break; // Fall-through tails need nothing; stitching is adjacency.
+    }
+  }
+
+  // Stamp-elision marking over the body records, in execution order: a
+  // frame slot the path already touched is read-stamped, and one it
+  // already stored is fully write-stamped — the engine can skip the
+  // SWAR check for the later access (FastInst::Aux == 1, superblock
+  // code only; slot records in the merged stream keep Aux == 0). The
+  // first touch is never elided: its read stamp is what lets a later
+  // store's WAR detection fire. Epoch bumps and SP adjustments
+  // invalidate everything known.
+  std::unordered_map<uint32_t, bool> SlotStored;
+  for (uint32_t R = 0; R != NRec; ++R) {
+    FastInst &Rec = SB->Code[R];
+    switch (Prog[SB->Orig[R]].Op) {
+    case MOp::LdrSlot: {
+      auto [It, Fresh] = SlotStored.try_emplace(Rec.A, false);
+      (void)It;
+      if (!Fresh)
+        Rec.Aux = 1;
+      break;
+    }
+    case MOp::StrSlot: {
+      auto [It, Fresh] = SlotStored.try_emplace(Rec.A, true);
+      if (!Fresh) {
+        if (It->second)
+          Rec.Aux = 1;
+        It->second = true;
+      }
+      break;
+    }
+    case MOp::Checkpoint:
+    case MOp::Push:
+    case MOp::Pop:
+    case MOp::PopLoads:
+    case MOp::SpAdjust:
+      SlotStored.clear();
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Guard merging: a group whose tail is a rewired direction guard may
+  // concatenate with the group laid out right after it, turning the
+  // guard into an interior component (WB_GUARD in the engine) that
+  // either falls through to the next record or side-exits with the
+  // prefix cost. Only the head record's Kind/Len/Cost change — the
+  // guard keeps its rewired targets, and its on-path direction is by
+  // construction the next record index, which is what WB_GUARD tests.
+  // The static pass and the refusion fixpoint above never merge across
+  // a branch tail, so every guard-bearing kind is superblock-private.
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (size_t I = 0; I + 1 < Segs.size();) {
+      Seg &S = Segs[I];
+      const Seg &T = Segs[I + 1];
+      uint32_t TailIdx = Starts[I] + S.Len - 1;
+      uint16_t K;
+      if (Prog[SB->Orig[TailIdx]].Op == MOp::CBr &&
+          S.Cost + T.Cost < TraceRefuseCostLimit &&
+          S.Len + T.Len <= TraceMaxGroupLen &&
+          (K = pairKind(S.Kind, T.Kind)) != FK_KindLimit) {
+        S.Kind = K;
+        S.Len += T.Len;
+        S.Cost += T.Cost;
+        FastInst &Head = SB->Code[Starts[I]];
+        Head.Kind = K;
+        Head.Len = uint8_t(S.Len);
+        Head.Cost = uint8_t(S.Cost);
+        Segs.erase(Segs.begin() + long(I) + 1);
+        Starts.erase(Starts.begin() + long(I) + 1);
+        Changed = true;
+        continue;
+      }
+      ++I;
+    }
+  }
+
+  if (traceLogOn()) {
+    std::fprintf(stderr,
+                 "[trace] head=%u built: %zu raw -> %zu segs, %zu records, "
+                 "worst=%llu, loop=%d, trunc=%d kinds:",
+                 TS.Head, TS.Path.size(), Segs.size(), NRec,
+                 (unsigned long long)SB->WorstCost, FinalSucc == TS.Head,
+                 Truncated);
+    for (const Seg &S : Segs)
+      std::fprintf(stderr, " %u/%u@%u", unsigned(S.Kind), S.Len, S.MIdx);
+    std::fprintf(stderr, "\n");
+  }
+  TS.SBIdx[TS.Head] = int32_t(TS.Blocks.size());
+  TS.Blocks.push_back(std::move(SB));
+  return TS.Blocks.back().get();
+}

@@ -1,0 +1,183 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hot-trace superblock layer of the trace engine (DESIGN.md §7.9).
+///
+/// The threaded engine's back-edge dispatches feed per-target heat
+/// counters; when a target crosses TraceHotThreshold the engine starts
+/// recording the concrete path of *control transfers* — every branch
+/// target the run takes, at block granularity (between two transfers
+/// execution is pure fall-through, so the interior group heads are
+/// reconstructible from the static stream). Recording costs nothing on
+/// the straight-line dispatch path; only the cold trace_edge funnel
+/// sees it. The path ends when it closes back on its head a few times
+/// (loop unrolling) or runs too long. The builder then re-walks each
+/// recorded block in the merged stream and stitches the whole path
+/// into one straight-line FastInst run:
+///
+///  - adjacent groups on the path are re-fused against the same pair
+///    catalog as the static pass, but under TraceRefuseCostLimit — the
+///    aggregate worst-case cost of the whole superblock is margin-
+///    checked once at entry (Machine::fastLimit), so interior
+///    boundaries never need the per-dispatch event guarantee;
+///  - conditional branches become direction guards: the recorded side
+///    continues in the superblock, the other side exits through an
+///    FK_TraceExit stub back into the merged stream;
+///  - frame-slot accesses the path provably re-touches are marked for
+///    WAR-stamp elision (FastInst::Aux == 1 inside superblock code
+///    only): a re-loaded slot's stamps are already read-stamped and a
+///    re-stored slot's stamps are already all-WantW, so the SWAR check
+///    is skipped and the access collapses to the raw memory move.
+///
+/// Superblock code is private to the Machine that built it; the merged
+/// stream, snapshots, and every result stay byte-identical across
+/// engines (tests/EngineEquivalenceTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARIO_EMU_TRACE_H
+#define WARIO_EMU_TRACE_H
+
+#include "emu/Fusion.h"
+
+#include <memory>
+
+namespace wario::emu_detail {
+
+/// Back-edge dispatches of a target before recording starts. Low enough
+/// that short campaigns still compile their loops, high enough that
+/// cold paths never pay the builder. Doubles as the heat-counter funnel
+/// period: the engine's inline edge check only leaves the straight path
+/// when a target's counter reaches this value, so per-edge policy cost
+/// is one increment-and-compare amortized over the period.
+constexpr uint32_t TraceHotThreshold = 64;
+
+/// SBIdx sentinels (values < 0): no superblock yet, and never-retry for
+/// heads that aborted recording or failed to build. Blacklisted heads
+/// keep counting heat and re-enter the funnel once per threshold period
+/// — a dead branch there, not a policy change.
+constexpr int32_t SBNone = -1;
+constexpr int32_t SBBlacklisted = -2;
+
+/// Path closures (revisits of the trace head) before the recorder stops
+/// and builds — the superblock carries this many unrolled iterations.
+constexpr unsigned TraceMaxClosures = 1;
+
+/// Recorded block entries (control-transfer targets) before the
+/// recorder gives up (builds if the path closed at least once, aborts
+/// otherwise).
+constexpr unsigned TraceMaxPath = 256;
+
+/// Total merged-stream records a stitched superblock may carry (bounds
+/// builder work and superblock code size).
+constexpr unsigned TraceMaxRecords = 4096;
+
+/// Preferred superblock size: a looping path is truncated back to the
+/// largest closure that fits this many records. 20-byte FastInst
+/// records put 1024 of them at ~20 KiB — the superblock's code plus
+/// the workload's own hot data stay L1-resident, where an unrolled
+/// multi-thousand-record block would stream through L2 on every entry.
+/// Paths whose single iteration exceeds the cap keep one full closure.
+constexpr unsigned TraceSoftRecordCap = 1024;
+
+/// Superblocks per machine per run (heat map stops feeding the builder
+/// beyond this; hot loops are few in every workload we model).
+constexpr unsigned TraceMaxBlocks = 64;
+
+/// Component cap for one refused superblock group (Len is a uint8_t in
+/// FastInst; leave headroom under 255).
+constexpr unsigned TraceMaxGroupLen = 120;
+
+/// One stitched hot path: straight-line FastInst code ending in trace
+/// stubs (FK_TraceExit / FK_TraceFall / FK_TraceLoop), plus the mapping
+/// back to the merged stream for flush/bail.
+struct Superblock {
+  /// Merged-stream index of the trace head (the hot back-edge target).
+  uint32_t Head = 0;
+  /// The stitched run. Operand fields are verbatim copies of the merged
+  /// stream's records (so handlers index components identically);
+  /// Kind/Len/Cost of group heads are rewritten by refusion, branch
+  /// targets are rewired to superblock indices, and Aux on LdrSlot /
+  /// StrSlot records is repurposed as the stamp-elision flag.
+  std::vector<FastInst> Code;
+  /// Parallel to Code: the merged-stream index each record came from
+  /// (for stubs: the merged-stream resume target). flush() maps through
+  /// this so Pc is always a merged-stream index.
+  std::vector<uint32_t> Orig;
+  /// Aggregate worst-case cycle cost of one full pass over the path.
+  /// Entry requires Active + WorstCost < fastLimit margin, after which
+  /// the per-dispatch limit check is disabled until exit.
+  uint64_t WorstCost = 0;
+  /// Entry / guard-exit tallies feeding deoptimization: a block whose
+  /// recorded path almost never survives (exits exceed 7/8 of entries
+  /// after TraceHotThreshold entries) is paying entry and exit overhead
+  /// for nothing — the funnel blacklists its head and execution stays
+  /// on the merged stream.
+  uint32_t Entries = 0;
+  uint32_t Exits = 0;
+};
+
+/// Per-step answer of the trace recorder.
+enum class RecordVerdict : uint8_t {
+  Continue, ///< Path extended; keep recording.
+  Build,    ///< Path complete; stitch it (current index is the successor).
+  Abort,    ///< Unrecordable op or hopeless path; blacklist the head.
+};
+
+/// Per-Machine trace state. Sized lazily against the merged stream on
+/// first trace-engine entry; reset whenever the program size changes
+/// (machines are per-module, so in practice: once).
+struct TraceState {
+  /// Back-edge heat per merged-stream index, counted by the engine's
+  /// inline edge check; policy runs only when a counter crosses
+  /// TraceHotThreshold (the funnel resets it: to zero for cold and
+  /// blacklisted heads, to threshold-minus-one for superblock heads so
+  /// those funnel every visit).
+  std::vector<uint32_t> Hot;
+  /// Superblock index per merged-stream head; SBNone / SBBlacklisted
+  /// when there is none.
+  std::vector<int32_t> SBIdx;
+  /// Built superblocks. unique_ptr so Code/Orig storage is stable while
+  /// the engine holds raw pointers across dispatches.
+  std::vector<std::unique_ptr<Superblock>> Blocks;
+
+  /// Recording state (live only while the engine's RecOn flag is set).
+  uint32_t Head = 0;
+  unsigned Closures = 0;
+  /// Merged-stream indices of the taken control-transfer targets (block
+  /// entries), in order. The head itself is Path[0].
+  std::vector<uint32_t> Path;
+
+  void ensureSized(size_t N) {
+    if (SBIdx.size() != N) {
+      Hot.assign(N, 0);
+      SBIdx.assign(N, SBNone);
+      Blocks.clear();
+    }
+  }
+
+  void beginRecording(uint32_t H) {
+    Head = H;
+    Closures = 0;
+    Path.clear();
+    Path.push_back(H);
+  }
+};
+
+/// Advances the recorder by the control-transfer target \p Target the
+/// run is about to dispatch. On Build, the caller stitches with the
+/// same \p Target as the path's final successor.
+RecordVerdict traceRecordStep(TraceState &TS, uint32_t Target);
+
+/// Stitches the recorded path into a superblock and registers it under
+/// the trace head. \p FinalSucc is the merged-stream index executed
+/// after the last recorded group. Returns null (and leaves no trace)
+/// when the path can't be carried: caller blacklists the head.
+const Superblock *buildSuperblock(TraceState &TS,
+                                  const std::vector<DecodedInst> &Prog,
+                                  const std::vector<FastInst> &Fast,
+                                  uint32_t FinalSucc);
+
+} // namespace wario::emu_detail
+
+#endif // WARIO_EMU_TRACE_H

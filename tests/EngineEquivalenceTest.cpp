@@ -1,15 +1,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Differential tests for the two execution engines (label: `engine`):
-/// the direct-threaded fused-dispatch engine (ThreadedEngine.cpp) must
-/// be byte-identical — field-wise EmulatorResult operator==, including
-/// the final NVM image, output, event traces, and every counter — to
-/// the central-switch interpreter (the oracle) for every workload under
+/// Differential tests for the three execution engines (label: `engine`):
+/// the direct-threaded fused-dispatch engine and the hot-trace
+/// superblock engine (ThreadedEngine.cpp + Trace.cpp) must be
+/// byte-identical — field-wise EmulatorResult operator==, including the
+/// final NVM image, output, event traces, and every counter — to the
+/// central-switch interpreter (the oracle) for every workload under
 /// continuous power, crash schedules, harvester traces, and interrupts.
-/// Also covers the WARIO_ENGINE environment kill switch and
-/// mixed-engine snapshot record/replay (a chain recorded under one
-/// engine must resume under the other, byte-for-byte).
+/// Also covers the WARIO_ENGINE environment kill switch (unset resolves
+/// to trace), mixed-engine snapshot record/replay in all six directions,
+/// and the 16-bit SWAR WAR-stamp epoch wrap at 2^15.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,24 +48,36 @@ std::vector<Workload> matrixWorkloads() {
   return allWorkloads();
 }
 
-/// Runs the module under both engines and requires field-wise identical
-/// results. Returns the oracle result for further checks.
+/// Runs the module under all three engines and requires field-wise
+/// identical results. Returns the oracle result for further checks;
+/// \p TraceSt (optional) receives the trace engine's stats so callers
+/// can assert superblock activity.
 EmulatorResult expectEngineIdentical(const Emulator &E,
                                      const EmulatorOptions &Base,
-                                     const std::string &Tag) {
-  EmulatorOptions Interp = Base, Threaded = Base;
+                                     const std::string &Tag,
+                                     EngineStats *TraceSt = nullptr) {
+  EmulatorOptions Interp = Base, Threaded = Base, Trace = Base;
   Interp.Engine = EngineKind::Interp;
   Threaded.Engine = EngineKind::Threaded;
-  EngineStats IS, TS;
+  Trace.Engine = EngineKind::Trace;
+  EngineStats IS, TS, TrS;
   EmulatorResult RI = E.run(Interp, "main", nullptr, &IS);
   EmulatorResult RT = E.run(Threaded, "main", nullptr, &TS);
-  EXPECT_TRUE(RI == RT) << Tag;
+  EmulatorResult RTr = E.run(Trace, "main", nullptr, &TrS);
+  EXPECT_TRUE(RI == RT) << Tag << " (threaded)";
+  EXPECT_TRUE(RI == RTr) << Tag << " (trace)";
   // The interpreter never dispatches through the threaded loop; the
-  // threaded engine must actually have used it (or the test proves
-  // nothing about equivalence).
+  // other engines must actually have used it (or the test proves
+  // nothing about equivalence). The threaded engine must never touch
+  // the trace layer.
   EXPECT_EQ(IS.Dispatches, 0u) << Tag;
   EXPECT_GT(TS.Dispatches, 0u) << Tag;
+  EXPECT_GT(TrS.Dispatches, 0u) << Tag;
+  EXPECT_EQ(TS.TracesBuilt, 0u) << Tag;
+  EXPECT_EQ(TS.SuperblockDispatches, 0u) << Tag;
   EXPECT_LE(TS.ThreadedInstructions, RT.InstructionsExecuted) << Tag;
+  if (TraceSt)
+    *TraceSt = TrS;
   return RI;
 }
 
@@ -72,6 +85,9 @@ EmulatorResult expectEngineIdentical(const Emulator &E,
 
 /// Continuous power, with region sizes and the event trace collected:
 /// the widest observable surface (Commits, StoreCycles, RegionSizes).
+/// Every workload's hot loop must actually reach the superblock layer
+/// (heat threshold crossed, traces built, straight-line dispatches) —
+/// otherwise the trace column of the matrix degenerates to threaded.
 TEST(EngineEquivalenceTest, ContinuousRunsAreByteIdentical) {
   for (const Workload &W : matrixWorkloads()) {
     MModule MM = buildWorkload(W.Name);
@@ -79,8 +95,11 @@ TEST(EngineEquivalenceTest, ContinuousRunsAreByteIdentical) {
     Emulator E(MM);
     EmulatorOptions EO;
     EO.CollectEventTrace = true;
-    EmulatorResult R = expectEngineIdentical(E, EO, W.Name);
+    EngineStats TrS;
+    EmulatorResult R = expectEngineIdentical(E, EO, W.Name, &TrS);
     EXPECT_TRUE(R.Ok) << W.Name << ": " << R.Error;
+    EXPECT_GT(TrS.TracesBuilt, 0u) << W.Name;
+    EXPECT_GT(TrS.SuperblockDispatches, 0u) << W.Name;
   }
 }
 
@@ -126,8 +145,10 @@ TEST(EngineEquivalenceTest, InterruptRunsAreByteIdentical) {
 }
 
 /// The WARIO_ENGINE kill switch: with Engine = Auto, "interp" must
-/// force the oracle (zero threaded dispatches), anything else selects
-/// the threaded engine — and results must not depend on the choice.
+/// force the oracle (zero threaded dispatches), "threaded" the fused
+/// engine with the trace layer dark, and anything else — including
+/// unset — the trace engine. Results must not depend on the choice,
+/// and an explicit EmulatorOptions::Engine beats the environment.
 TEST(EngineEquivalenceTest, EnvKillSwitchSelectsEngine) {
   MModule MM = buildWorkload("crc");
   ASSERT_FALSE(MM.Functions.empty());
@@ -141,16 +162,27 @@ TEST(EngineEquivalenceTest, EnvKillSwitchSelectsEngine) {
       << "WARIO_ENGINE=interp must disable threaded dispatch";
 
   ASSERT_EQ(setenv("WARIO_ENGINE", "threaded", 1), 0);
-  EngineStats OnStats;
-  EmulatorResult Threaded = E.run(EO, "main", nullptr, &OnStats);
-  EXPECT_GT(OnStats.Dispatches, 0u);
+  EngineStats ThrStats;
+  EmulatorResult Threaded = E.run(EO, "main", nullptr, &ThrStats);
+  EXPECT_GT(ThrStats.Dispatches, 0u);
+  EXPECT_EQ(ThrStats.TracesBuilt, 0u)
+      << "WARIO_ENGINE=threaded must keep the trace layer dark";
+  EXPECT_EQ(ThrStats.SuperblockDispatches, 0u);
+
+  ASSERT_EQ(setenv("WARIO_ENGINE", "trace", 1), 0);
+  EngineStats TrStats;
+  EmulatorResult Traced = E.run(EO, "main", nullptr, &TrStats);
+  EXPECT_GT(TrStats.Dispatches, 0u);
+  EXPECT_GT(TrStats.SuperblockDispatches, 0u);
 
   ASSERT_EQ(unsetenv("WARIO_ENGINE"), 0);
   EngineStats DefStats;
   EmulatorResult Default = E.run(EO, "main", nullptr, &DefStats);
-  EXPECT_GT(DefStats.Dispatches, 0u) << "unset must default to threaded";
+  EXPECT_GT(DefStats.SuperblockDispatches, 0u)
+      << "unset must default to the trace engine";
 
   EXPECT_TRUE(Killed == Threaded);
+  EXPECT_TRUE(Killed == Traced);
   EXPECT_TRUE(Killed == Default);
 
   // An explicit option wins over the environment.
@@ -164,8 +196,8 @@ TEST(EngineEquivalenceTest, EnvKillSwitchSelectsEngine) {
   ASSERT_EQ(unsetenv("WARIO_ENGINE"), 0);
 }
 
-/// Mixed-engine snapshot resume: a chain recorded under either engine
-/// must replay under the other (chain compatibility is deliberately
+/// Mixed-engine snapshot resume: a chain recorded under any engine must
+/// replay under both others (chain compatibility is deliberately
 /// engine-blind), byte-identical to a cold run of the replaying engine.
 TEST(EngineEquivalenceTest, MixedEngineSnapshotResume) {
   MModule MM = buildWorkload("crc");
@@ -174,7 +206,9 @@ TEST(EngineEquivalenceTest, MixedEngineSnapshotResume) {
   EmulatorOptions Base;
   Base.CollectRegionSizes = false;
 
-  for (EngineKind RecEngine : {EngineKind::Interp, EngineKind::Threaded}) {
+  constexpr EngineKind Engines[] = {EngineKind::Interp, EngineKind::Threaded,
+                                    EngineKind::Trace};
+  for (EngineKind RecEngine : Engines) {
     EmulatorOptions RecEO = Base;
     RecEO.Engine = RecEngine;
     SnapshotChain Chain;
@@ -182,24 +216,65 @@ TEST(EngineEquivalenceTest, MixedEngineSnapshotResume) {
     ASSERT_TRUE(Golden.Ok) << Golden.Error;
     ASSERT_TRUE(Chain.valid());
 
-    EngineKind Other = RecEngine == EngineKind::Interp
-                           ? EngineKind::Threaded
-                           : EngineKind::Interp;
-    for (uint64_t C : {Golden.TotalCycles / 3, 2 * Golden.TotalCycles / 3}) {
-      EmulatorOptions EO = Base;
-      EO.Engine = Other;
-      EO.Power = PowerSchedule::trace({C, UINT64_MAX}, "single-crash");
-      EmulatorResult Cold = E.run(EO);
-      ReplayPlan Plan;
-      Plan.Chain = &Chain;
-      EmulatorScratch Scratch;
-      ReplayOutcome Out;
-      EmulatorResult Warm = E.replay(EO, Plan, "main", &Scratch, &Out);
-      EXPECT_TRUE(Warm == Cold)
-          << "recorded " << engineName(RecEngine) << ", replayed "
-          << engineName(Other) << " @ crash " << C;
-      EXPECT_TRUE(Out.Resumed)
-          << "engine mismatch must not force a cold fallback";
+    for (EngineKind Other : Engines) {
+      if (Other == RecEngine)
+        continue;
+      for (uint64_t C : {Golden.TotalCycles / 3, 2 * Golden.TotalCycles / 3}) {
+        EmulatorOptions EO = Base;
+        EO.Engine = Other;
+        EO.Power = PowerSchedule::trace({C, UINT64_MAX}, "single-crash");
+        EmulatorResult Cold = E.run(EO);
+        ReplayPlan Plan;
+        Plan.Chain = &Chain;
+        EmulatorScratch Scratch;
+        ReplayOutcome Out;
+        EmulatorResult Warm = E.replay(EO, Plan, "main", &Scratch, &Out);
+        EXPECT_TRUE(Warm == Cold)
+            << "recorded " << engineName(RecEngine) << ", replayed "
+            << engineName(Other) << " @ crash " << C;
+        EXPECT_TRUE(Out.Resumed)
+            << "engine mismatch must not force a cold fallback";
+      }
     }
+  }
+}
+
+/// The WAR stamps pack (epoch << 1) | kind into 16 bits, so the region
+/// epoch wraps at 2^15: the wrap clears the whole stamp array (stale
+/// high-epoch entries would otherwise alias fresh small epochs) and
+/// restarts at 1. Driving 32k regions organically is minutes of wall
+/// time, so the test reuses the documented scratch contract instead: a
+/// warm-up run primes Access with live stamps (and, under trace, builds
+/// superblocks whose elision survives into the second run), then the
+/// epoch is seeded just below the wrap so the next run crosses it
+/// mid-workload. Every engine must produce a result byte-identical to
+/// its own fresh-scratch run.
+TEST(EngineEquivalenceTest, EpochWrapStaysByteIdentical) {
+  MModule MM = buildWorkload("crc");
+  ASSERT_FALSE(MM.Functions.empty());
+  Emulator E(MM);
+
+  for (EngineKind K :
+       {EngineKind::Interp, EngineKind::Threaded, EngineKind::Trace}) {
+    EmulatorOptions EO;
+    EO.Engine = K;
+    EmulatorResult Fresh = E.run(EO);
+    ASSERT_TRUE(Fresh.Ok) << engineName(K) << ": " << Fresh.Error;
+
+    EmulatorScratch Scr;
+    EmulatorResult Prime = E.run(EO, "main", &Scr);
+    ASSERT_TRUE(Prime.Ok) << engineName(K) << ": " << Prime.Error;
+    ASSERT_GT(Scr.Epoch, 0u);
+
+    const uint32_t Seed = 0x8000u - 8;
+    ASSERT_GT(Fresh.CheckpointsExecuted, 8u)
+        << "workload too short to cross the wrap";
+    Scr.Epoch = Seed;
+    EmulatorResult Wrapped = E.run(EO, "main", &Scr);
+    EXPECT_TRUE(Wrapped == Fresh) << engineName(K) << " across epoch wrap";
+    // The run really crossed 2^15: the counter restarted at 1 and
+    // advanced one epoch per region executed after the wrap.
+    EXPECT_LT(Scr.Epoch, Seed) << engineName(K);
+    EXPECT_GE(Scr.Epoch, 1u) << engineName(K);
   }
 }

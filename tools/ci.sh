@@ -3,10 +3,11 @@
 #
 #   1. configure + build the default tree, run the full ctest suite;
 #   2. differential-engine pass: the `engine`-labeled equivalence suite
-#      (threaded engine vs interpreter oracle) on the default tree,
-#      then once more with WARIO_ENGINE=interp exported to prove the
-#      kill switch changes nothing observable; then the `strategy`
-#      suite (rollback-strategy crash campaigns, negative controls,
+#      (trace + threaded engines vs interpreter oracle) on the default
+#      tree, then once more under each WARIO_ENGINE kill-switch setting
+#      (interp / threaded / trace) to prove the environment override
+#      changes nothing observable; then the `strategy` suite
+#      (rollback-strategy crash campaigns, negative controls,
 #      and golden differences — docs/STRATEGIES.md);
 #   3. rebuild under ThreadSanitizer and run the `tsan`-labeled tests
 #      (the bench harness's parallel matrix driver);
@@ -45,10 +46,12 @@ cmake -B "$build" -S "$root"
 cmake --build "$build" -j "$jobs"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" $label_excludes
 
-echo "==> differential engine suite (engine label, both WARIO_ENGINE settings)"
+echo "==> differential engine suite (engine label, all WARIO_ENGINE settings)"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" -L engine
-WARIO_ENGINE=interp \
-  ctest --test-dir "$build" --output-on-failure -j "$jobs" -L engine
+for eng in interp threaded trace; do
+  WARIO_ENGINE=$eng \
+    ctest --test-dir "$build" --output-on-failure -j "$jobs" -L engine
+done
 
 echo "==> serve suite + loadgen smoke"
 ctest --test-dir "$build" --output-on-failure -j "$jobs" -L serve
